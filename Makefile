@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all test bench figures report attack examples clean
+
+all: test
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+test-output:
+	go test -count=1 ./... 2>&1 | tee test_output.txt
+
+bench:
+	go test -bench=. -benchmem -count=1 ./... 2>&1 | tee bench_output.txt
+
+figures:
+	go run ./cmd/figures -out results
+
+report:
+	go run ./cmd/report -quick
+
+attack:
+	go run ./cmd/unxpec -bits 1000 -evict
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/spectre
+	go run ./examples/covertchannel
+	go run ./examples/evictionset
+	go run ./examples/mitigation -scale 2500
+	go run ./examples/crosscore
+	go run ./examples/interference
+
+clean:
+	rm -rf results/*.csv test_output.txt bench_output.txt

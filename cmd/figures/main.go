@@ -1,0 +1,297 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section and writes the series to results/*.csv alongside a
+// console summary with paper-vs-measured values.
+//
+// Usage:
+//
+//	figures [-fig N|table1|rate|crosscore|sensitivity|interference|
+//	         minconst|mitigation|all] [-out DIR] [-seed S] [-samples N]
+//	        [-bits N] [-scale N] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/plot"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure to regenerate: 2,3,6,7,8,9,10,11,12,13,table1,rate,crosscore,sensitivity,interference,minconst,mitigation,all")
+		out     = flag.String("out", "results", "output directory for CSV series")
+		seed    = flag.Int64("seed", 42, "experiment seed")
+		samples = flag.Int("samples", 1000, "samples per secret for figures 7/8")
+		bits    = flag.Int("bits", 1000, "secret bits for figures 9/10/11")
+		scale   = flag.Int("scale", 10000, "workload scale for figure 12")
+		ascii   = flag.Bool("plot", false, "also render ASCII charts of the figures")
+	)
+	flag.Parse()
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	csvPath := func(name string) string { return filepath.Join(*out, name+".csv") }
+	save := func(name string, rows [][]string) {
+		if err := experiments.WriteCSV(csvPath(name), rows); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: writing %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", csvPath(name))
+	}
+
+	if run("table1") {
+		fmt.Println("== Table I: experiment setup ==")
+		rows := experiments.TableI()
+		experiments.PrintTable(os.Stdout, experiments.TableICSV(rows))
+		save("table1", experiments.TableICSV(rows))
+	}
+
+	if run("2") {
+		fmt.Println("\n== Figure 2: branch resolution time (simulator) ==")
+		pts := experiments.Figure2(*seed)
+		summarizeResolution(pts)
+		save("figure2", experiments.ResolutionCSV(pts))
+	}
+
+	if run("3") {
+		fmt.Println("\n== Figure 3: timing difference vs squashed loads (no eviction sets) ==")
+		pts := experiments.Figure3(*seed)
+		for _, p := range pts {
+			fmt.Printf("  %d loads: %.1f cycles\n", p.Loads, p.Diff)
+		}
+		fmt.Println("  paper: ≈22 cycles at 1 load, shallow growth to ≈25")
+		if *ascii {
+			fmt.Print(diffPlot("Figure 3 (no eviction sets)", pts))
+		}
+		save("figure3", experiments.DiffCSV(pts))
+	}
+
+	if run("6") {
+		fmt.Println("\n== Figure 6: timing difference with eviction sets ==")
+		pts := experiments.Figure6(*seed)
+		for _, p := range pts {
+			fmt.Printf("  %d loads: %.1f cycles\n", p.Loads, p.Diff)
+		}
+		fmt.Println("  paper: ≈32 cycles at 1 load, growing to ≈64")
+		if *ascii {
+			fmt.Print(diffPlot("Figure 6 (eviction sets)", pts))
+		}
+		save("figure6", experiments.DiffCSV(pts))
+	}
+
+	if run("7") {
+		fmt.Println("\n== Figure 7: latency PDF, no eviction sets ==")
+		r := experiments.Figure7(*seed, *samples)
+		fmt.Printf("  mean0=%.1f mean1=%.1f diff=%.1f threshold=%.0f (paper: diff≈22, threshold 178)\n",
+			r.Mean0, r.Mean1, r.Diff, r.Threshold)
+		if *ascii {
+			fmt.Print(pdfPlot("Figure 7 PDFs (0=secret0, 1=secret1)", r))
+		}
+		save("figure7", experiments.PDFCSV(r))
+	}
+
+	if run("8") {
+		fmt.Println("\n== Figure 8: latency PDF, with eviction sets ==")
+		r := experiments.Figure8(*seed, *samples)
+		fmt.Printf("  mean0=%.1f mean1=%.1f diff=%.1f threshold=%.0f (paper: diff≈32, threshold 183)\n",
+			r.Mean0, r.Mean1, r.Diff, r.Threshold)
+		if *ascii {
+			fmt.Print(pdfPlot("Figure 8 PDFs (0=secret0, 1=secret1)", r))
+		}
+		save("figure8", experiments.PDFCSV(r))
+	}
+
+	if run("9") {
+		fmt.Println("\n== Figure 9: random secret bit pattern ==")
+		bitsv := experiments.Figure9(*bits, *seed)
+		ones := 0
+		for _, b := range bitsv {
+			ones += b
+		}
+		fmt.Printf("  %d bits, %d ones\n", len(bitsv), ones)
+		save("figure9", experiments.BitsCSV(bitsv))
+	}
+
+	if run("10") {
+		fmt.Println("\n== Figure 10: secret leakage, no eviction sets ==")
+		r := experiments.Figure10(*seed, *bits)
+		fmt.Printf("  accuracy %.1f%% over %d bits, threshold %.0f (paper: 86.7%%)\n",
+			100*r.Accuracy, len(r.Guesses), r.Threshold)
+		if *ascii {
+			fmt.Print(leakPlot("Figure 10 observed latencies (o=secret0, x=secret1)", r))
+		}
+		save("figure10", experiments.LeakageCSV(r))
+	}
+
+	if run("11") {
+		fmt.Println("\n== Figure 11: secret leakage, with eviction sets ==")
+		r := experiments.Figure11(*seed, *bits)
+		fmt.Printf("  accuracy %.1f%% over %d bits, threshold %.0f (paper: 91.6%%)\n",
+			100*r.Accuracy, len(r.Guesses), r.Threshold)
+		if *ascii {
+			fmt.Print(leakPlot("Figure 11 observed latencies (o=secret0, x=secret1)", r))
+		}
+		save("figure11", experiments.LeakageCSV(r))
+	}
+
+	if run("rate") {
+		fmt.Println("\n== §VI-B: leakage rate ==")
+		for _, es := range []bool{false, true} {
+			r := experiments.LeakageRate(*seed, 200, es)
+			fmt.Printf("  eviction sets %-5v: %.0f samples/s ≈ %.0f Kbps at 1 sample/bit (paper: ≈140 Kbps)\n",
+				es, r.SamplesPerSecond, r.BitsPerSecond/1000)
+		}
+	}
+
+	if run("12") {
+		fmt.Println("\n== Figure 12: constant-time rollback overhead ==")
+		r := experiments.Figure12(*seed, *scale)
+		experiments.PrintTable(os.Stdout, experiments.Figure12CSV(r))
+		fmt.Printf("  paper averages: no-const ≈5%%, const-25 22.4%%, const-65 72.8%%\n")
+		if *ascii {
+			var labels []string
+			var vals []float64
+			for _, s := range r.Schemes {
+				labels = append(labels, s)
+				vals = append(vals, r.MeanOverhead[s])
+			}
+			fmt.Print(plot.Bars("Figure 12 mean overhead vs unsafe baseline", labels, vals, 50))
+		}
+		save("figure12", experiments.Figure12CSV(r))
+	}
+
+	if run("13") {
+		fmt.Println("\n== Figure 13: branch resolution on the host-CPU profile ==")
+		pts := experiments.Figure13(*seed)
+		summarizeResolution(pts)
+		save("figure13", experiments.ResolutionCSV(pts))
+	}
+
+	if run("crosscore") {
+		fmt.Println("\n== Extension: cross-core probing of the speculation window (§II-B) ==")
+		rows, err := experiments.CrossCoreStudy(*seed, 800, 350)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			verdict := "safe"
+			if r.Leaks {
+				verdict = "LEAKS"
+			}
+			fmt.Printf("  %-12s secret=%d: %3d/%3d fast reloads, %2d dummy misses, %d victim squashes → %s\n",
+				r.Machine, r.Secret, r.FastReloads, r.Probes, r.DummyMisses, r.VictimSquash, verdict)
+		}
+		save("crosscore", experiments.CrossCoreCSV(rows))
+	}
+
+	if run("sensitivity") {
+		fmt.Println("\n== Extension: sensitivity studies ==")
+		fmt.Println("noise robustness (single-sample calibration accuracy):")
+		nr := experiments.NoiseRobustness(*seed, []float64{2, 5, 10, 15, 25}, 150)
+		for _, p := range nr {
+			fmt.Printf("  σ=%4.1f: accuracy %.3f without ES, %.3f with ES\n",
+				p.Sigma, p.Accuracy, p.AccuracyES)
+		}
+		save("sensitivity_noise", experiments.NoiseCSV(nr))
+		fmt.Println("rollback-pipeline sensitivity (single-load diff, eviction sets):")
+		for _, p := range experiments.LatencyModelSensitivity(*seed, []int{8, 16, 24}, []int{5, 10, 20}) {
+			fmt.Printf("  invFirst=%2d restoreFirst=%2d: diff %.1f cycles\n",
+				p.InvFirst, p.RestoreFirst, p.Diff)
+		}
+	}
+
+	if run("interference") {
+		fmt.Println("\n== Extension: speculative interference ([2]) vs every defense family ==")
+		rows, err := experiments.InterferenceStudy(*seed, 5)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			verdict := "safe"
+			if r.Leaks {
+				verdict = "LEAKS"
+			}
+			fmt.Printf("  %-18s MSHR-contention delay %5.1f cycles → %s\n", r.Scheme, r.Diff, verdict)
+		}
+		save("interference", experiments.InterferenceCSV(rows))
+		fmt.Println("  contention channels survive both state hiding and rollback fixes —")
+		fmt.Println("  the landscape that motivates the paper's closing call for new designs.")
+	}
+
+	if run("minconst") {
+		fmt.Println("\n== Extension: minimal safe constant vs attacker strength (§VI-E) ==")
+		mc := experiments.MinimalSafeConstant(*seed, 8, 0.01)
+		for _, p := range mc {
+			fmt.Printf("  %d load(s): worst-case rollback %2d cycles → minimal closing constant %2d (≈%.0f%% overhead)\n",
+				p.Loads, p.WorstStall, p.MinSafeConst, 100*p.OverheadAtConst)
+		}
+		save("minconst", experiments.MinConstCSV(mc))
+		fmt.Println("  the defender must budget for the strongest attacker — the paper's point")
+		fmt.Println("  that choosing the constant is hard (§VI-E).")
+	}
+
+	if run("mitigation") {
+		fmt.Println("\n== Extension: mitigation study (constant-time vs fuzzy-time) ==")
+		pts := experiments.MitigationStudy(*seed, *scale/4, 16)
+		for _, p := range pts {
+			fmt.Printf("  %-18s residual channel %.1f cycles, mean overhead %.1f%%\n",
+				p.Scheme, p.ResidualDiff, 100*p.MeanOverhead)
+		}
+	}
+}
+
+// diffPlot renders a Figure 3/6 series as an ASCII line chart.
+func diffPlot(title string, pts []experiments.DiffPoint) string {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.Loads)
+		ys[i] = p.Diff
+	}
+	return plot.Curves(title, "squashed loads", "timing difference (cycles)",
+		xs, map[rune][]float64{'*': ys}, 64, 12)
+}
+
+// pdfPlot renders a Figure 7/8 KDE pair.
+func pdfPlot(title string, r experiments.PDFResult) string {
+	return plot.Curves(title, "observed latency (cycles)", "density",
+		r.Xs, map[rune][]float64{'0': r.Density0, '1': r.Density1}, 90, 14)
+}
+
+// leakPlot renders the first 200 bits of a Figure 10/11 run as a
+// scatter split by true secret value.
+func leakPlot(title string, r experiments.LeakageResult) string {
+	classes := map[rune][][2]float64{'o': nil, 'x': nil}
+	n := len(r.Latencies)
+	if n > 200 {
+		n = 200
+	}
+	for i := 0; i < n; i++ {
+		g := 'o'
+		if r.Truth[i] == 1 {
+			g = 'x'
+		}
+		classes[g] = append(classes[g], [2]float64{float64(i), float64(r.Latencies[i])})
+	}
+	return plot.Scatter(title, "bit index", "observed latency (cycles)", classes, 100, 16)
+}
+
+func summarizeResolution(pts []experiments.ResolutionPoint) {
+	for n := 1; n <= 3; n++ {
+		var sum float64
+		var count int
+		for _, p := range pts {
+			if p.FNAccesses == n {
+				sum += p.Resolution
+				count++
+			}
+		}
+		if count > 0 {
+			fmt.Printf("  N=%d: mean resolution %.0f cycles across loads×secrets\n", n, sum/float64(count))
+		}
+	}
+}

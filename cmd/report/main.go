@@ -1,0 +1,50 @@
+// Command report reruns the paper's entire evaluation and scores every
+// headline quantity against its acceptance band — the repository's
+// one-shot artifact evaluation. Exit status is nonzero if any band
+// fails, so CI can gate on reproduction fidelity.
+//
+// Usage:
+//
+//	report [-quick] [-seed S] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sample counts (~20 s instead of minutes)")
+		seed  = flag.Int64("seed", 42, "experiment seed")
+		out   = flag.String("o", "", "also write the markdown report to this file")
+	)
+	flag.Parse()
+
+	fmt.Println("Rerunning the unXpec evaluation against the paper's bands...")
+	bands := experiments.ReproductionReport(*seed, *quick)
+
+	var sinks []io.Writer = []io.Writer{os.Stdout}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	failures := 0
+	for _, w := range sinks {
+		failures = experiments.RenderReport(w, bands)
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d/%d checks FAILED\n", failures, len(bands))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d checks passed — reproduction is faithful at seed %d\n", len(bands), *seed)
+}

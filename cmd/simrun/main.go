@@ -1,0 +1,98 @@
+// Command simrun executes one synthetic benchmark on the simulated
+// Table I machine under a chosen safe-speculation scheme and prints the
+// run statistics — the building block of the Figure 12 study, exposed
+// for ad-hoc exploration.
+//
+// Usage:
+//
+//	simrun [-w NAME|list|all] [-scheme NAME] [-scale N] [-seed S]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/undo"
+	"repro/internal/workload"
+)
+
+// runRecord is the machine-readable form of one run.
+type runRecord struct {
+	Workload       string  `json:"workload"`
+	Scheme         string  `json:"scheme"`
+	Cycles         uint64  `json:"cycles"`
+	Instructions   uint64  `json:"instructions"`
+	IPC            float64 `json:"ipc"`
+	Squashes       uint64  `json:"squashes"`
+	SquashedInst   uint64  `json:"squashed_instructions"`
+	CleanupStall   uint64  `json:"cleanup_stall_cycles"`
+	MaxStall       int     `json:"max_stall_per_squash"`
+	Invalidations  uint64  `json:"invalidations"`
+	Restorations   uint64  `json:"restorations"`
+	MispredictRate float64 `json:"mispredict_rate"`
+}
+
+func main() {
+	var (
+		wname  = flag.String("w", "list", "workload name, or 'list' / 'all'")
+		scheme = flag.String("scheme", "cleanupspec", "scheme: unsafe, cleanupspec, const-N, strict-N, fuzzy-N, invisible")
+		scale  = flag.Int("scale", 10000, "dynamic iteration scale")
+		seed   = flag.Int64("seed", 1, "seed")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON records")
+	)
+	flag.Parse()
+
+	suite := workload.ExtendedSuite(*scale, *seed)
+	if *wname == "list" {
+		fmt.Println("available workloads:")
+		for _, w := range suite {
+			fmt.Printf("  %-15s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	ran := false
+	for _, w := range suite {
+		if *wname != "all" && w.Name != *wname {
+			continue
+		}
+		ran = true
+		s, err := undo.Parse(*scheme, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(2)
+		}
+		res := workload.Run(w, s, *seed)
+		st := res.Stats
+		us := s.Stats()
+		if *asJSON {
+			rec := runRecord{
+				Workload: w.Name, Scheme: s.Name(),
+				Cycles: st.Cycles, Instructions: st.Retired, IPC: st.IPC(),
+				Squashes: st.Squashes, SquashedInst: st.SquashedInst,
+				CleanupStall: us.TotalStallCycles, MaxStall: us.MaxStall,
+				Invalidations: us.TotalInvalidated, Restorations: us.TotalRestored,
+				MispredictRate: st.Branch.MispredictRate(),
+			}
+			enc := json.NewEncoder(os.Stdout)
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, "simrun:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Printf("%s under %s:\n", w.Name, s.Name())
+		fmt.Printf("  cycles        %d\n", st.Cycles)
+		fmt.Printf("  instructions  %d (IPC %.2f)\n", st.Retired, st.IPC())
+		fmt.Printf("  squashes      %d (%d squashed instructions)\n", st.Squashes, st.SquashedInst)
+		fmt.Printf("  cleanup stall %d cycles total (max %d/squash, %d invalidations, %d restorations)\n",
+			us.TotalStallCycles, us.MaxStall, us.TotalInvalidated, us.TotalRestored)
+		fmt.Printf("  branch mispredict rate %.2f%%\n", 100*st.Branch.MispredictRate())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "simrun: unknown workload %q (try -w list)\n", *wname)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,82 @@
+// Command trace runs one unXpec measurement round with pipeline tracing
+// attached and renders the event log and timeline — the paper's
+// Figure 1 (T1 speculation start … T6 cleanup done), observable.
+//
+// Usage:
+//
+//	trace [-secret 0|1] [-evict] [-loads N] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/unxpec"
+)
+
+func main() {
+	var (
+		secret   = flag.Int("secret", 1, "secret bit to transmit (0 or 1)")
+		useEvict = flag.Bool("evict", false, "use eviction sets")
+		loads    = flag.Int("loads", 1, "transient loads in the branch")
+		timeline = flag.Bool("timeline", true, "render the per-instruction timeline")
+	)
+	flag.Parse()
+
+	attack, err := unxpec.New(unxpec.Options{
+		Seed:            1,
+		LoadsInBranch:   *loads,
+		UseEvictionSets: *useEvict,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(2)
+	}
+
+	// Warm up: one untraced round trains the predictor and caches.
+	attack.MeasureOnce(*secret)
+
+	buf := trace.NewBuffer(0)
+	attack.Core().SetTracer(buf)
+	lat := attack.MeasureOnce(*secret)
+	attack.Core().SetTracer(nil)
+	res, clean := attack.LastSquashStats()
+
+	fmt.Printf("secret=%d: observed latency %d cycles (resolution %d, cleanup stall %d)\n\n",
+		*secret, lat, res, clean)
+
+	fmt.Println("pipeline events of the measurement round (squash & cleanup):")
+	sel := trace.NewBuffer(0)
+	for _, ev := range buf.Events() {
+		switch ev.Kind {
+		case "squash", "cleanup", "resolve":
+			sel.Event(ev)
+		}
+	}
+	sel.Render(os.Stdout)
+
+	if *timeline {
+		fmt.Println("\ninstruction timeline (F=fetch I=issue R=retire), last attack kernel:")
+		fmt.Print(tail(buf))
+	}
+}
+
+// tail renders the timeline of the final (measurement) program only by
+// re-filtering events after the last big fetch-PC reset.
+func tail(buf *trace.Buffer) string {
+	evs := buf.Events()
+	// Find the last fetch of PC 0 (program start) and keep from there.
+	start := 0
+	for i, ev := range evs {
+		if ev.Kind == "fetch" && ev.PC == 0 {
+			start = i
+		}
+	}
+	out := trace.NewBuffer(0)
+	for _, ev := range evs[start:] {
+		out.Event(ev)
+	}
+	return out.Timeline(40)
+}

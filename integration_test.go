@@ -1,0 +1,261 @@
+// Integration and property tests across the whole stack: randomized
+// transient workloads run against CleanupSpec must leave the cache
+// *exactly* as they found it (the defining Undo property), the unsafe
+// baseline must not, and the architectural state must be identical under
+// every scheme.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/undo"
+)
+
+// transientRig builds a machine plus a mistrained branch whose shadow
+// executes a caller-chosen transient body.
+type transientRig struct {
+	core *cpu.CPU
+	hier *memsys.Hierarchy
+}
+
+const (
+	rigBound     = mem.Addr(0x9000)
+	rigTrainProg = 6
+)
+
+func newTransientRig(t *testing.T, scheme undo.Scheme, seed int64) *transientRig {
+	t.Helper()
+	backing := mem.NewMemory()
+	backing.WriteWord(rigBound, 10)
+	hier := memsys.MustNew(memsys.DefaultConfig(seed), backing)
+	core := cpu.MustNew(cpu.DefaultConfig(), hier, branch.New(branch.DefaultConfig()), scheme, noise.None{})
+	return &transientRig{core: core, hier: hier}
+}
+
+// program builds: load bound; if index >= bound skip body; body.
+// The body is emitted by emitBody and executes transiently when index
+// is out of bounds after mistraining.
+func (r *transientRig) program(index int64, emitBody func(b *isa.Builder)) *isa.Program {
+	b := isa.NewBuilder()
+	b.Const(1, index).
+		Const(2, int64(rigBound)).
+		Load(4, 2, 0).
+		BranchGE(1, 4, "skip")
+	emitBody(b)
+	b.Label("skip").Halt()
+	return b.MustBuild()
+}
+
+// runTransient mistrains, flushes the bound, and triggers the body
+// transiently.
+func (r *transientRig) runTransient(emitBody func(b *isa.Builder)) cpu.Stats {
+	for i := 0; i < 6; i++ {
+		r.core.Run(r.program(int64(i%5), emitBody))
+	}
+	r.core.Run(isa.NewBuilder().
+		Const(2, int64(rigBound)).Flush(2, 0).Fence().Halt().MustBuild())
+	return r.core.Run(r.program(1_000_000, emitBody))
+}
+
+// l1Snapshot returns the set of valid L1 line addresses over a region.
+func l1Snapshot(c *cache.Cache, lo, hi mem.Addr) map[mem.Addr]bool {
+	out := map[mem.Addr]bool{}
+	for a := lo.Line(); a < hi; a += mem.LineSize {
+		if c.Probe(a) {
+			out[a] = true
+		}
+	}
+	return out
+}
+
+// emitRandomLoads returns a body of n loads at random lines within the
+// region, some repeated (aliasing transient loads).
+func emitRandomLoads(rng *rand.Rand, region mem.Addr, n int) func(*isa.Builder) {
+	offsets := make([]int64, n)
+	for i := range offsets {
+		offsets[i] = int64(rng.Intn(256)) * mem.LineSize
+	}
+	return func(b *isa.Builder) {
+		b.Const(10, int64(region))
+		for i, off := range offsets {
+			b.Load(isa.Reg(11+i%8), 10, off)
+		}
+	}
+}
+
+func TestRollbackExactnessProperty(t *testing.T) {
+	// For many random transient bodies: the L1 content over the touched
+	// region after the squash equals the content before the transient
+	// run, and no transient line survives anywhere.
+	const region = mem.Addr(0x100000)
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		rig := newTransientRig(t, undo.NewCleanupSpec(), int64(trial))
+
+		// Warm a random subset of the region so some transient loads
+		// hit, some miss, and some evict warm lines.
+		for i := 0; i < 64; i++ {
+			rig.hier.WarmRead(region + mem.Addr(rng.Intn(256))*mem.LineSize)
+		}
+		body := emitRandomLoads(rng, region, 1+rng.Intn(8))
+
+		// Training executes the body architecturally; snapshot after
+		// training so the reference state includes its effect.
+		for i := 0; i < 6; i++ {
+			rig.core.Run(rig.program(int64(i%5), body))
+		}
+		rig.core.Run(isa.NewBuilder().
+			Const(2, int64(rigBound)).Flush(2, 0).Fence().Halt().MustBuild())
+
+		before := l1Snapshot(rig.hier.L1D(), region, region+256*mem.LineSize)
+		st := rig.core.Run(rig.program(1_000_000, body))
+		if st.Squashes == 0 {
+			t.Fatalf("trial %d: no squash", trial)
+		}
+		after := l1Snapshot(rig.hier.L1D(), region, region+256*mem.LineSize)
+
+		if len(before) != len(after) {
+			t.Fatalf("trial %d: L1 region occupancy %d → %d after rollback", trial, len(before), len(after))
+		}
+		for a := range before {
+			if !after[a] {
+				t.Fatalf("trial %d: line %s lost by rollback", trial, a)
+			}
+		}
+		for a := range after {
+			if !before[a] {
+				t.Fatalf("trial %d: transient line %s survived rollback", trial, a)
+			}
+		}
+		if lines := rig.hier.L1D().SpeculativeLines(); len(lines) != 0 {
+			t.Fatalf("trial %d: stale speculative marks %v", trial, lines)
+		}
+	}
+}
+
+func TestUnsafeBaselineViolatesExactness(t *testing.T) {
+	// The same experiment against the unsafe baseline must leave
+	// transient footprints — otherwise the property above is vacuous.
+	const region = mem.Addr(0x200000)
+	rig := newTransientRig(t, undo.NewUnsafe(), 99)
+	body := func(b *isa.Builder) {
+		b.Const(10, int64(region)).
+			Load(11, 10, 0).
+			Load(12, 10, 64)
+	}
+	// Snapshot before mistraining-free... train first, flush the
+	// transient targets, snapshot, then attack.
+	for i := 0; i < 6; i++ {
+		rig.core.Run(rig.program(int64(i%5), body))
+	}
+	rig.core.Run(isa.NewBuilder().
+		Const(2, int64(rigBound)).Flush(2, 0).
+		Const(10, int64(region)).Flush(10, 0).Flush(10, 64).
+		Fence().Halt().MustBuild())
+	before := l1Snapshot(rig.hier.L1D(), region, region+4*mem.LineSize)
+	st := rig.core.Run(rig.program(1_000_000, body))
+	if st.Squashes == 0 {
+		t.Fatal("no squash")
+	}
+	after := l1Snapshot(rig.hier.L1D(), region, region+4*mem.LineSize)
+	if len(after) <= len(before) {
+		t.Fatal("unsafe baseline left no footprint — simulator not modelling the leak")
+	}
+}
+
+func TestArchitecturalEquivalenceAcrossSchemes(t *testing.T) {
+	// Every scheme must compute identical architectural results on the
+	// same program — defenses change timing, never semantics.
+	prog := func() *isa.Program {
+		b := isa.NewBuilder()
+		b.Const(1, 0).
+			Const(2, 1).
+			Const(3, 30).
+			Const(10, 0x40000).
+			Label("loop").
+			Add(1, 1, 2).
+			Store(10, 0, 1).
+			Load(4, 10, 0).
+			Add(5, 5, 4).
+			AddI(2, 2, 1).
+			BranchLT(2, 3, "loop").
+			Halt()
+		return b.MustBuild()
+	}
+	schemes := []undo.Scheme{
+		undo.NewUnsafe(), undo.NewCleanupSpec(),
+		undo.NewConstantTime(45, undo.Relaxed),
+		undo.NewConstantTime(25, undo.Strict),
+		undo.NewFuzzyTime(40, 1), undo.NewInvisibleLite(),
+	}
+	var wantR1, wantR5 uint64
+	for i, s := range schemes {
+		hier := memsys.MustNew(memsys.DefaultConfig(7), mem.NewMemory())
+		core := cpu.MustNew(cpu.DefaultConfig(), hier, branch.New(branch.DefaultConfig()), s, noise.None{})
+		st := core.Run(prog())
+		if st.TimedOut {
+			t.Fatalf("%s timed out", s.Name())
+		}
+		if i == 0 {
+			wantR1, wantR5 = core.Reg(1), core.Reg(5)
+			continue
+		}
+		if core.Reg(1) != wantR1 || core.Reg(5) != wantR5 {
+			t.Fatalf("%s computed r1=%d r5=%d, want %d/%d",
+				s.Name(), core.Reg(1), core.Reg(5), wantR1, wantR5)
+		}
+	}
+}
+
+func TestNoiseDoesNotChangeArchitecture(t *testing.T) {
+	// Noise models perturb timing only.
+	run := func(nz noise.Model) uint64 {
+		hier := memsys.MustNew(memsys.DefaultConfig(3), mem.NewMemory())
+		core := cpu.MustNew(cpu.DefaultConfig(), hier, branch.New(branch.DefaultConfig()), undo.NewCleanupSpec(), nz)
+		b := isa.NewBuilder()
+		b.Const(1, 0).Const(2, 0).Const(3, 50).Const(10, 0x50000).
+			Label("loop").
+			Load(4, 10, 0).
+			Add(1, 1, 4).
+			AddI(1, 1, 3).
+			AddI(2, 2, 1).
+			BranchLT(2, 3, "loop").
+			Halt()
+		core.Run(b.MustBuild())
+		return core.Reg(1)
+	}
+	if run(noise.None{}) != run(noise.NewSystem(5)) {
+		t.Fatal("noise changed architectural results")
+	}
+}
+
+func TestMeasurementDeterminismNoiseless(t *testing.T) {
+	// Two machines with the same seed produce identical measurement
+	// streams — the repository's reproducibility guarantee.
+	mk := func() []uint64 {
+		rig := newTransientRig(t, undo.NewCleanupSpec(), 42)
+		body := func(b *isa.Builder) {
+			b.Const(10, 0x300000).Load(11, 10, 0)
+		}
+		var out []uint64
+		for i := 0; i < 5; i++ {
+			st := rig.runTransient(body)
+			out = append(out, st.LastCleanupStall)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package branch
+
+import "testing"
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Fatalf("counter %d, want saturated 3", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Fatalf("counter %d, want saturated 0", c)
+	}
+}
+
+func TestMistrainingFlipsPrediction(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 17
+	if p.Predict(pc).Taken {
+		t.Fatal("weakly not-taken initial state expected")
+	}
+	// POISON: train taken repeatedly.
+	for i := 0; i < 4; i++ {
+		p.Update(pc, true, 99, false)
+	}
+	pred := p.Predict(pc)
+	if !pred.Taken {
+		t.Fatal("mistraining failed to flip the prediction")
+	}
+	if !pred.BTBHit || pred.Target != 99 {
+		t.Fatalf("BTB should supply trained target, got %+v", pred)
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 3
+	for i := 0; i < 4; i++ {
+		p.Update(pc, true, 5, false)
+	}
+	// One not-taken outcome must not flip a strongly-taken counter.
+	p.Update(pc, false, 0, true)
+	if !p.Predict(pc).Taken {
+		t.Fatal("single contrary outcome flipped a saturated counter")
+	}
+}
+
+func TestMispredictStats(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Predict(1)
+	p.Update(1, true, 2, true)
+	p.Predict(1)
+	p.Update(1, true, 2, false)
+	st := p.Stats()
+	if st.Lookups != 2 || st.Mispredicts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := st.MispredictRate(); got != 0.5 {
+		t.Fatalf("mispredict rate %f", got)
+	}
+	p.ResetStats()
+	if p.Stats().Lookups != 0 {
+		t.Fatal("reset failed")
+	}
+	// Training survives a stats reset.
+	if p.Counter(1) < 2 {
+		t.Fatal("training lost on stats reset")
+	}
+}
+
+func TestDistinctPCsIndependent(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 4; i++ {
+		p.Update(10, true, 1, false)
+	}
+	if p.Predict(11).Taken {
+		t.Fatal("training pc 10 leaked into pc 11")
+	}
+}
+
+func TestInitialTakenConfig(t *testing.T) {
+	p := New(Config{TableBits: 4, BTBEntries: 4, InitialTaken: true})
+	if !p.Predict(0).Taken {
+		t.Fatal("InitialTaken config ignored")
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	p := New(Config{})
+	// Must not panic and must predict something.
+	_ = p.Predict(123)
+	p.Update(123, true, 4, false)
+}
+
+func TestEmptyStatsRate(t *testing.T) {
+	if (Stats{}).MispredictRate() != 0 {
+		t.Fatal("empty stats rate should be 0")
+	}
+}
+
+func TestBTBCapacityBound(t *testing.T) {
+	p := New(Config{TableBits: 4, BTBEntries: 2})
+	p.Update(1, true, 10, false)
+	p.Update(2, true, 20, false)
+	p.Update(3, true, 30, false) // over capacity: dropped
+	if p.Predict(3).BTBHit {
+		t.Fatal("BTB exceeded its capacity")
+	}
+	// Existing entries may still be retargeted.
+	p.Update(1, true, 11, false)
+	if got := p.Predict(1); !got.BTBHit || got.Target != 11 {
+		t.Fatalf("existing entry not updated: %+v", got)
+	}
+}

@@ -1,0 +1,91 @@
+package branch
+
+import "testing"
+
+func TestGshareMistrainableWithRepetition(t *testing.T) {
+	// Repeating the same loop (constant history at the target branch)
+	// trains gshare exactly like bimodal — the property unXpec's
+	// trainer relies on.
+	g := NewGshare(DefaultConfig(), 8)
+	const pc = 17
+	for i := 0; i < 8; i++ {
+		// Simulate the loop's fixed history prefix: two not-taken
+		// branches, then the target taken.
+		g.Update(3, false, 0, false)
+		g.Update(5, false, 0, false)
+		g.Update(pc, true, 99, false)
+	}
+	// Replay the prefix, then ask about the target.
+	g.Update(3, false, 0, false)
+	g.Update(5, false, 0, false)
+	pred := g.Predict(pc)
+	if !pred.Taken {
+		t.Fatal("gshare not trained by repeated identical paths")
+	}
+	if !pred.BTBHit || pred.Target != 99 {
+		t.Fatalf("BTB %+v", pred)
+	}
+}
+
+func TestGshareHistorySensitivity(t *testing.T) {
+	// The same PC under different histories uses different counters —
+	// the property that makes blind mistraining harder.
+	g := NewGshare(Config{TableBits: 12}, 8)
+	const pc = 40
+	// History A: train taken.
+	g.history = 0xAA
+	for i := 0; i < 4; i++ {
+		idx := g.index(pc)
+		g.table[idx] = g.table[idx].update(true)
+	}
+	g.history = 0xAA
+	if !g.Predict(pc).Taken {
+		t.Fatal("same history should predict taken")
+	}
+	g.history = 0x55
+	if g.Predict(pc).Taken {
+		t.Fatal("different history must not inherit the training")
+	}
+}
+
+func TestGshareHistoryShifts(t *testing.T) {
+	g := NewGshare(Config{TableBits: 4}, 4)
+	g.Update(1, true, 2, false)
+	g.Update(1, false, 0, false)
+	g.Update(1, true, 2, false)
+	if g.History() != 0b101 {
+		t.Fatalf("history %b, want 101", g.History())
+	}
+	// Bounded by histLen.
+	for i := 0; i < 10; i++ {
+		g.Update(1, true, 2, false)
+	}
+	if g.History() != 0b1111 {
+		t.Fatalf("history %b, want 1111", g.History())
+	}
+}
+
+func TestGshareStatsAndReset(t *testing.T) {
+	g := NewGshare(DefaultConfig(), 8)
+	g.Predict(1)
+	g.Update(1, true, 2, true)
+	st := g.Stats()
+	if st.Lookups != 1 || st.Mispredicts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	g.ResetStats()
+	if g.Stats().Lookups != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestGshareDefaults(t *testing.T) {
+	g := NewGshare(Config{}, 0)
+	if g.histLen != 8 || len(g.table) != 1<<12 {
+		t.Fatalf("defaults histLen=%d table=%d", g.histLen, len(g.table))
+	}
+	gi := NewGshare(Config{TableBits: 4, InitialTaken: true}, 4)
+	if !gi.Predict(0).Taken {
+		t.Fatal("InitialTaken ignored")
+	}
+}

@@ -1,0 +1,419 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// CoherenceState is a coherence-lite M/E/S/I state. CleanupSpec's
+// in-window protections manipulate these states: unsafe downgrades
+// (M/E → S) are delayed while a speculation is unresolved.
+type CoherenceState uint8
+
+const (
+	Invalid CoherenceState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s CoherenceState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Line is one cache line's metadata. Data values live in mem.Memory;
+// caches only track presence and state, which is all timing needs.
+type Line struct {
+	Tag   uint64
+	State CoherenceState
+	Dirty bool
+	// Speculative marks lines installed by not-yet-resolved loads.
+	// CleanupSpec serves cross-agent hits on such lines with a dummy
+	// miss and invalidates them during rollback.
+	Speculative bool
+	// Epoch tags which speculation window installed the line.
+	Epoch uint64
+	// Owner is the agent ID that installed the line (for dummy-miss
+	// decisions in shared caches).
+	Owner int
+}
+
+// Valid reports whether the line holds data.
+func (l *Line) Valid() bool { return l.State != Invalid }
+
+// IndexMapper turns a line address into a set index. Identity mapping is
+// the norm; the randomized CEASER-like mapper lives in package randmap.
+type IndexMapper interface {
+	// MapIndex returns the set index for a line address.
+	MapIndex(line mem.Addr, sets int) uint64
+	// Name identifies the mapper.
+	Name() string
+}
+
+// identityMapper uses the conventional low line-address bits.
+type identityMapper struct{}
+
+func (identityMapper) MapIndex(line mem.Addr, sets int) uint64 { return line.SetIndex(sets) }
+func (identityMapper) Name() string                            { return "identity" }
+
+// IdentityMapper returns the conventional set-index mapping.
+func IdentityMapper() IndexMapper { return identityMapper{} }
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Sets       int
+	Ways       int
+	HitLatency int // cycles for a hit at this level
+	// Policy decides victims. Nil defaults to LRU.
+	Policy ReplacementPolicy
+	// Mapper transforms addresses to set indices. Nil = identity.
+	Mapper IndexMapper
+	// PartitionWays, if > 0, reserves that many ways per set for each
+	// agent under NoMo-style way partitioning: agent i may only fill
+	// ways [i*PartitionWays, (i+1)*PartitionWays). Zero disables
+	// partitioning (all agents share all ways).
+	PartitionWays int
+}
+
+// Validate checks structural invariants of the configuration.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: sets must be a positive power of two, got %d", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways must be positive, got %d", c.Name, c.Ways)
+	}
+	if c.PartitionWays < 0 || c.PartitionWays > c.Ways {
+		return fmt.Errorf("cache %s: partition ways %d out of range [0,%d]", c.Name, c.PartitionWays, c.Ways)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("cache %s: negative hit latency", c.Name)
+	}
+	return nil
+}
+
+// SizeBytes returns the capacity of the configured cache in bytes.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * mem.LineSize }
+
+// Stats aggregates per-cache counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Fills         uint64
+	Evictions     uint64
+	DirtyEvicts   uint64
+	Invalidations uint64
+	Flushes       uint64
+	DummyMisses   uint64
+}
+
+// HitRate returns hits / (hits+misses), or 0 for no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Eviction describes a line displaced by a fill, carrying what the
+// restoration half of CleanupSpec's rollback needs.
+type Eviction struct {
+	LineAddr mem.Addr
+	Dirty    bool
+	// WasSpeculative is true when the displaced line was itself a
+	// transient install (no restoration needed for it).
+	WasSpeculative bool
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg    Config
+	policy ReplacementPolicy
+	mapper IndexMapper
+	sets   [][]Line
+	stats  Stats
+}
+
+// New builds a cache from cfg, panicking on invalid structural
+// parameters (a construction-time programming error, not a runtime
+// condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewLRU(cfg.Sets, cfg.Ways)
+	}
+	if cfg.Mapper == nil {
+		cfg.Mapper = IdentityMapper()
+	}
+	c := &Cache{
+		cfg:    cfg,
+		policy: cfg.Policy,
+		mapper: cfg.Mapper,
+		sets:   make([][]Line, cfg.Sets),
+	}
+	for s := range c.sets {
+		c.sets[s] = make([]Line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (state is untouched).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// setIndex maps a line address through the configured index mapper.
+func (c *Cache) setIndex(line mem.Addr) uint64 {
+	return c.mapper.MapIndex(line, c.cfg.Sets)
+}
+
+// find returns the way holding addr's line, or -1.
+func (c *Cache) find(line mem.Addr) (set int, way int) {
+	set = int(c.setIndex(line))
+	tag := line.LineIndex()
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.Valid() && l.Tag == tag {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// Probe reports whether addr's line is present without updating
+// replacement state or counters. Used by tests and by eviction-set
+// verification.
+func (c *Cache) Probe(addr mem.Addr) bool {
+	_, way := c.find(addr.Line())
+	return way >= 0
+}
+
+// ProbeState returns the line metadata if present.
+func (c *Cache) ProbeState(addr mem.Addr) (Line, bool) {
+	set, way := c.find(addr.Line())
+	if way < 0 {
+		return Line{}, false
+	}
+	return c.sets[set][way], true
+}
+
+// Lookup performs a demand access for agent's load/store. On a hit it
+// updates replacement state and returns hit=true. On a miss it returns
+// hit=false; the caller decides whether to Fill.
+func (c *Cache) Lookup(addr mem.Addr) (hit bool) {
+	set, way := c.find(addr.Line())
+	if way < 0 {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.policy.OnAccess(set, way)
+	return true
+}
+
+// fillCandidates returns the ways agent may fill under partitioning.
+func (c *Cache) fillCandidates(agent int) []int {
+	if c.cfg.PartitionWays == 0 {
+		all := make([]int, c.cfg.Ways)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	lo := agent * c.cfg.PartitionWays
+	hi := lo + c.cfg.PartitionWays
+	if hi > c.cfg.Ways {
+		// Agents beyond the partition count share the last slice.
+		lo, hi = c.cfg.Ways-c.cfg.PartitionWays, c.cfg.Ways
+	}
+	cand := make([]int, 0, hi-lo)
+	for w := lo; w < hi; w++ {
+		cand = append(cand, w)
+	}
+	return cand
+}
+
+// Fill installs addr's line for agent, marking it speculative when the
+// installing load is unresolved. It returns the eviction it caused, if
+// any.
+func (c *Cache) Fill(addr mem.Addr, agent int, speculative bool, epoch uint64) (ev Eviction, evicted bool) {
+	line := addr.Line()
+	set := int(c.setIndex(line))
+	tag := line.LineIndex()
+	cand := c.fillCandidates(agent)
+
+	// Prefer an invalid way within the partition.
+	victim := -1
+	for _, w := range cand {
+		if !c.sets[set][w].Valid() {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		valid := make([]int, 0, len(cand))
+		for _, w := range cand {
+			if c.sets[set][w].Valid() {
+				valid = append(valid, w)
+			}
+		}
+		victim = c.policy.Victim(set, valid)
+		old := &c.sets[set][victim]
+		ev = Eviction{
+			LineAddr:       mem.Addr(old.Tag << mem.LineShift),
+			Dirty:          old.Dirty,
+			WasSpeculative: old.Speculative,
+		}
+		evicted = true
+		c.stats.Evictions++
+		if old.Dirty {
+			c.stats.DirtyEvicts++
+		}
+	}
+	c.sets[set][victim] = Line{
+		Tag:         tag,
+		State:       Exclusive,
+		Speculative: speculative,
+		Epoch:       epoch,
+		Owner:       agent,
+	}
+	c.policy.OnFill(set, victim)
+	c.stats.Fills++
+	return ev, evicted
+}
+
+// Invalidate removes addr's line if present, returning whether it was
+// present and whether it was dirty.
+func (c *Cache) Invalidate(addr mem.Addr) (present, dirty bool) {
+	set, way := c.find(addr.Line())
+	if way < 0 {
+		return false, false
+	}
+	dirty = c.sets[set][way].Dirty
+	c.sets[set][way] = Line{}
+	c.policy.OnInvalidate(set, way)
+	c.stats.Invalidations++
+	return true, dirty
+}
+
+// Flush is the clflush path: invalidate and count separately.
+func (c *Cache) Flush(addr mem.Addr) (present, dirty bool) {
+	present, dirty = c.Invalidate(addr)
+	c.stats.Flushes++
+	return present, dirty
+}
+
+// MarkDirty sets the dirty bit and upgrades state to Modified for a
+// store hit.
+func (c *Cache) MarkDirty(addr mem.Addr) bool {
+	set, way := c.find(addr.Line())
+	if way < 0 {
+		return false
+	}
+	c.sets[set][way].Dirty = true
+	c.sets[set][way].State = Modified
+	return true
+}
+
+// Commit clears the speculative bit on addr's line (the installing load
+// retired and the speculation was correct).
+func (c *Cache) Commit(addr mem.Addr) {
+	set, way := c.find(addr.Line())
+	if way >= 0 {
+		c.sets[set][way].Speculative = false
+	}
+}
+
+// CommitEpoch clears the speculative bit on every line whose epoch is at
+// most epoch. Used when a speculation window resolves correctly.
+func (c *Cache) CommitEpoch(epoch uint64) int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.Valid() && l.Speculative && l.Epoch <= epoch {
+				l.Speculative = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SetState overrides the coherence state of a present line (testing and
+// coherence-lite transitions).
+func (c *Cache) SetState(addr mem.Addr, st CoherenceState) bool {
+	set, way := c.find(addr.Line())
+	if way < 0 {
+		return false
+	}
+	c.sets[set][way].State = st
+	return true
+}
+
+// CountDummyMiss records a dummy miss served to another agent hitting a
+// speculatively installed line.
+func (c *Cache) CountDummyMiss() { c.stats.DummyMisses++ }
+
+// SpeculativeLines returns the addresses of all currently speculative
+// lines. Rollback verification in tests uses this; the rollback itself
+// works from the load-queue records as CleanupSpec does.
+func (c *Cache) SpeculativeLines() []mem.Addr {
+	var out []mem.Addr
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.Valid() && l.Speculative {
+				out = append(out, mem.Addr(l.Tag<<mem.LineShift))
+			}
+		}
+	}
+	return out
+}
+
+// ValidLines returns the number of valid lines (occupancy).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SetOccupancy returns how many valid lines live in addr's set.
+func (c *Cache) SetOccupancy(addr mem.Addr) int {
+	set := int(c.setIndex(addr.Line()))
+	n := 0
+	for w := range c.sets[set] {
+		if c.sets[set][w].Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// SetOf exposes the mapped set index of an address (eviction-set tools).
+func (c *Cache) SetOf(addr mem.Addr) uint64 { return c.setIndex(addr.Line()) }

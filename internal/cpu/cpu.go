@@ -1,0 +1,793 @@
+// Package cpu implements the cycle-stepped out-of-order core the attack
+// runs on: in-order fetch along the predicted path, a reorder buffer,
+// out-of-order issue with operand forwarding, genuine wrong-path
+// execution of transient loads, squash on branch mis-speculation, and
+// the hand-off to the configured undo.Scheme for rollback — the paper's
+// Figure 1 timeline (T1 speculation start … T6 cleanup done).
+//
+// The model is deliberately at the granularity the unXpec channel needs:
+// branch-resolution time is set by the dependence chain feeding the
+// branch condition; transient loads mutate the cache hierarchy the
+// moment they issue; squash stalls the core for however long the scheme
+// says rollback takes. Fences and RDTSC have their serializing x86
+// semantics so the attack's measurement window is exact.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/undo"
+)
+
+// Config parameterizes the core. DefaultConfig matches Table I.
+type Config struct {
+	ROBSize     int
+	FetchWidth  int
+	IssueWidth  int
+	IssueWindow int
+	RetireWidth int
+	LoadPorts   int
+
+	ALULatency    int
+	MulLatency    int
+	BranchLatency int // resolve latency after operands ready
+	SquashPenalty int // frontend redirect cost after a squash
+
+	// FetchTiming models L1I latencies when true. Attack kernels keep
+	// their code hot, so this mostly affects first iterations.
+	FetchTiming bool
+
+	// MaxCycles is the watchdog bound per Run.
+	MaxCycles uint64
+
+	// ClockGHz is used only for converting cycles to wall time in
+	// reports (Table I: 2 GHz).
+	ClockGHz float64
+}
+
+// DefaultConfig returns the paper's core: 192-entry ROB, 2 GHz.
+func DefaultConfig() Config {
+	return Config{
+		ROBSize:       192,
+		FetchWidth:    4,
+		IssueWidth:    4,
+		IssueWindow:   64,
+		RetireWidth:   4,
+		LoadPorts:     2,
+		ALULatency:    1,
+		MulLatency:    3,
+		BranchLatency: 1,
+		SquashPenalty: 8,
+		FetchTiming:   true,
+		MaxCycles:     50_000_000,
+		ClockGHz:      2.0,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ROBSize <= 0 || c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("cpu: widths and ROB size must be positive")
+	}
+	if c.LoadPorts <= 0 || c.IssueWindow <= 0 {
+		return fmt.Errorf("cpu: load ports and issue window must be positive")
+	}
+	if c.MaxCycles == 0 {
+		return fmt.Errorf("cpu: zero watchdog")
+	}
+	return nil
+}
+
+// entry is one ROB entry.
+type entry struct {
+	seq       uint64
+	idx       int // instruction index (simulated PC)
+	inst      isa.Inst
+	fetchedAt uint64
+
+	issued bool
+	done   bool
+	doneAt uint64
+	val    uint64
+
+	// srcVals are captured at issue for branch resolution and stores.
+	srcVals [2]uint64
+
+	// Branch state.
+	predTaken bool
+	resolved  bool
+
+	// Memory state.
+	addr          mem.Addr
+	addrResolved  bool
+	access        memsys.AccessResult
+	specAtIssue   bool
+	specEpoch     uint64
+	committedSpec bool
+	commitPenalty int
+	shadowed      bool // invisible-scheme load: issued without install
+	squashed      bool
+}
+
+// Stats summarizes one Run.
+type Stats struct {
+	Cycles       uint64
+	Retired      uint64
+	Fetched      uint64
+	Squashes     uint64
+	SquashedInst uint64
+	CleanupStall uint64
+	NoiseStall   uint64
+	TimedOut     bool
+
+	// LastBranchResolution is the T1–T2 interval of the most recent
+	// mispredicted branch: cycles from its fetch (speculation start)
+	// to its resolution. Figures 2 and 13 read this.
+	LastBranchResolution uint64
+	// LastCleanupStall is the rollback stall of the most recent squash
+	// (the secret-dependent T5 the attack measures indirectly).
+	LastCleanupStall uint64
+
+	Branch branch.Stats
+	Undo   undo.Stats
+	Hier   memsys.Stats
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// CPU is one simulated core bound to a hierarchy, predictor, scheme and
+// noise model. A CPU is reusable across Runs; microarchitectural state
+// (caches, predictor training) persists between runs, which is exactly
+// what the attack's preparation stage relies on.
+type CPU struct {
+	cfg    Config
+	hier   *memsys.Hierarchy
+	pred   branch.Direction
+	scheme undo.Scheme
+	noise  noise.Model
+
+	regs [isa.NumRegs]uint64
+
+	// Run state.
+	prog          *isa.Program
+	rob           []*entry
+	nextSeq       uint64
+	cycle         uint64
+	fetchPC       int
+	fetchStopped  bool
+	fetchReady    uint64
+	stallUntil    uint64
+	retireBlocked uint64
+	halted        bool
+
+	tracer Tracer
+	stats  Stats
+
+	// Per-run bookkeeping for Step-based execution.
+	runStartCycle   uint64
+	runStartRetired uint64
+}
+
+// New builds a core. A nil noise model means noise.None.
+func New(cfg Config, hier *memsys.Hierarchy, pred branch.Direction, scheme undo.Scheme, nz noise.Model) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hier == nil || pred == nil || scheme == nil {
+		return nil, fmt.Errorf("cpu: hierarchy, predictor and scheme are required")
+	}
+	if nz == nil {
+		nz = noise.None{}
+	}
+	return &CPU{cfg: cfg, hier: hier, pred: pred, scheme: scheme, noise: nz}, nil
+}
+
+// MustNew is New for static construction sites.
+func MustNew(cfg Config, hier *memsys.Hierarchy, pred branch.Direction, scheme undo.Scheme, nz noise.Model) *CPU {
+	c, err := New(cfg, hier, pred, scheme, nz)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Reg returns the architectural value of r after the last Run.
+func (c *CPU) Reg(r isa.Reg) uint64 {
+	if r == isa.Zero {
+		return 0
+	}
+	return c.regs[r]
+}
+
+// SetReg presets an architectural register before a Run.
+func (c *CPU) SetReg(r isa.Reg, v uint64) {
+	if r != isa.Zero {
+		c.regs[r] = v
+	}
+}
+
+// Hierarchy returns the bound memory hierarchy.
+func (c *CPU) Hierarchy() *memsys.Hierarchy { return c.hier }
+
+// Predictor returns the bound branch predictor.
+func (c *CPU) Predictor() branch.Direction { return c.pred }
+
+// Scheme returns the bound undo scheme.
+func (c *CPU) Scheme() undo.Scheme { return c.scheme }
+
+// Cycle returns the current cycle count (monotonic across Runs).
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// BeginProgram resets run state so Step can execute prog cycle by
+// cycle. Architectural registers, caches and predictor training persist
+// from earlier runs, exactly as for Run.
+func (c *CPU) BeginProgram(prog *isa.Program) {
+	c.prog = prog
+	c.rob = c.rob[:0]
+	c.fetchPC = 0
+	c.fetchStopped = false
+	c.fetchReady = c.cycle
+	c.halted = false
+	c.runStartCycle = c.cycle
+	c.runStartRetired = c.stats.Retired
+}
+
+// Step advances the core by one cycle and reports whether the current
+// program has halted (or tripped the watchdog). Lockstep multi-core
+// systems interleave Step calls across cores sharing a cache level.
+func (c *CPU) Step() (done bool) {
+	if c.halted {
+		return true
+	}
+	if c.cycle-c.runStartCycle > c.cfg.MaxCycles {
+		c.stats.TimedOut = true
+		c.halted = true
+		return true
+	}
+	c.stepNoise()
+	c.retire()
+	if c.halted {
+		return true
+	}
+	c.complete()
+	c.issue()
+	c.fetch()
+	c.hier.TickMSHR(c.cycle)
+	c.cycle++
+	return c.halted
+}
+
+// Halted reports whether the current program has finished.
+func (c *CPU) Halted() bool { return c.halted }
+
+// RunStats summarizes the current (or just-finished) program run.
+func (c *CPU) RunStats() Stats {
+	out := c.stats
+	out.Cycles = c.cycle - c.runStartCycle
+	out.Retired = c.stats.Retired - c.runStartRetired
+	out.Branch = c.pred.Stats()
+	out.Undo = c.scheme.Stats()
+	out.Hier = c.hier.Stats()
+	return out
+}
+
+// Run executes prog to Halt (or the watchdog) and returns run stats.
+// Architectural registers persist across runs; caches and predictor
+// state likewise.
+func (c *CPU) Run(prog *isa.Program) Stats {
+	c.BeginProgram(prog)
+	for !c.Step() {
+	}
+	return c.RunStats()
+}
+
+// Snapshot returns the cumulative statistics without running anything;
+// LastBranchResolution/LastCleanupStall refer to the most recent squash.
+func (c *CPU) Snapshot() Stats {
+	out := c.stats
+	out.Branch = c.pred.Stats()
+	out.Undo = c.scheme.Stats()
+	out.Hier = c.hier.Stats()
+	return out
+}
+
+// stepNoise injects system-interference stalls.
+func (c *CPU) stepNoise() {
+	if d := c.noise.InterferenceStall(); d > 0 {
+		end := c.cycle + uint64(d)
+		if end > c.stallUntil {
+			c.stats.NoiseStall += end - max64(c.stallUntil, c.cycle)
+			c.stallUntil = end
+		}
+	}
+}
+
+// retire commits completed head instructions in order.
+func (c *CPU) retire() {
+	if c.cycle < c.retireBlocked {
+		return
+	}
+	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
+		e := c.rob[0]
+		if !e.done || e.doneAt > c.cycle {
+			return
+		}
+		if e.inst.Op.IsBranch() && !e.resolved {
+			return
+		}
+		// Apply architectural effects.
+		switch e.inst.Op {
+		case isa.OpStore:
+			c.hier.Write(e.addr, e.srcVals[1], c.cycle)
+		case isa.OpFlush:
+			c.hier.Flush(e.addr)
+		case isa.OpHalt:
+			c.emit("retire", e, 0)
+			c.halted = true
+			c.rob = c.rob[1:]
+			c.stats.Retired++
+			return
+		default:
+			if rd, ok := e.inst.DstReg(); ok {
+				c.regs[rd] = e.val
+			}
+		}
+		c.emit("retire", e, 0)
+		if e.commitPenalty > 0 {
+			c.retireBlocked = c.cycle + uint64(e.commitPenalty)
+			c.rob = c.rob[1:]
+			c.stats.Retired++
+			return
+		}
+		c.rob = c.rob[1:]
+		c.stats.Retired++
+	}
+}
+
+// complete marks finished executions and resolves branches (possibly
+// squashing).
+func (c *CPU) complete() {
+	// Fences complete when everything older is done.
+	for i, e := range c.rob {
+		if e.inst.Op == isa.OpFence && !e.done && c.allOlderDone(i) {
+			e.done = true
+			e.doneAt = c.cycle
+		}
+	}
+	// Resolve branches whose execution finished this cycle. Resolve
+	// the oldest first: an older mispredict supersedes younger ones.
+	for i := 0; i < len(c.rob); i++ {
+		e := c.rob[i]
+		if !e.inst.Op.IsBranch() || !e.issued || e.resolved || e.doneAt > c.cycle {
+			continue
+		}
+		e.done = true
+		e.resolved = true
+		actual := branchTaken(e.inst.Op, e.srcVals[0], e.srcVals[1])
+		mispred := actual != e.predTaken
+		c.emit("resolve", e, boolToDetail(mispred))
+		c.pred.Update(e.idx, actual, e.inst.Target, mispred)
+		if mispred {
+			c.squash(i, actual)
+			// Everything younger is gone; resolution pass is over.
+			break
+		}
+		c.commitClearedLoads()
+	}
+}
+
+// completedNow reports whether e's execution has truly finished by the
+// current cycle (issue marks done with a future doneAt).
+func (c *CPU) completedNow(e *entry) bool {
+	return e.done && e.doneAt <= c.cycle
+}
+
+// allOlderDone reports whether every ROB entry older than position i is
+// complete.
+func (c *CPU) allOlderDone(i int) bool {
+	for j := 0; j < i; j++ {
+		if !c.completedNow(c.rob[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasOlderUnresolvedBranch reports whether an unresolved branch precedes
+// position i.
+func (c *CPU) hasOlderUnresolvedBranch(i int) (uint64, bool) {
+	var youngest uint64
+	found := false
+	for j := 0; j < i; j++ {
+		e := c.rob[j]
+		if e.inst.Op.IsBranch() && !e.resolved {
+			youngest = e.seq
+			found = true
+		}
+	}
+	return youngest, found
+}
+
+// commitClearedLoads clears speculative marks for issued loads no longer
+// shadowed by any unresolved branch, and performs deferred installs for
+// invisible schemes.
+func (c *CPU) commitClearedLoads() {
+	for i, e := range c.rob {
+		if e.inst.Op != isa.OpLoad || !e.issued || !e.specAtIssue || e.committedSpec {
+			continue
+		}
+		if _, shadowedStill := c.hasOlderUnresolvedBranch(i); shadowedStill {
+			continue
+		}
+		e.committedSpec = true
+		if e.shadowed {
+			// Invisible scheme: install now that the load is safe.
+			c.hier.Read(e.addr, false, 0, c.cycle)
+			e.commitPenalty = c.scheme.CommitLoadPenalty()
+		} else {
+			c.hier.CommitLine(e.addr)
+		}
+	}
+}
+
+// squash handles a mispredicted branch at ROB position i: discard the
+// younger entries, hand the transient footprint to the undo scheme, and
+// stall/redirect per the paper's T3–T6.
+func (c *CPU) squash(i int, actualTaken bool) {
+	br := c.rob[i]
+	c.stats.Squashes++
+	c.stats.LastBranchResolution = c.cycle - br.fetchedAt
+	c.emit("squash", br, int64(len(c.rob)-i-1))
+
+	var transients []undo.TransientLoad
+	inflightCleaned := 0
+	for _, e := range c.rob[i+1:] {
+		e.squashed = true
+		c.stats.SquashedInst++
+		if e.inst.Op != isa.OpLoad || !e.issued || e.shadowed {
+			continue
+		}
+		if !e.done || e.doneAt > c.cycle {
+			inflightCleaned++
+		}
+		if e.access.InstalledL1 || e.access.InstalledL2 {
+			transients = append(transients, undo.TransientLoad{
+				LineAddr:    e.addr.Line(),
+				InstalledL1: e.access.InstalledL1,
+				InstalledL2: e.access.InstalledL2,
+				HasVictim:   e.access.HasL1Victim && !e.access.L1VictimSpec,
+				VictimAddr:  e.access.L1VictimAddr,
+			})
+		}
+	}
+
+	// T4: wait for older in-flight correct-path loads to drain.
+	cleanupStart := c.cycle
+	for j := 0; j <= i; j++ {
+		e := c.rob[j]
+		if e.issued && !e.done && e.inst.Op == isa.OpLoad && e.doneAt > cleanupStart {
+			cleanupStart = e.doneAt
+		}
+	}
+
+	c.hier.MSHR().CleanSpeculative(br.seq)
+	res := c.scheme.OnSquash(c.hier, undo.SquashContext{
+		Epoch:              br.seq,
+		Now:                c.cycle,
+		Transients:         transients,
+		InflightCleaned:    inflightCleaned,
+		OldestInflightDone: cleanupStart,
+	})
+
+	c.stats.LastCleanupStall = uint64(res.StallCycles)
+	c.emit("cleanup", br, int64(res.StallCycles))
+	stallEnd := cleanupStart + uint64(res.StallCycles)
+	if stallEnd > c.stallUntil {
+		c.stats.CleanupStall += stallEnd - max64(c.stallUntil, c.cycle)
+		c.stallUntil = stallEnd
+	}
+
+	// Discard the wrong path and redirect fetch.
+	c.rob = c.rob[:i+1]
+	if actualTaken {
+		c.fetchPC = br.inst.Target
+	} else {
+		c.fetchPC = br.idx + 1
+	}
+	c.fetchStopped = false
+	c.fetchReady = stallEnd + uint64(c.cfg.SquashPenalty)
+
+	// The resolved branch may have been the only shadow over older-
+	// window loads.
+	c.commitClearedLoads()
+}
+
+// issue dispatches ready instructions out of order.
+func (c *CPU) issue() {
+	if c.cycle < c.stallUntil {
+		return
+	}
+	issued, loads := 0, 0
+	scanned := 0
+	for i := 0; i < len(c.rob); i++ {
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+		e := c.rob[i]
+		if e.issued {
+			continue
+		}
+		scanned++
+		if scanned > c.cfg.IssueWindow {
+			break
+		}
+		if c.blockedByFence(i) {
+			continue
+		}
+		switch e.inst.Op {
+		case isa.OpFence:
+			// Completes via complete(); takes no issue slot.
+			e.issued = true
+			continue
+		case isa.OpHalt, isa.OpNop, isa.OpJmp:
+			e.issued, e.done, e.doneAt = true, true, c.cycle
+			continue
+		case isa.OpRdTSC:
+			if !c.allOlderDone(i) {
+				continue
+			}
+			e.issued, e.done = true, true
+			e.doneAt = c.cycle + 1
+			e.val = c.cycle
+			issued++
+			continue
+		}
+		vals, ready := c.operands(i)
+		if !ready {
+			continue
+		}
+		e.srcVals = vals
+		switch e.inst.Op {
+		case isa.OpLoad:
+			if loads >= c.cfg.LoadPorts {
+				continue
+			}
+			e.addr = mem.Addr(vals[0] + uint64(e.inst.Imm))
+			e.addrResolved = true
+			if c.blockedByOlderStore(i, e.addr) {
+				continue
+			}
+			epoch, spec := c.hasOlderUnresolvedBranch(i)
+			e.specAtIssue = spec
+			e.specEpoch = epoch
+			var lat int
+			if spec && !c.scheme.VisibleSpeculation() {
+				e.shadowed = true
+				e.access = c.hier.ReadShadow(e.addr, epoch, c.cycle)
+				lat = e.access.Latency
+			} else {
+				e.access = c.hier.Read(e.addr, spec, epoch, c.cycle)
+				lat = e.access.Latency
+			}
+			if e.access.MemAccess {
+				lat += c.noise.LoadJitter()
+				if lat < 1 {
+					lat = 1
+				}
+			}
+			e.val = e.access.Value
+			e.issued = true
+			e.done = true
+			e.doneAt = c.cycle + uint64(lat)
+			c.emit("issue", e, int64(lat))
+			issued++
+			loads++
+		case isa.OpStore, isa.OpFlush:
+			e.addr = mem.Addr(vals[0] + uint64(e.inst.Imm))
+			e.addrResolved = true
+			e.issued, e.done = true, true
+			e.doneAt = c.cycle + 1
+			c.emit("issue", e, 1)
+			issued++
+		case isa.OpBranchLT, isa.OpBranchGE, isa.OpBranchEQ, isa.OpBranchNE:
+			e.issued = true
+			e.doneAt = c.cycle + uint64(c.cfg.BranchLatency)
+			c.emit("issue", e, int64(c.cfg.BranchLatency))
+			issued++
+		default:
+			e.val = alu(e.inst, vals)
+			lat := c.cfg.ALULatency
+			if e.inst.Op == isa.OpMul {
+				lat = c.cfg.MulLatency
+			}
+			e.issued, e.done = true, true
+			e.doneAt = c.cycle + uint64(lat)
+			c.emit("issue", e, int64(lat))
+			issued++
+		}
+	}
+}
+
+// blockedByFence reports whether an incomplete older fence precedes i.
+func (c *CPU) blockedByFence(i int) bool {
+	for j := 0; j < i; j++ {
+		e := c.rob[j]
+		if e.inst.Op == isa.OpFence && !c.completedNow(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockedByOlderStore enforces memory ordering: a load waits for older
+// stores/flushes with unresolved addresses, for older stores to the
+// same word, and for older flushes to the same line.
+func (c *CPU) blockedByOlderStore(i int, addr mem.Addr) bool {
+	for j := 0; j < i; j++ {
+		e := c.rob[j]
+		switch e.inst.Op {
+		case isa.OpStore:
+			if !e.addrResolved || e.addr.WordAlign() == addr.WordAlign() {
+				return true
+			}
+		case isa.OpFlush:
+			if !e.addrResolved || e.addr.SameLine(addr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// operands gathers source values for ROB position i, reporting readiness.
+func (c *CPU) operands(i int) ([2]uint64, bool) {
+	var vals [2]uint64
+	e := c.rob[i]
+	srcs := e.inst.SrcRegs()
+	for k, r := range srcs {
+		v, ready := c.readReg(i, r)
+		if !ready {
+			return vals, false
+		}
+		vals[k] = v
+	}
+	return vals, true
+}
+
+// readReg returns the value of r as seen by ROB position i: the youngest
+// older in-flight producer, or the architectural file.
+func (c *CPU) readReg(i int, r isa.Reg) (uint64, bool) {
+	if r == isa.Zero {
+		return 0, true
+	}
+	for j := i - 1; j >= 0; j-- {
+		e := c.rob[j]
+		if rd, ok := e.inst.DstReg(); ok && rd == r {
+			if e.done && e.doneAt <= c.cycle {
+				return e.val, true
+			}
+			return 0, false
+		}
+	}
+	return c.regs[r], true
+}
+
+// fetch pulls instructions along the predicted path.
+func (c *CPU) fetch() {
+	if c.fetchStopped || c.cycle < c.fetchReady || c.cycle < c.stallUntil {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.rob) >= c.cfg.ROBSize {
+			return
+		}
+		idx := c.fetchPC
+		inst := c.prog.At(idx)
+		if c.cfg.FetchTiming {
+			lat := c.hier.FetchInst(mem.Addr(c.prog.PC(idx)), c.cycle)
+			if lat > 1 {
+				// I-miss: this fetch group ends and the frontend
+				// stalls for the refill.
+				c.fetchReady = c.cycle + uint64(lat)
+				if n > 0 {
+					return
+				}
+			}
+		}
+		e := &entry{seq: c.nextSeq, idx: idx, inst: inst, fetchedAt: c.cycle}
+		c.nextSeq++
+		c.stats.Fetched++
+		c.rob = append(c.rob, e)
+		c.emit("fetch", e, 0)
+
+		switch {
+		case inst.Op == isa.OpHalt:
+			c.fetchStopped = true
+			return
+		case inst.Op == isa.OpJmp:
+			c.fetchPC = inst.Target
+		case inst.Op.IsBranch():
+			pred := c.pred.Predict(idx)
+			e.predTaken = pred.Taken
+			if pred.Taken {
+				c.fetchPC = inst.Target
+			} else {
+				c.fetchPC = idx + 1
+			}
+		default:
+			c.fetchPC = idx + 1
+		}
+		if c.cfg.FetchTiming && c.fetchReady > c.cycle {
+			return
+		}
+	}
+}
+
+// branchTaken evaluates a branch condition.
+func branchTaken(op isa.Op, a, b uint64) bool {
+	switch op {
+	case isa.OpBranchLT:
+		return a < b
+	case isa.OpBranchGE:
+		return a >= b
+	case isa.OpBranchEQ:
+		return a == b
+	case isa.OpBranchNE:
+		return a != b
+	}
+	return false
+}
+
+// alu evaluates an ALU op.
+func alu(inst isa.Inst, vals [2]uint64) uint64 {
+	switch inst.Op {
+	case isa.OpConst:
+		return uint64(inst.Imm)
+	case isa.OpMov:
+		return vals[0]
+	case isa.OpAdd:
+		return vals[0] + vals[1]
+	case isa.OpAddI:
+		return vals[0] + uint64(inst.Imm)
+	case isa.OpSub:
+		return vals[0] - vals[1]
+	case isa.OpMul:
+		return vals[0] * vals[1]
+	case isa.OpAnd:
+		return vals[0] & vals[1]
+	case isa.OpOr:
+		return vals[0] | vals[1]
+	case isa.OpXor:
+		return vals[0] ^ vals[1]
+	case isa.OpShlI:
+		return vals[0] << uint(inst.Imm)
+	case isa.OpShrI:
+		return vals[0] >> uint(inst.Imm)
+	}
+	return 0
+}
+
+func boolToDetail(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

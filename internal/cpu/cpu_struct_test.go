@@ -1,0 +1,249 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/undo"
+)
+
+// rigWith builds a CPU with a custom config over a fresh hierarchy.
+func rigWith(t *testing.T, cfg Config, scheme undo.Scheme) *CPU {
+	t.Helper()
+	h := memsys.MustNew(memsys.DefaultConfig(21), mem.NewMemory())
+	return MustNew(cfg, h, branch.New(branch.DefaultConfig()), scheme, noise.None{})
+}
+
+func TestROBBackpressure(t *testing.T) {
+	// A tiny ROB must still execute correctly, just slower.
+	small := DefaultConfig()
+	small.ROBSize = 4
+	cSmall := rigWith(t, small, undo.NewUnsafe())
+	cBig := rigWith(t, DefaultConfig(), undo.NewUnsafe())
+
+	prog := func() *isa.Program {
+		b := isa.NewBuilder()
+		b.Const(1, 0).Const(2, 0).Const(3, 200)
+		b.Label("loop").
+			AddI(1, 1, 7).
+			AddI(2, 2, 1).
+			BranchLT(2, 3, "loop").
+			Halt()
+		return b.MustBuild()
+	}
+	stSmall := cSmall.Run(prog())
+	stBig := cBig.Run(prog())
+	if cSmall.Reg(1) != cBig.Reg(1) {
+		t.Fatalf("ROB size changed results: %d vs %d", cSmall.Reg(1), cBig.Reg(1))
+	}
+	if stSmall.Cycles <= stBig.Cycles {
+		t.Fatalf("4-entry ROB (%d cycles) not slower than 192-entry (%d)", stSmall.Cycles, stBig.Cycles)
+	}
+}
+
+func TestLoadPortStructuralHazard(t *testing.T) {
+	// Eight independent loads with one port serialize more than with
+	// four ports.
+	mk := func(ports int) uint64 {
+		cfg := DefaultConfig()
+		cfg.LoadPorts = ports
+		c := rigWith(t, cfg, undo.NewUnsafe())
+		b := isa.NewBuilder()
+		b.Const(1, 0x10000)
+		for i := 0; i < 8; i++ {
+			b.Load(isa.Reg(2+i), 1, int64(i*4096))
+		}
+		b.Halt()
+		return c.Run(b.MustBuild()).Cycles
+	}
+	if one, four := mk(1), mk(4); one <= four {
+		t.Fatalf("1-port run (%d) not slower than 4-port (%d)", one, four)
+	}
+}
+
+func TestIssueWindowLimit(t *testing.T) {
+	// A one-entry issue window forces strictly in-order issue: a long
+	// stalled load at the head blocks even independent younger work.
+	cfg := DefaultConfig()
+	cfg.IssueWindow = 1
+	c := rigWith(t, cfg, undo.NewUnsafe())
+	b := isa.NewBuilder()
+	b.Const(1, 0x20000).
+		Load(2, 1, 0). // cold: ~118 cycles
+		Const(3, 7).   // independent, would issue immediately OoO
+		Halt()
+	st := c.Run(b.MustBuild())
+	if st.Cycles < 110 {
+		t.Fatalf("run took %d cycles; the window limit did not serialize", st.Cycles)
+	}
+	if c.Reg(3) != 7 {
+		t.Fatal("wrong result")
+	}
+}
+
+func TestNestedBranchSquash(t *testing.T) {
+	// An outer mispredicted branch must squash an inner branch's shadow
+	// too, and transient loads under both resolve to one cleanup.
+	c := rigWith(t, DefaultConfig(), undo.NewCleanupSpec())
+	memory := c.Hierarchy().Memory()
+	memory.WriteWord(0x9000, 10) // outer bound
+	memory.WriteWord(0x9100, 10) // inner bound
+
+	prog := func(outerIdx int64) *isa.Program {
+		b := isa.NewBuilder()
+		b.Const(1, outerIdx).
+			Const(2, 0x9000).
+			Const(3, 0x9100).
+			Const(10, 0x40000).
+			Load(4, 2, 0).
+			BranchGE(1, 4, "out").
+			Load(5, 3, 0). // inner bound (cached)
+			Const(6, 2).
+			BranchGE(6, 5, "inner_out"). // 2 >= 10 false: not taken
+			Load(7, 10, 0).              // transient under both branches
+			Label("inner_out").
+			Load(8, 10, 64). // transient under outer only
+			Label("out").
+			Halt()
+		return b.MustBuild()
+	}
+	for i := 0; i < 6; i++ {
+		c.Run(prog(int64(i % 5)))
+	}
+	c.Run(isa.NewBuilder().
+		Const(2, 0x9000).Flush(2, 0).
+		Const(10, 0x40000).Flush(10, 0).Flush(10, 64).
+		Fence().Halt().MustBuild())
+	st := c.Run(prog(999))
+	if st.Squashes == 0 {
+		t.Fatal("no squash")
+	}
+	in1a, in2a := c.Hierarchy().Probe(0x40000)
+	in1b, in2b := c.Hierarchy().Probe(0x40040)
+	if in1a || in2a || in1b || in2b {
+		t.Fatal("nested-shadow transient lines survived rollback")
+	}
+	if c.Reg(7) == 0 && c.Reg(8) == 0 {
+		// Wrong-path registers must not retire anyway; nothing to check.
+	}
+}
+
+func TestCommitPenaltyInvisibleScheme(t *testing.T) {
+	// Correct speculation under InvisibleLite pays the per-load commit
+	// penalty; the same code under CleanupSpec does not.
+	run := func(scheme undo.Scheme) uint64 {
+		c := rigWith(t, DefaultConfig(), scheme)
+		memory := c.Hierarchy().Memory()
+		memory.WriteWord(0x9000, 1000)
+		b := isa.NewBuilder()
+		b.Const(1, 0).
+			Const(2, 0x9000).
+			Const(3, 0).
+			Const(10, 0x50000).
+			Const(11, 100).
+			Load(4, 2, 0)
+		b.Label("loop").
+			BranchGE(3, 11, "end").
+			Load(5, 10, 0). // speculative while the backward branch is in flight
+			AddI(3, 3, 1).
+			Jmp("loop").
+			Label("end").
+			Halt()
+		return c.Run(b.MustBuild()).Cycles
+	}
+	undoCycles := run(undo.NewCleanupSpec())
+	invCycles := run(undo.NewInvisibleLite())
+	if invCycles <= undoCycles {
+		t.Fatalf("invisible scheme (%d cycles) not slower than Undo (%d) on correct speculation — the paper's whole premise",
+			invCycles, undoCycles)
+	}
+}
+
+func TestFetchTimingColdCode(t *testing.T) {
+	// With FetchTiming, the first pass over cold code pays I-miss
+	// latency; a second identical run is faster.
+	c := rigWith(t, DefaultConfig(), undo.NewUnsafe())
+	b := isa.NewBuilder()
+	for i := 0; i < 64; i++ {
+		b.AddI(1, 1, 1)
+	}
+	b.Halt()
+	p := b.MustBuild()
+	first := c.Run(p).Cycles
+	second := c.Run(p).Cycles
+	if second >= first {
+		t.Fatalf("warm code (%d cycles) not faster than cold (%d)", second, first)
+	}
+}
+
+func TestFetchTimingDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FetchTiming = false
+	c := rigWith(t, cfg, undo.NewUnsafe())
+	b := isa.NewBuilder()
+	for i := 0; i < 64; i++ {
+		b.AddI(1, 1, 1)
+	}
+	b.Halt()
+	p := b.MustBuild()
+	first := c.Run(p).Cycles
+	second := c.Run(p).Cycles
+	if first != second {
+		t.Fatalf("fetch timing disabled but cold/warm differ: %d vs %d", first, second)
+	}
+}
+
+func TestMulLatencyLongerThanAdd(t *testing.T) {
+	c := rigWith(t, DefaultConfig(), undo.NewUnsafe())
+	// Serial chain of 20 muls vs 20 adds.
+	chain := func(op func(b *isa.Builder)) uint64 {
+		b := isa.NewBuilder()
+		b.Const(1, 3).Const(2, 5)
+		op(b)
+		b.Halt()
+		return c.Run(b.MustBuild()).Cycles
+	}
+	mul := chain(func(b *isa.Builder) {
+		for i := 0; i < 20; i++ {
+			b.Mul(1, 1, 2)
+		}
+	})
+	add := chain(func(b *isa.Builder) {
+		for i := 0; i < 20; i++ {
+			b.Add(1, 1, 2)
+		}
+	})
+	if mul <= add {
+		t.Fatalf("mul chain (%d) not slower than add chain (%d)", mul, add)
+	}
+}
+
+func TestSnapshotDoesNotAdvance(t *testing.T) {
+	c := rigWith(t, DefaultConfig(), undo.NewUnsafe())
+	c.Run(isa.NewBuilder().Const(1, 1).Halt().MustBuild())
+	before := c.Cycle()
+	_ = c.Snapshot()
+	if c.Cycle() != before {
+		t.Fatal("snapshot advanced the clock")
+	}
+}
+
+func TestJmpAndNopFlow(t *testing.T) {
+	c := rigWith(t, DefaultConfig(), undo.NewUnsafe())
+	p := isa.NewBuilder().
+		Nop().
+		Jmp("target").
+		Const(1, 111). // skipped
+		Label("target").
+		Const(2, 222).
+		Halt().
+		MustBuild()
+	c.Run(p)
+	if c.Reg(1) != 0 || c.Reg(2) != 222 {
+		t.Fatalf("jmp flow wrong: r1=%d r2=%d", c.Reg(1), c.Reg(2))
+	}
+}

@@ -1,0 +1,474 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/undo"
+)
+
+// rig builds a CPU over a fresh default hierarchy with the given scheme.
+func rig(t *testing.T, scheme undo.Scheme) *CPU {
+	t.Helper()
+	h := memsys.MustNew(memsys.DefaultConfig(11), mem.NewMemory())
+	return MustNew(DefaultConfig(), h, branch.New(branch.DefaultConfig()), scheme, noise.None{})
+}
+
+func TestALUProgram(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	p := isa.NewBuilder().
+		Const(1, 6).
+		Const(2, 7).
+		Mul(3, 1, 2).
+		AddI(4, 3, 100).
+		Sub(5, 4, 1).
+		Xor(6, 1, 2).
+		ShlI(7, 1, 4).
+		Halt().
+		MustBuild()
+	st := c.Run(p)
+	if st.TimedOut {
+		t.Fatal("timed out")
+	}
+	for r, want := range map[isa.Reg]uint64{3: 42, 4: 142, 5: 136, 6: 1, 7: 96} {
+		if got := c.Reg(r); got != want {
+			t.Errorf("r%d = %d, want %d", r, got, want)
+		}
+	}
+	if st.Retired != 8 {
+		t.Errorf("retired %d, want 8", st.Retired)
+	}
+}
+
+func TestZeroRegisterSemantics(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	p := isa.NewBuilder().
+		Const(0, 99). // write to r0 discarded
+		AddI(1, 0, 5).
+		Halt().
+		MustBuild()
+	c.Run(p)
+	if c.Reg(0) != 0 || c.Reg(1) != 5 {
+		t.Fatalf("r0=%d r1=%d", c.Reg(0), c.Reg(1))
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	p := isa.NewBuilder().
+		Const(1, 0x1000).
+		Const(2, 1234).
+		Store(1, 0, 2).
+		Load(3, 1, 0).
+		Halt().
+		MustBuild()
+	c.Run(p)
+	if got := c.Reg(3); got != 1234 {
+		t.Fatalf("load observed %d, want 1234 (store-to-load ordering broken)", got)
+	}
+}
+
+func TestStoreOrderingDifferentAddresses(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	c.Hierarchy().Memory().WriteWord(0x2000, 7)
+	p := isa.NewBuilder().
+		Const(1, 0x1000).
+		Const(2, 0x2000).
+		Const(3, 55).
+		Store(1, 0, 3).
+		Load(4, 2, 0). // independent address: may pass the store
+		Halt().
+		MustBuild()
+	c.Run(p)
+	if c.Reg(4) != 7 {
+		t.Fatalf("r4=%d, want 7", c.Reg(4))
+	}
+}
+
+func TestFlushMakesNextLoadCold(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	p1 := isa.NewBuilder().
+		Const(1, 0x3000).
+		Load(2, 1, 0).
+		RdTSC(10).
+		Load(3, 1, 0). // warm
+		RdTSC(11).
+		Fence().
+		Flush(1, 0).
+		Fence().
+		RdTSC(12).
+		Load(4, 1, 0). // cold again
+		RdTSC(13).
+		Halt().
+		MustBuild()
+	c.Run(p1)
+	warm := c.Reg(11) - c.Reg(10)
+	cold := c.Reg(13) - c.Reg(12)
+	if cold <= warm+50 {
+		t.Fatalf("flush ineffective: warm window %d, cold window %d", warm, cold)
+	}
+}
+
+func TestRdTSCMonotonicAndSerializing(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	p := isa.NewBuilder().
+		RdTSC(1).
+		Const(5, 0x4000).
+		Load(6, 5, 0). // slow memory access
+		RdTSC(2).      // must wait for the load
+		Halt().
+		MustBuild()
+	c.Run(p)
+	delta := c.Reg(2) - c.Reg(1)
+	if delta < 100 {
+		t.Fatalf("rdtsc did not serialize on the cold load: window %d cycles", delta)
+	}
+}
+
+func TestDependencyChainTiming(t *testing.T) {
+	// Two dependent cold loads must take ~2× one cold load.
+	c := rig(t, undo.NewUnsafe())
+	c.Hierarchy().Memory().WriteWord(0x5000, 0x6000)
+	p := isa.NewBuilder().
+		Const(1, 0x5000).
+		Fence().
+		RdTSC(10).
+		Load(2, 1, 0). // -> 0x6000
+		Load(3, 2, 0). // dependent
+		RdTSC(11).
+		Halt().
+		MustBuild()
+	c.Run(p)
+	window := c.Reg(11) - c.Reg(10)
+	if window < 230 || window > 280 {
+		t.Fatalf("dependent-chain window %d, want ≈2×118", window)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	p := isa.NewBuilder().
+		Const(1, 0x7000).
+		Const(2, 0x8000).
+		Fence().
+		RdTSC(10).
+		Load(3, 1, 0).
+		Load(4, 2, 0). // independent: overlaps
+		RdTSC(11).
+		Halt().
+		MustBuild()
+	c.Run(p)
+	window := c.Reg(11) - c.Reg(10)
+	if window > 200 {
+		t.Fatalf("independent loads did not overlap: %d cycles", window)
+	}
+}
+
+// mistrainThenTrap builds the canonical attack skeleton: train a bounds
+// check taken (in-bounds) several times, then run with an out-of-bounds
+// index so the branch mis-speculates into a transient load of target.
+//
+// Register map: r1 = index, r2 = bound address, r20 = scratch timing.
+func mistrainThenTrap(t *testing.T, c *CPU, target mem.Addr, trainRounds int) Stats {
+	t.Helper()
+	memory := c.Hierarchy().Memory()
+	const boundAddr = 0x9000
+	memory.WriteWord(boundAddr, 10) // bound value 10
+
+	build := func(index int64) *isa.Program {
+		b := isa.NewBuilder()
+		b.Const(1, index).
+			Const(2, boundAddr).
+			Const(3, int64(target)).
+			Load(4, 2, 0).          // load bound (slow if flushed)
+			BranchGE(1, 4, "past"). // if index >= bound skip body
+			Load(5, 3, 0).          // transient when index OOB
+			Label("past").
+			Halt()
+		return b.MustBuild()
+	}
+
+	for i := 0; i < trainRounds; i++ {
+		// In-bounds: branch not taken (index < bound), body executes.
+		c.Run(build(int64(i % 5)))
+	}
+	// Flush the bound so resolution is slow, and flush the target so
+	// any training-run footprint is gone (the attack's FLUSH stage),
+	// then go out of bounds.
+	flush := isa.NewBuilder().
+		Const(2, boundAddr).
+		Const(3, int64(target)).
+		Flush(2, 0).
+		Flush(3, 0).
+		Fence().
+		Halt().
+		MustBuild()
+	c.Run(flush)
+	return c.Run(build(999)) // out of bounds: mis-speculates into the load
+}
+
+func TestMisspeculationExecutesTransientLoad(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	target := mem.Addr(0x20000)
+	st := mistrainThenTrap(t, c, target, 6)
+	if st.Squashes == 0 {
+		t.Fatal("no squash: mistraining failed")
+	}
+	// Unsafe baseline leaves the footprint — the Spectre channel.
+	in1, in2 := c.Hierarchy().Probe(target)
+	if !in1 && !in2 {
+		t.Fatal("transient load left no footprint under the unsafe baseline")
+	}
+}
+
+func TestCleanupSpecErasesTransientFootprint(t *testing.T) {
+	c := rig(t, undo.NewCleanupSpec())
+	target := mem.Addr(0x30000)
+	st := mistrainThenTrap(t, c, target, 6)
+	if st.Squashes == 0 {
+		t.Fatal("no squash")
+	}
+	in1, in2 := c.Hierarchy().Probe(target)
+	if in1 || in2 {
+		t.Fatal("CleanupSpec left the transient footprint in the cache")
+	}
+	if st.Undo.TotalInvalidated == 0 {
+		t.Fatal("no invalidations recorded")
+	}
+}
+
+func TestCleanupStallLengthensExecution(t *testing.T) {
+	run := func(scheme undo.Scheme) uint64 {
+		c := rig(t, scheme)
+		st := mistrainThenTrap(t, c, 0x40000, 6)
+		return st.Cycles
+	}
+	unsafe := run(undo.NewUnsafe())
+	cleanup := run(undo.NewCleanupSpec())
+	if cleanup <= unsafe {
+		t.Fatalf("cleanup run (%d cycles) not slower than unsafe (%d)", cleanup, unsafe)
+	}
+	diff := cleanup - unsafe
+	if diff < 15 || diff > 40 {
+		t.Fatalf("cleanup cost %d cycles, expected ≈22", diff)
+	}
+}
+
+func TestCorrectSpeculationCommitsLines(t *testing.T) {
+	c := rig(t, undo.NewCleanupSpec())
+	memory := c.Hierarchy().Memory()
+	memory.WriteWord(0x9100, 100) // bound
+	// Train taken... actually run a branch that is correctly predicted
+	// after warm-up and check no squash happens and the line commits.
+	b := isa.NewBuilder()
+	b.Const(1, 5).
+		Const(2, 0x9100).
+		Const(3, 0x50000).
+		Load(4, 2, 0).
+		BranchGE(1, 4, "past"). // 5 >= 100 false: fall through
+		Load(5, 3, 0).
+		Label("past").
+		Halt()
+	p := b.MustBuild()
+	var st Stats
+	for i := 0; i < 5; i++ {
+		st = c.Run(p)
+	}
+	if st.Squashes != 0 {
+		// Training converges after the first run; later runs clean.
+	}
+	l, ok := c.Hierarchy().L1D().ProbeState(0x50000)
+	if !ok {
+		t.Fatal("correct-path load missing from cache")
+	}
+	if l.Speculative {
+		t.Fatal("correct-path speculative load never committed")
+	}
+}
+
+func TestFenceBlocksYoungerIssue(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	p := isa.NewBuilder().
+		Const(1, 0xa000).
+		Load(2, 1, 0). // cold: ~118 cycles
+		Fence().
+		RdTSC(3). // must not issue before the load completes
+		Halt().
+		MustBuild()
+	c.Run(p)
+	if c.Reg(3) < 110 {
+		t.Fatalf("rdtsc issued at %d, before the fenced load completed", c.Reg(3))
+	}
+}
+
+func TestWatchdogOnInfiniteLoop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 5000
+	h := memsys.MustNew(memsys.DefaultConfig(1), mem.NewMemory())
+	c := MustNew(cfg, h, branch.New(branch.DefaultConfig()), undo.NewUnsafe(), noise.None{})
+	p := isa.NewBuilder().
+		Label("top").
+		Jmp("top").
+		MustBuild()
+	st := c.Run(p)
+	if !st.TimedOut {
+		t.Fatal("watchdog did not fire")
+	}
+}
+
+func TestLoopProgram(t *testing.T) {
+	// Sum 1..10 with a backward branch: exercises predictor training
+	// and repeated squash-free iterations.
+	c := rig(t, undo.NewCleanupSpec())
+	p := isa.NewBuilder().
+		Const(1, 0).  // sum
+		Const(2, 1).  // i
+		Const(3, 11). // limit
+		Label("loop").
+		Add(1, 1, 2).
+		AddI(2, 2, 1).
+		BranchLT(2, 3, "loop").
+		Halt().
+		MustBuild()
+	st := c.Run(p)
+	if c.Reg(1) != 55 {
+		t.Fatalf("sum = %d, want 55", c.Reg(1))
+	}
+	if st.TimedOut {
+		t.Fatal("timed out")
+	}
+}
+
+func TestSquashDiscardsWrongPathWrites(t *testing.T) {
+	c := rig(t, undo.NewCleanupSpec())
+	memory := c.Hierarchy().Memory()
+	memory.WriteWord(0x9200, 10)
+
+	build := func(index int64) *isa.Program {
+		return isa.NewBuilder().
+			Const(1, index).
+			Const(2, 0x9200).
+			Const(7, 0). // canary
+			Load(4, 2, 0).
+			BranchGE(1, 4, "past"). // taken when index >= 10
+			Const(7, 777).          // wrong path writes canary
+			Label("past").
+			Halt().
+			MustBuild()
+	}
+	// Train not-taken (in bounds).
+	for i := 0; i < 6; i++ {
+		c.Run(build(int64(i % 5)))
+	}
+	// Flush bound, go out of bounds: predictor says not-taken,
+	// wrong path sets r7=777 transiently, squash must undo it.
+	c.Run(isa.NewBuilder().Const(2, 0x9200).Flush(2, 0).Fence().Halt().MustBuild())
+	st := c.Run(build(50))
+	if st.Squashes == 0 {
+		t.Fatal("expected a squash")
+	}
+	if c.Reg(7) != 0 {
+		t.Fatalf("wrong-path register write retired: r7 = %d", c.Reg(7))
+	}
+}
+
+func TestWrongPathStoreNeverReachesMemory(t *testing.T) {
+	c := rig(t, undo.NewCleanupSpec())
+	memory := c.Hierarchy().Memory()
+	memory.WriteWord(0x9300, 10)
+	build := func(index int64) *isa.Program {
+		return isa.NewBuilder().
+			Const(1, index).
+			Const(2, 0x9300).
+			Const(3, 0xb000).
+			Const(4, 666).
+			Load(5, 2, 0).
+			BranchGE(1, 5, "past").
+			Store(3, 0, 4). // wrong-path store
+			Label("past").
+			Halt().
+			MustBuild()
+	}
+	for i := 0; i < 6; i++ {
+		c.Run(build(int64(i)))
+	}
+	// Training runs execute the store architecturally; reset the canary
+	// so only a wrong-path store could set it again.
+	memory.WriteWord(0xb000, 0)
+	c.Run(isa.NewBuilder().Const(2, 0x9300).Flush(2, 0).Fence().Halt().MustBuild())
+	st := c.Run(build(50))
+	if st.Squashes == 0 {
+		t.Fatal("expected squash")
+	}
+	if memory.ReadWord(0xb000) == 666 {
+		t.Fatal("wrong-path store reached architectural memory")
+	}
+}
+
+func TestInvisibleSchemeHidesTransientLoads(t *testing.T) {
+	c := rig(t, undo.NewInvisibleLite())
+	target := mem.Addr(0x60000)
+	st := mistrainThenTrap(t, c, target, 6)
+	if st.Squashes == 0 {
+		t.Fatal("no squash")
+	}
+	in1, in2 := c.Hierarchy().Probe(target)
+	if in1 || in2 {
+		t.Fatal("invisible scheme installed a transient line")
+	}
+}
+
+func TestStatsIPCAndCounters(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	p := isa.NewBuilder().Const(1, 1).AddI(1, 1, 1).Halt().MustBuild()
+	st := c.Run(p)
+	if st.IPC() <= 0 {
+		t.Fatal("IPC should be positive")
+	}
+	if st.Fetched < st.Retired {
+		t.Fatal("fetched < retired is impossible")
+	}
+	if (Stats{}).IPC() != 0 {
+		t.Fatal("empty stats IPC")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.ROBSize = 0
+	h := memsys.MustNew(memsys.DefaultConfig(1), mem.NewMemory())
+	if _, err := New(bad, h, branch.New(branch.DefaultConfig()), undo.NewUnsafe(), nil); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := New(DefaultConfig(), nil, nil, nil, nil); err == nil {
+		t.Fatal("nil deps accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.MaxCycles = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero watchdog accepted")
+	}
+}
+
+func TestRegPersistenceAcrossRuns(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	c.Run(isa.NewBuilder().Const(9, 42).Halt().MustBuild())
+	c.Run(isa.NewBuilder().AddI(10, 9, 1).Halt().MustBuild())
+	if c.Reg(10) != 43 {
+		t.Fatalf("architectural state lost across runs: r10=%d", c.Reg(10))
+	}
+}
+
+func TestSetReg(t *testing.T) {
+	c := rig(t, undo.NewUnsafe())
+	c.SetReg(5, 77)
+	c.SetReg(isa.Zero, 99)
+	c.Run(isa.NewBuilder().AddI(6, 5, 1).Halt().MustBuild())
+	if c.Reg(6) != 78 || c.Reg(isa.Zero) != 0 {
+		t.Fatalf("SetReg broken: r6=%d r0=%d", c.Reg(6), c.Reg(isa.Zero))
+	}
+}

@@ -1,0 +1,38 @@
+package cpu
+
+import "repro/internal/isa"
+
+// TraceEvent is one pipeline event. Kinds: fetch, issue, complete,
+// retire, squash, cleanup, redirect.
+type TraceEvent struct {
+	Cycle uint64
+	Kind  string
+	Seq   uint64
+	PC    int
+	Inst  isa.Inst
+	// Detail carries kind-specific extra information (e.g. stall
+	// length for cleanup events, squashed-count for squash events).
+	Detail int64
+}
+
+// Tracer receives pipeline events. Implementations live in package
+// trace; a nil tracer costs one branch per event site.
+type Tracer interface {
+	Event(ev TraceEvent)
+}
+
+// SetTracer attaches (or detaches, with nil) a pipeline tracer.
+func (c *CPU) SetTracer(t Tracer) { c.tracer = t }
+
+func (c *CPU) emit(kind string, e *entry, detail int64) {
+	if c.tracer == nil {
+		return
+	}
+	ev := TraceEvent{Cycle: c.cycle, Kind: kind, Detail: detail}
+	if e != nil {
+		ev.Seq = e.seq
+		ev.PC = e.idx
+		ev.Inst = e.inst
+	}
+	c.tracer.Event(ev)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"repro/internal/interference"
+	"repro/internal/multicore"
+	"repro/internal/undo"
+)
+
+// InterferenceRow is one scheme of the speculative-interference study
+// (the paper's reference [2], reproduced as an extension).
+type InterferenceRow struct {
+	Scheme string
+	// Diff is the secret-dependent delay from MSHR contention.
+	Diff float64
+	// Leaks is true when the contention channel is usable.
+	Leaks bool
+}
+
+// InterferenceStudy measures the MSHR-contention channel against every
+// defense family: it breaks Invisible schemes (the paper's premise) and
+// is untouched by rollback-time fixes.
+func InterferenceStudy(seed int64, rounds int) ([]InterferenceRow, error) {
+	mk := []struct {
+		name string
+		s    func() undo.Scheme
+	}{
+		{"invisible-lite", func() undo.Scheme { return undo.NewInvisibleLite() }},
+		{"unsafe", func() undo.Scheme { return undo.NewUnsafe() }},
+		{"cleanupspec", func() undo.Scheme { return undo.NewCleanupSpec() }},
+		{"const-80-relaxed", func() undo.Scheme { return undo.NewConstantTime(80, undo.Relaxed) }},
+	}
+	var out []InterferenceRow
+	for _, m := range mk {
+		a, err := interference.New(interference.Options{Seed: seed, Scheme: m.s()})
+		if err != nil {
+			return nil, err
+		}
+		var s0, s1 float64
+		for r := 0; r < rounds; r++ {
+			s0 += float64(a.MeasureOnce(0))
+			s1 += float64(a.MeasureOnce(1))
+		}
+		d := (s1 - s0) / float64(rounds)
+		out = append(out, InterferenceRow{Scheme: m.name, Diff: d, Leaks: d >= 8})
+	}
+	return out, nil
+}
+
+// CrossCoreRow is one configuration of the cross-core probing study.
+type CrossCoreRow struct {
+	Machine      string
+	Secret       int
+	Probes       int
+	FastReloads  int
+	DummyMisses  uint64
+	VictimSquash uint64
+	Leaks        bool
+}
+
+// CrossCoreStudy runs the §II-B scenario matrix: {unsafe, CleanupSpec}
+// × {secret 0, secret 1}, a concurrent Flush+Reload prober against the
+// victim's speculation window through the shared L2.
+func CrossCoreStudy(seed int64, rounds, probes int) ([]CrossCoreRow, error) {
+	type machine struct {
+		name string
+		cfg  func(int64) multicore.Config
+	}
+	var out []CrossCoreRow
+	for _, m := range []machine{
+		{"unsafe", multicore.NewUnsafeCrossCfg},
+		{"cleanupspec", multicore.NewProtectedCrossCfg},
+	} {
+		for secret := 0; secret <= 1; secret++ {
+			res, err := multicore.CrossCoreProbe(m.cfg(seed), secret, rounds, probes)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, CrossCoreRow{
+				Machine:      m.name,
+				Secret:       secret,
+				Probes:       len(res.Latencies),
+				FastReloads:  res.FastReloads,
+				DummyMisses:  res.DummyMisses,
+				VictimSquash: res.VictimSquash,
+				Leaks:        res.Hit(),
+			})
+		}
+	}
+	return out, nil
+}

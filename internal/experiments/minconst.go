@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"repro/internal/undo"
+	"repro/internal/unxpec"
+)
+
+// MinConstPoint records, for a given attacker strength (transient loads
+// with eviction sets), the smallest relaxed constant-time rollback that
+// fully closes the channel — the §VI-E defender's dilemma quantified:
+// the constant must cover the *worst-case* rollback the attacker can
+// force, and the attacker controls that with eviction sets.
+type MinConstPoint struct {
+	Loads int
+	// WorstStall is the rollback stall the attacker forces.
+	WorstStall int
+	// MinSafeConst is the smallest constant with zero residual mean
+	// difference, found by verification against the live attack.
+	MinSafeConst int
+	// OverheadAtConst is the Figure 12-style mean overhead a defender
+	// pays for that constant (interpolated from the calibrated model's
+	// per-squash cost; reported by the full Figure 12 sweep).
+	OverheadAtConst float64
+}
+
+// MinimalSafeConstant sweeps attacker strengths and, for each, searches
+// for the minimal closing constant by binary search over live attack
+// rounds. overheadPerCycle converts a constant to the expected mean
+// suite overhead (measured ≈1% per cycle of constant at the calibrated
+// squash density; pass 0 to skip the estimate).
+func MinimalSafeConstant(seed int64, maxLoads int, overheadPerCycle float64) []MinConstPoint {
+	var out []MinConstPoint
+	for loads := 1; loads <= maxLoads; loads++ {
+		// Worst-case stall for this attacker: measure it once.
+		probe := unxpec.MustNew(unxpec.Options{
+			Seed: seed, LoadsInBranch: loads, UseEvictionSets: true,
+		})
+		probe.MeasureOnce(1)
+		_, worst := probe.LastSquashStats()
+
+		closes := func(c int) bool {
+			a := unxpec.MustNew(unxpec.Options{
+				Seed: seed, LoadsInBranch: loads, UseEvictionSets: true,
+				Scheme: undo.NewConstantTime(c, undo.Relaxed),
+			})
+			for r := 0; r < 3; r++ {
+				if a.MeasureOnce(1) != a.MeasureOnce(0) {
+					return false
+				}
+			}
+			return true
+		}
+		lo, hi := 1, int(worst)+8
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if closes(mid) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		out = append(out, MinConstPoint{
+			Loads:           loads,
+			WorstStall:      int(worst),
+			MinSafeConst:    lo,
+			OverheadAtConst: float64(lo) * overheadPerCycle,
+		})
+	}
+	return out
+}

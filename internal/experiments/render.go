@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV writes rows (first row = header) to path, creating parent
+// directories.
+func WriteCSV(path string, rows [][]string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// TableICSV renders Table I.
+func TableICSV(rows []TableIRow) [][]string {
+	out := [][]string{{"module", "configuration"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Module, r.Configuration})
+	}
+	return out
+}
+
+// ResolutionCSV renders Figure 2 / Figure 13 points.
+func ResolutionCSV(pts []ResolutionPoint) [][]string {
+	out := [][]string{{"fn_accesses", "loads_in_branch", "secret", "resolution_cycles"}}
+	for _, p := range pts {
+		out = append(out, []string{
+			strconv.Itoa(p.FNAccesses), strconv.Itoa(p.Loads),
+			strconv.Itoa(p.Secret), ftoa(p.Resolution),
+		})
+	}
+	return out
+}
+
+// DiffCSV renders Figure 3 / Figure 6 points.
+func DiffCSV(pts []DiffPoint) [][]string {
+	out := [][]string{{"squashed_loads", "timing_difference_cycles"}}
+	for _, p := range pts {
+		out = append(out, []string{strconv.Itoa(p.Loads), ftoa(p.Diff)})
+	}
+	return out
+}
+
+// PDFCSV renders a Figure 7 / Figure 8 KDE curve pair.
+func PDFCSV(r PDFResult) [][]string {
+	out := [][]string{{"latency_cycles", "density_secret0", "density_secret1"}}
+	for i := range r.Xs {
+		out = append(out, []string{ftoa(r.Xs[i]), ftoa(r.Density0[i]), ftoa(r.Density1[i])})
+	}
+	return out
+}
+
+// BitsCSV renders Figure 9.
+func BitsCSV(bits []int) [][]string {
+	out := [][]string{{"bit_index", "bit_value"}}
+	for i, b := range bits {
+		out = append(out, []string{strconv.Itoa(i), strconv.Itoa(b)})
+	}
+	return out
+}
+
+// LeakageCSV renders Figure 10 / Figure 11 per-bit series.
+func LeakageCSV(r LeakageResult) [][]string {
+	out := [][]string{{"bit_index", "observed_latency_cycles", "guess", "secret"}}
+	for i := range r.Latencies {
+		out = append(out, []string{
+			strconv.Itoa(i), strconv.FormatUint(r.Latencies[i], 10),
+			strconv.Itoa(r.Guesses[i]), strconv.Itoa(r.Truth[i]),
+		})
+	}
+	return out
+}
+
+// Figure12CSV renders the overhead matrix.
+func Figure12CSV(r Figure12Result) [][]string {
+	header := append([]string{"workload"}, r.Schemes...)
+	out := [][]string{header}
+	byCell := map[string]map[string]float64{}
+	for _, c := range r.Cells {
+		if byCell[c.Workload] == nil {
+			byCell[c.Workload] = map[string]float64{}
+		}
+		byCell[c.Workload][c.Scheme] = c.Overhead
+	}
+	for _, w := range r.Workloads {
+		row := []string{w}
+		for _, s := range r.Schemes {
+			row = append(row, ftoa(byCell[w][s]))
+		}
+		out = append(out, row)
+	}
+	mean := []string{"MEAN"}
+	for _, s := range r.Schemes {
+		mean = append(mean, ftoa(r.MeanOverhead[s]))
+	}
+	out = append(out, mean)
+	return out
+}
+
+// NoiseCSV renders the noise-robustness sweep.
+func NoiseCSV(pts []NoisePoint) [][]string {
+	out := [][]string{{"sigma", "accuracy_no_es", "accuracy_es"}}
+	for _, p := range pts {
+		out = append(out, []string{ftoa(p.Sigma), ftoa(p.Accuracy), ftoa(p.AccuracyES)})
+	}
+	return out
+}
+
+// MinConstCSV renders the minimal-safe-constant sweep.
+func MinConstCSV(pts []MinConstPoint) [][]string {
+	out := [][]string{{"loads", "worst_stall_cycles", "min_safe_constant", "overhead_estimate"}}
+	for _, p := range pts {
+		out = append(out, []string{
+			strconv.Itoa(p.Loads), strconv.Itoa(p.WorstStall),
+			strconv.Itoa(p.MinSafeConst), ftoa(p.OverheadAtConst),
+		})
+	}
+	return out
+}
+
+// CrossCoreCSV renders the cross-core probing matrix.
+func CrossCoreCSV(rows []CrossCoreRow) [][]string {
+	out := [][]string{{"machine", "secret", "probes", "fast_reloads", "dummy_misses", "victim_squashes", "leaks"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Machine, strconv.Itoa(r.Secret), strconv.Itoa(r.Probes),
+			strconv.Itoa(r.FastReloads), strconv.FormatUint(r.DummyMisses, 10),
+			strconv.FormatUint(r.VictimSquash, 10), strconv.FormatBool(r.Leaks),
+		})
+	}
+	return out
+}
+
+// InterferenceCSV renders the interference study.
+func InterferenceCSV(rows []InterferenceRow) [][]string {
+	out := [][]string{{"scheme", "contention_delay_cycles", "leaks"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Scheme, ftoa(r.Diff), strconv.FormatBool(r.Leaks)})
+	}
+	return out
+}
+
+// PrintTable renders rows as an aligned text table.
+func PrintTable(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "x.csv")
+	rows := [][]string{{"a", "b"}, {"1", "2"}}
+	if err := WriteCSV(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "a,b\n1,2" {
+		t.Fatalf("csv content %q", got)
+	}
+}
+
+func TestTableICSV(t *testing.T) {
+	rows := TableICSV(TableI())
+	if len(rows) != 6 || rows[0][0] != "module" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestResolutionCSV(t *testing.T) {
+	rows := ResolutionCSV([]ResolutionPoint{{FNAccesses: 1, Loads: 2, Secret: 1, Resolution: 120.5}})
+	if len(rows) != 2 || rows[1][3] != "120.500" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestDiffCSV(t *testing.T) {
+	rows := DiffCSV([]DiffPoint{{Loads: 1, Diff: 22}})
+	if len(rows) != 2 || rows[1][0] != "1" || rows[1][1] != "22.000" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestPDFCSV(t *testing.T) {
+	r := PDFResult{Xs: []float64{1, 2}, Density0: []float64{0.1, 0.2}, Density1: []float64{0.3, 0.4}}
+	rows := PDFCSV(r)
+	if len(rows) != 3 || rows[2][2] != "0.400" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestBitsCSV(t *testing.T) {
+	rows := BitsCSV([]int{1, 0})
+	if len(rows) != 3 || rows[1][1] != "1" || rows[2][1] != "0" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestLeakageCSV(t *testing.T) {
+	r := LeakageResult{}
+	r.Latencies = []uint64{150}
+	r.Guesses = []int{1}
+	r.Truth = []int{0}
+	rows := LeakageCSV(r)
+	if len(rows) != 2 || rows[1][1] != "150" || rows[1][2] != "1" || rows[1][3] != "0" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestFigure12CSVLayout(t *testing.T) {
+	r := Figure12Result{
+		Schemes:   []string{"unsafe", "const-25"},
+		Workloads: []string{"w1"},
+		Cells: []Figure12Cell{
+			{Workload: "w1", Scheme: "unsafe", Overhead: 0},
+			{Workload: "w1", Scheme: "const-25", Overhead: 0.25},
+		},
+		MeanOverhead: map[string]float64{"unsafe": 0, "const-25": 0.25},
+	}
+	rows := Figure12CSV(r)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[1][2] != "0.250" || rows[2][0] != "MEAN" || rows[2][2] != "0.250" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestPrintTableAligned(t *testing.T) {
+	var sb strings.Builder
+	PrintTable(&sb, [][]string{{"ab", "c"}, {"x", "long"}})
+	out := sb.String()
+	if !strings.Contains(out, "ab  c") || !strings.Contains(out, "x   long") {
+		t.Fatalf("table output %q", out)
+	}
+	PrintTable(&sb, nil) // must not panic
+}
+
+func TestWriteCSVBadPath(t *testing.T) {
+	if err := WriteCSV(string([]byte{0})+"/x.csv", [][]string{{"a"}}); err == nil {
+		t.Skip("platform allowed the path")
+	}
+}

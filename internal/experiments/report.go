@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Band is one reproduction check: a measured quantity, the paper's
+// reported value, and the acceptance band the measurement must fall in
+// for the reproduction to count as faithful (shape fidelity — see
+// EXPERIMENTS.md for why the bands are where they are).
+type Band struct {
+	ID       string
+	Quantity string
+	Paper    string
+	Measured float64
+	Lo, Hi   float64
+	Unit     string
+}
+
+// Pass reports whether the measurement lies in the band.
+func (b Band) Pass() bool { return b.Measured >= b.Lo && b.Measured <= b.Hi }
+
+// ReproductionReport reruns the evaluation and scores every headline
+// quantity against its acceptance band. quick reduces sample counts and
+// workload scale (≈20 s instead of minutes); the bands are identical.
+func ReproductionReport(seed int64, quick bool) []Band {
+	samples, bits, scale := 1000, 1000, 10_000
+	if quick {
+		samples, bits, scale = 200, 300, 2_500
+	}
+
+	var bands []Band
+	add := func(id, quantity, paper string, measured, lo, hi float64, unit string) {
+		bands = append(bands, Band{ID: id, Quantity: quantity, Paper: paper,
+			Measured: measured, Lo: lo, Hi: hi, Unit: unit})
+	}
+
+	// Figure 2: resolution constant in loads/secret, linear in N.
+	f2 := Figure2(seed)
+	meanRes := func(pts []ResolutionPoint, n int) float64 {
+		var sum float64
+		var cnt int
+		for _, p := range pts {
+			if p.FNAccesses == n {
+				sum += p.Resolution
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	add("fig2", "resolution growth per f(N) access", "≈1 memory RT",
+		meanRes(f2, 2)-meanRes(f2, 1), 100, 140, "cycles")
+
+	// Figures 3/6.
+	f3 := Figure3(seed)
+	add("fig3", "timing difference, 1 load, no eviction sets", "22",
+		f3[0].Diff, 20, 24, "cycles")
+	add("fig3b", "timing difference growth to 8 loads", "shallow (≈25)",
+		f3[7].Diff, f3[0].Diff, f3[0].Diff+8, "cycles")
+	f6 := Figure6(seed)
+	add("fig6", "timing difference, 1 load, eviction sets", "32",
+		f6[0].Diff, 30, 34, "cycles")
+	add("fig6b", "timing difference, 8 loads, eviction sets", "≈64",
+		f6[7].Diff, 55, 75, "cycles")
+
+	// Figures 7/8 under noise.
+	f7 := Figure7(seed, samples)
+	add("fig7", "mean latency difference (noisy), no ES", "≈22",
+		f7.Diff, 18, 27, "cycles")
+	f8 := Figure8(seed, samples)
+	add("fig8", "mean latency difference (noisy), ES", "≈32",
+		f8.Diff, 28, 37, "cycles")
+
+	// Figures 10/11.
+	f10 := Figure10(seed, bits)
+	add("fig10", "single-sample accuracy, no ES", "86.7%",
+		100*f10.Accuracy, 80, 93, "%")
+	f11 := Figure11(seed, bits)
+	add("fig11", "single-sample accuracy, ES", "91.6%",
+		100*f11.Accuracy, 87, 98, "%")
+	add("fig11>10", "ES accuracy advantage", ">0",
+		100*(f11.Accuracy-f10.Accuracy), 0.01, 100, "pp")
+
+	// §VI-B rate.
+	rate := LeakageRate(seed, 100, false)
+	add("rate", "leakage rate @ 2 GHz", "≈140 Kbps",
+		rate.SamplesPerSecond/1000, 100, 200, "Kbps")
+
+	// Figure 12.
+	f12 := Figure12(seed, scale)
+	add("fig12a", "CleanupSpec overhead (no constant)", "≈5%",
+		100*f12.MeanOverhead["no-const"], 0, 12, "%")
+	add("fig12b", "const-25 mean overhead", "22.4%",
+		100*f12.MeanOverhead["const-25"], 15, 35, "%")
+	add("fig12c", "const-65 mean overhead", "72.8%",
+		100*f12.MeanOverhead["const-65"], 50, 95, "%")
+
+	// Figure 13 host profile: still linear in N under noise.
+	f13 := Figure13(seed)
+	add("fig13", "host-profile resolution growth per access", "linear, noisy",
+		meanRes(f13, 2)-meanRes(f13, 1), 100, 300, "cycles")
+
+	return bands
+}
+
+// RenderReport writes a markdown summary and returns how many bands
+// failed.
+func RenderReport(w io.Writer, bands []Band) (failures int) {
+	fmt.Fprintf(w, "| check | quantity | paper | measured | band | verdict |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|\n")
+	for _, b := range bands {
+		verdict := "PASS"
+		if !b.Pass() {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %.1f %s | [%.1f, %.1f] | %s |\n",
+			b.ID, b.Quantity, b.Paper, b.Measured, b.Unit, b.Lo, b.Hi, verdict)
+	}
+	return failures
+}

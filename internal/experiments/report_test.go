@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReproductionReportAllBandsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	bands := ReproductionReport(42, true)
+	if len(bands) != 15 {
+		t.Fatalf("band count %d", len(bands))
+	}
+	for _, b := range bands {
+		if !b.Pass() {
+			t.Errorf("%s: measured %.2f %s outside [%.2f, %.2f] (paper %s)",
+				b.ID, b.Measured, b.Unit, b.Lo, b.Hi, b.Paper)
+		}
+	}
+}
+
+func TestRenderReportCountsFailures(t *testing.T) {
+	bands := []Band{
+		{ID: "ok", Measured: 5, Lo: 0, Hi: 10},
+		{ID: "bad", Measured: 50, Lo: 0, Hi: 10},
+	}
+	var sb strings.Builder
+	if got := RenderReport(&sb, bands); got != 1 {
+		t.Fatalf("failures %d, want 1", got)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("report output:\n%s", out)
+	}
+}
+
+func TestBandPassBoundaries(t *testing.T) {
+	b := Band{Measured: 10, Lo: 10, Hi: 20}
+	if !b.Pass() {
+		t.Fatal("inclusive lower bound")
+	}
+	b.Measured = 20
+	if !b.Pass() {
+		t.Fatal("inclusive upper bound")
+	}
+	b.Measured = 20.01
+	if b.Pass() {
+		t.Fatal("above band")
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/noise"
+	"repro/internal/undo"
+	"repro/internal/unxpec"
+)
+
+// NoisePoint is one cell of the noise-robustness study: single-sample
+// decode accuracy as a function of measurement-noise magnitude, with
+// and without eviction sets. The paper argues (§VI-D) that the larger
+// eviction-set difference buys robustness; this quantifies the claim.
+type NoisePoint struct {
+	Sigma       float64
+	Accuracy    float64
+	AccuracyES  float64
+	SamplesUsed int
+}
+
+// NoiseRobustness sweeps the Gaussian noise σ and reports accuracies.
+func NoiseRobustness(seed int64, sigmas []float64, samples int) []NoisePoint {
+	var out []NoisePoint
+	for i, sigma := range sigmas {
+		run := func(es bool) float64 {
+			nz := noise.NewSystem(seed + int64(i*100))
+			nz.Sigma = sigma
+			nz.SpikeProb = 0 // isolate the Gaussian component
+			a := unxpec.MustNew(unxpec.Options{
+				Seed: seed + int64(i), UseEvictionSets: es, Noise: nz,
+			})
+			cal := a.Calibrate(samples)
+			return cal.TrainAcc
+		}
+		out = append(out, NoisePoint{
+			Sigma:       sigma,
+			Accuracy:    run(false),
+			AccuracyES:  run(true),
+			SamplesUsed: samples,
+		})
+	}
+	return out
+}
+
+// LatencyModelPoint is one cell of the rollback-model sensitivity
+// study: how the observable difference scales with the hardware cost of
+// the first invalidation and first restoration — the two constants that
+// anchor the 22/32-cycle results. It answers "would unXpec survive a
+// faster cleanup pipeline?".
+type LatencyModelPoint struct {
+	InvFirst     int
+	RestoreFirst int
+	// Diff is the single-load difference with eviction sets.
+	Diff float64
+}
+
+// LatencyModelSensitivity sweeps the two anchor costs.
+func LatencyModelSensitivity(seed int64, invFirsts, restoreFirsts []int) []LatencyModelPoint {
+	var out []LatencyModelPoint
+	for _, inv := range invFirsts {
+		for _, rest := range restoreFirsts {
+			m := undo.DefaultLatencyModel()
+			m.InvFirstCycles = inv
+			m.RestoreFirstCycles = rest
+			scheme := undo.NewCleanupSpecWithModel(m)
+			a := unxpec.MustNew(unxpec.Options{
+				Seed: seed, UseEvictionSets: true, Scheme: scheme,
+			})
+			d := float64(a.MeasureOnce(1)) - float64(a.MeasureOnce(0))
+			out = append(out, LatencyModelPoint{InvFirst: inv, RestoreFirst: rest, Diff: d})
+		}
+	}
+	return out
+}

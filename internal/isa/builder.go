@@ -1,0 +1,182 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels, so attack and
+// workload generators read like assembly listings.
+type Builder struct {
+	insts  []Inst
+	labels map[string]int
+	// fixups are branch/jump sites awaiting a label definition.
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	inst  int
+	label string
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Here returns the index of the next instruction to be emitted.
+func (b *Builder) Here() int { return len(b.insts) }
+
+// Label defines name at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+func (b *Builder) emit(i Inst) *Builder {
+	b.insts = append(b.insts, i)
+	return b
+}
+
+func (b *Builder) emitBranch(op Op, rs, rt Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), label: label})
+	return b.emit(Inst{Op: op, Rs: rs, Rt: rt})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Inst{Op: OpNop}) }
+
+// Const emits rd = imm.
+func (b *Builder) Const(rd Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpConst, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd = rs.
+func (b *Builder) Mov(rd, rs Reg) *Builder {
+	return b.emit(Inst{Op: OpMov, Rd: rd, Rs: rs})
+}
+
+// Add emits rd = rs + rt.
+func (b *Builder) Add(rd, rs, rt Reg) *Builder {
+	return b.emit(Inst{Op: OpAdd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// AddI emits rd = rs + imm.
+func (b *Builder) AddI(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpAddI, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Sub emits rd = rs - rt.
+func (b *Builder) Sub(rd, rs, rt Reg) *Builder {
+	return b.emit(Inst{Op: OpSub, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Mul emits rd = rs * rt.
+func (b *Builder) Mul(rd, rs, rt Reg) *Builder {
+	return b.emit(Inst{Op: OpMul, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// And emits rd = rs & rt.
+func (b *Builder) And(rd, rs, rt Reg) *Builder {
+	return b.emit(Inst{Op: OpAnd, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Or emits rd = rs | rt.
+func (b *Builder) Or(rd, rs, rt Reg) *Builder {
+	return b.emit(Inst{Op: OpOr, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// Xor emits rd = rs ^ rt.
+func (b *Builder) Xor(rd, rs, rt Reg) *Builder {
+	return b.emit(Inst{Op: OpXor, Rd: rd, Rs: rs, Rt: rt})
+}
+
+// ShlI emits rd = rs << imm.
+func (b *Builder) ShlI(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpShlI, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// ShrI emits rd = rs >> imm.
+func (b *Builder) ShrI(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpShrI, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Load emits rd = M[rs + imm].
+func (b *Builder) Load(rd, rs Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpLoad, Rd: rd, Rs: rs, Imm: imm})
+}
+
+// Store emits M[rs + imm] = rt.
+func (b *Builder) Store(rs Reg, imm int64, rt Reg) *Builder {
+	return b.emit(Inst{Op: OpStore, Rs: rs, Imm: imm, Rt: rt})
+}
+
+// Flush emits clflush(rs + imm).
+func (b *Builder) Flush(rs Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpFlush, Rs: rs, Imm: imm})
+}
+
+// Fence emits a serializing fence.
+func (b *Builder) Fence() *Builder { return b.emit(Inst{Op: OpFence}) }
+
+// RdTSC emits rd = cycle counter (serializing on older instructions).
+func (b *Builder) RdTSC(rd Reg) *Builder {
+	return b.emit(Inst{Op: OpRdTSC, Rd: rd})
+}
+
+// BranchLT emits: if rs < rt goto label.
+func (b *Builder) BranchLT(rs, rt Reg, label string) *Builder {
+	return b.emitBranch(OpBranchLT, rs, rt, label)
+}
+
+// BranchGE emits: if rs >= rt goto label.
+func (b *Builder) BranchGE(rs, rt Reg, label string) *Builder {
+	return b.emitBranch(OpBranchGE, rs, rt, label)
+}
+
+// BranchEQ emits: if rs == rt goto label.
+func (b *Builder) BranchEQ(rs, rt Reg, label string) *Builder {
+	return b.emitBranch(OpBranchEQ, rs, rt, label)
+}
+
+// BranchNE emits: if rs != rt goto label.
+func (b *Builder) BranchNE(rs, rt Reg, label string) *Builder {
+	return b.emitBranch(OpBranchNE, rs, rt, label)
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{inst: len(b.insts), label: label})
+	return b.emit(Inst{Op: OpJmp})
+}
+
+// Halt emits program termination.
+func (b *Builder) Halt() *Builder { return b.emit(Inst{Op: OpHalt}) }
+
+// Build resolves labels and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	insts := make([]Inst, len(b.insts))
+	copy(insts, b.insts)
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q at instruction %d", f.label, f.inst)
+		}
+		insts[f.inst].Target = target
+	}
+	return &Program{Insts: insts, CodeBase: 0x40_0000}, nil
+}
+
+// MustBuild is Build for statically correct generators.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,44 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Build a program with the fluent builder and inspect its disassembly.
+func ExampleBuilder() {
+	prog := isa.NewBuilder().
+		Const(1, 40).
+		AddI(1, 1, 2).
+		Halt().
+		MustBuild()
+	fmt.Print(prog.Disassemble())
+	// Output:
+	//    0: const r1, 40
+	//    1: addi r1, r1, 2
+	//    2: halt
+}
+
+// The reference interpreter executes programs architecturally — the
+// golden model the out-of-order core is fuzzed against.
+func ExampleInterpret() {
+	prog := isa.NewBuilder().
+		Const(1, 0).
+		Const(2, 1).
+		Const(3, 6).
+		Label("loop").
+		Add(1, 1, 2).
+		AddI(2, 2, 1).
+		BranchLT(2, 3, "loop").
+		Halt().
+		MustBuild()
+	res := isa.Interpret(prog, nopMem{}, [isa.NumRegs]uint64{}, 1000)
+	fmt.Println(res.Regs[1]) // 1+2+3+4+5
+	// Output: 15
+}
+
+type nopMem struct{}
+
+func (nopMem) ReadWord(uint64) uint64   { return 0 }
+func (nopMem) WriteWord(uint64, uint64) {}

@@ -1,0 +1,114 @@
+package isa
+
+import "fmt"
+
+// InterpMemory is the minimal memory interface the reference interpreter
+// needs; mem.Memory satisfies it.
+type InterpMemory interface {
+	ReadWord(addr Addr64) uint64
+	WriteWord(addr Addr64, v uint64)
+}
+
+// Addr64 mirrors mem.Addr without importing it (isa stays dependency-
+// free below the memory package).
+type Addr64 = uint64
+
+// InterpResult is the architectural outcome of a reference execution.
+type InterpResult struct {
+	Regs     [NumRegs]uint64
+	Executed uint64
+	// TimedOut is set when the step budget ran out (diverging program).
+	TimedOut bool
+}
+
+// Interpret executes prog functionally — in order, no speculation, no
+// timing — and returns the architectural result. It is the golden model
+// the out-of-order core is co-simulated against: any divergence in
+// final register or memory state is a core bug.
+func Interpret(prog *Program, memory InterpMemory, initRegs [NumRegs]uint64, maxSteps uint64) InterpResult {
+	res := InterpResult{Regs: initRegs}
+	res.Regs[Zero] = 0
+	pc := 0
+	if maxSteps == 0 {
+		maxSteps = 1_000_000
+	}
+	for steps := uint64(0); ; steps++ {
+		if steps >= maxSteps {
+			res.TimedOut = true
+			return res
+		}
+		inst := prog.At(pc)
+		res.Executed++
+		r := func(reg Reg) uint64 {
+			if reg == Zero {
+				return 0
+			}
+			return res.Regs[reg]
+		}
+		w := func(reg Reg, v uint64) {
+			if reg != Zero {
+				res.Regs[reg] = v
+			}
+		}
+		switch inst.Op {
+		case OpNop, OpFence, OpFlush:
+			// Architecturally invisible.
+		case OpConst:
+			w(inst.Rd, uint64(inst.Imm))
+		case OpMov:
+			w(inst.Rd, r(inst.Rs))
+		case OpAdd:
+			w(inst.Rd, r(inst.Rs)+r(inst.Rt))
+		case OpAddI:
+			w(inst.Rd, r(inst.Rs)+uint64(inst.Imm))
+		case OpSub:
+			w(inst.Rd, r(inst.Rs)-r(inst.Rt))
+		case OpMul:
+			w(inst.Rd, r(inst.Rs)*r(inst.Rt))
+		case OpAnd:
+			w(inst.Rd, r(inst.Rs)&r(inst.Rt))
+		case OpOr:
+			w(inst.Rd, r(inst.Rs)|r(inst.Rt))
+		case OpXor:
+			w(inst.Rd, r(inst.Rs)^r(inst.Rt))
+		case OpShlI:
+			w(inst.Rd, r(inst.Rs)<<uint(inst.Imm))
+		case OpShrI:
+			w(inst.Rd, r(inst.Rs)>>uint(inst.Imm))
+		case OpLoad:
+			w(inst.Rd, memory.ReadWord(r(inst.Rs)+uint64(inst.Imm)))
+		case OpStore:
+			memory.WriteWord(r(inst.Rs)+uint64(inst.Imm), r(inst.Rt))
+		case OpRdTSC:
+			w(inst.Rd, res.Executed)
+		case OpBranchLT:
+			if r(inst.Rs) < r(inst.Rt) {
+				pc = inst.Target
+				continue
+			}
+		case OpBranchGE:
+			if r(inst.Rs) >= r(inst.Rt) {
+				pc = inst.Target
+				continue
+			}
+		case OpBranchEQ:
+			if r(inst.Rs) == r(inst.Rt) {
+				pc = inst.Target
+				continue
+			}
+		case OpBranchNE:
+			if r(inst.Rs) != r(inst.Rt) {
+				pc = inst.Target
+				continue
+			}
+		case OpJmp:
+			pc = inst.Target
+			continue
+		case OpHalt:
+			return res
+		default:
+			panic(fmt.Sprintf("isa: interpreter missing op %v", inst.Op))
+		}
+		pc++
+	}
+}

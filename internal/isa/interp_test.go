@@ -1,0 +1,133 @@
+package isa
+
+import "testing"
+
+// fakeMem is a trivial word store for interpreter tests.
+type fakeMem map[uint64]uint64
+
+func (m fakeMem) ReadWord(a uint64) uint64     { return m[a&^7] }
+func (m fakeMem) WriteWord(a uint64, v uint64) { m[a&^7] = v }
+
+func run(t *testing.T, p *Program, m fakeMem) InterpResult {
+	t.Helper()
+	res := Interpret(p, m, [NumRegs]uint64{}, 10000)
+	if res.TimedOut {
+		t.Fatal("interpreter timed out")
+	}
+	return res
+}
+
+func TestInterpretALU(t *testing.T) {
+	p := NewBuilder().
+		Const(1, 6).Const(2, 7).
+		Mul(3, 1, 2).
+		Sub(4, 3, 1).
+		And(5, 3, 2).
+		Or(6, 1, 2).
+		Xor(7, 1, 2).
+		ShlI(8, 1, 2).
+		ShrI(9, 3, 1).
+		AddI(10, 9, 100).
+		Mov(11, 10).
+		Halt().MustBuild()
+	res := run(t, p, fakeMem{})
+	want := map[Reg]uint64{3: 42, 4: 36, 5: 2, 6: 7, 7: 1, 8: 24, 9: 21, 10: 121, 11: 121}
+	for r, v := range want {
+		if res.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, res.Regs[r], v)
+		}
+	}
+}
+
+func TestInterpretMemoryAndLoop(t *testing.T) {
+	m := fakeMem{}
+	p := NewBuilder().
+		Const(1, 0x100). // ptr
+		Const(2, 0).     // i
+		Const(3, 10).    // limit
+		Label("loop").
+		Store(1, 0, 2).
+		Load(4, 1, 0).
+		Add(5, 5, 4).
+		AddI(1, 1, 8).
+		AddI(2, 2, 1).
+		BranchLT(2, 3, "loop").
+		Halt().MustBuild()
+	res := run(t, p, m)
+	if res.Regs[5] != 45 {
+		t.Fatalf("sum %d, want 45", res.Regs[5])
+	}
+	if m[0x100+9*8] != 9 {
+		t.Fatal("stores missing")
+	}
+}
+
+func TestInterpretZeroRegister(t *testing.T) {
+	p := NewBuilder().Const(0, 42).AddI(1, 0, 3).Halt().MustBuild()
+	res := run(t, p, fakeMem{})
+	if res.Regs[0] != 0 || res.Regs[1] != 3 {
+		t.Fatalf("r0=%d r1=%d", res.Regs[0], res.Regs[1])
+	}
+}
+
+func TestInterpretBranchVariants(t *testing.T) {
+	// Each branch kind, taken and not taken.
+	build := func(op func(b *Builder)) uint64 {
+		b := NewBuilder()
+		op(b)
+		b.Const(9, 111).Jmp("end").
+			Label("taken").Const(9, 222).
+			Label("end").Halt()
+		return run(t, b.MustBuild(), fakeMem{}).Regs[9]
+	}
+	if v := build(func(b *Builder) { b.Const(1, 1).Const(2, 2).BranchLT(1, 2, "taken") }); v != 222 {
+		t.Fatal("blt taken")
+	}
+	if v := build(func(b *Builder) { b.Const(1, 3).Const(2, 2).BranchLT(1, 2, "taken") }); v != 111 {
+		t.Fatal("blt not taken")
+	}
+	if v := build(func(b *Builder) { b.Const(1, 2).Const(2, 2).BranchEQ(1, 2, "taken") }); v != 222 {
+		t.Fatal("beq taken")
+	}
+	if v := build(func(b *Builder) { b.Const(1, 2).Const(2, 3).BranchNE(1, 2, "taken") }); v != 222 {
+		t.Fatal("bne taken")
+	}
+	if v := build(func(b *Builder) { b.Const(1, 5).Const(2, 2).BranchGE(1, 2, "taken") }); v != 222 {
+		t.Fatal("bge taken")
+	}
+}
+
+func TestInterpretTimeout(t *testing.T) {
+	p := NewBuilder().Label("x").Jmp("x").MustBuild()
+	res := Interpret(p, fakeMem{}, [NumRegs]uint64{}, 100)
+	if !res.TimedOut {
+		t.Fatal("infinite loop not caught")
+	}
+}
+
+func TestInterpretInitialRegs(t *testing.T) {
+	var regs [NumRegs]uint64
+	regs[5] = 99
+	p := NewBuilder().AddI(6, 5, 1).Halt().MustBuild()
+	res := Interpret(p, fakeMem{}, regs, 100)
+	if res.Regs[6] != 100 {
+		t.Fatalf("r6 = %d", res.Regs[6])
+	}
+}
+
+func TestInterpretFenceFlushNops(t *testing.T) {
+	p := NewBuilder().Const(1, 0x40).Fence().Flush(1, 0).Nop().Const(2, 5).Halt().MustBuild()
+	res := run(t, p, fakeMem{})
+	if res.Regs[2] != 5 {
+		t.Fatal("architectural no-ops broke execution")
+	}
+}
+
+func TestInterpretRdTSCDeterministic(t *testing.T) {
+	p := NewBuilder().Nop().RdTSC(1).Halt().MustBuild()
+	a := run(t, p, fakeMem{})
+	b := run(t, p, fakeMem{})
+	if a.Regs[1] != b.Regs[1] {
+		t.Fatal("reference rdtsc must be deterministic")
+	}
+}

@@ -1,0 +1,208 @@
+// Package isa defines the register-machine instruction set the simulated
+// core executes, together with a small program builder with labels.
+//
+// The set is the minimum the paper's attack and workload programs need:
+// ALU ops, loads/stores, clflush, a serializing fence, a cycle-counter
+// read (rdtscp), conditional branches, and halt. Attack code in package
+// unxpec and the synthetic benchmarks in package workload are emitted as
+// these instructions.
+package isa
+
+import "fmt"
+
+// Reg names one of the 32 general-purpose registers. R0 reads as zero
+// and ignores writes, like MIPS/RISC-V.
+type Reg uint8
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// Zero is the hardwired zero register.
+const Zero Reg = 0
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op is an opcode.
+type Op uint8
+
+// The instruction set.
+const (
+	OpNop Op = iota
+	// OpConst: rd = imm.
+	OpConst
+	// OpMov: rd = rs.
+	OpMov
+	// OpAdd: rd = rs + rt.
+	OpAdd
+	// OpAddI: rd = rs + imm.
+	OpAddI
+	// OpSub: rd = rs - rt.
+	OpSub
+	// OpMul: rd = rs * rt (longer latency).
+	OpMul
+	// OpAnd, OpOr, OpXor: bitwise.
+	OpAnd
+	OpOr
+	OpXor
+	// OpShlI, OpShrI: rd = rs << imm / rs >> imm.
+	OpShlI
+	OpShrI
+	// OpLoad: rd = M[rs + imm].
+	OpLoad
+	// OpStore: M[rs + imm] = rt.
+	OpStore
+	// OpFlush: clflush line containing rs + imm.
+	OpFlush
+	// OpFence: serializing fence — younger instructions do not issue
+	// until all older instructions have completed (lfence+mfence).
+	OpFence
+	// OpRdTSC: rd = current cycle; waits for all older instructions to
+	// complete before reading (rdtscp semantics).
+	OpRdTSC
+	// OpBranchLT: if rs < rt, jump to Target; else fall through.
+	// Predicted by the branch predictor; mis-speculation squashes.
+	OpBranchLT
+	// OpBranchGE: if rs >= rt, jump to Target.
+	OpBranchGE
+	// OpBranchEQ / OpBranchNE.
+	OpBranchEQ
+	OpBranchNE
+	// OpJmp: unconditional jump to Target.
+	OpJmp
+	// OpHalt stops the program.
+	OpHalt
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpConst: "const", OpMov: "mov", OpAdd: "add",
+	OpAddI: "addi", OpSub: "sub", OpMul: "mul", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShlI: "shli", OpShrI: "shri", OpLoad: "load",
+	OpStore: "store", OpFlush: "flush", OpFence: "fence",
+	OpRdTSC: "rdtsc", OpBranchLT: "blt", OpBranchGE: "bge",
+	OpBranchEQ: "beq", OpBranchNE: "bne", OpJmp: "jmp", OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the op is a conditional branch (predicted).
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpBranchLT, OpBranchGE, OpBranchEQ, OpBranchNE:
+		return true
+	}
+	return false
+}
+
+// IsMemory reports whether the op touches the data-memory hierarchy.
+func (o Op) IsMemory() bool {
+	switch o {
+	case OpLoad, OpStore, OpFlush:
+		return true
+	}
+	return false
+}
+
+// Inst is one instruction.
+type Inst struct {
+	Op     Op
+	Rd     Reg
+	Rs     Reg
+	Rt     Reg
+	Imm    int64
+	Target int // branch/jump destination, instruction index
+}
+
+// SrcRegs returns the registers the instruction reads.
+func (i Inst) SrcRegs() []Reg {
+	switch i.Op {
+	case OpMov, OpAddI, OpShlI, OpShrI, OpLoad, OpFlush:
+		return []Reg{i.Rs}
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+		OpBranchLT, OpBranchGE, OpBranchEQ, OpBranchNE:
+		return []Reg{i.Rs, i.Rt}
+	case OpStore:
+		return []Reg{i.Rs, i.Rt}
+	}
+	return nil
+}
+
+// DstReg returns the register the instruction writes, or (Zero, false).
+func (i Inst) DstReg() (Reg, bool) {
+	switch i.Op {
+	case OpConst, OpMov, OpAdd, OpAddI, OpSub, OpMul, OpAnd, OpOr,
+		OpXor, OpShlI, OpShrI, OpLoad, OpRdTSC:
+		if i.Rd == Zero {
+			return Zero, false
+		}
+		return i.Rd, true
+	}
+	return Zero, false
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch i.Op {
+	case OpNop, OpFence, OpHalt:
+		return i.Op.String()
+	case OpConst:
+		return fmt.Sprintf("const %s, %d", i.Rd, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov %s, %s", i.Rd, i.Rs)
+	case OpAddI:
+		return fmt.Sprintf("addi %s, %s, %d", i.Rd, i.Rs, i.Imm)
+	case OpShlI, OpShrI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs, i.Imm)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs, i.Rt)
+	case OpLoad:
+		return fmt.Sprintf("load %s, [%s+%d]", i.Rd, i.Rs, i.Imm)
+	case OpStore:
+		return fmt.Sprintf("store [%s+%d], %s", i.Rs, i.Imm, i.Rt)
+	case OpFlush:
+		return fmt.Sprintf("flush [%s+%d]", i.Rs, i.Imm)
+	case OpRdTSC:
+		return fmt.Sprintf("rdtsc %s", i.Rd)
+	case OpBranchLT, OpBranchGE, OpBranchEQ, OpBranchNE:
+		return fmt.Sprintf("%s %s, %s, @%d", i.Op, i.Rs, i.Rt, i.Target)
+	case OpJmp:
+		return fmt.Sprintf("jmp @%d", i.Target)
+	}
+	return i.Op.String()
+}
+
+// Program is an executable instruction sequence.
+type Program struct {
+	Insts []Inst
+	// CodeBase is where the program lives in the instruction address
+	// space (each instruction occupies 4 bytes for L1I modelling).
+	CodeBase uint64
+}
+
+// PC returns the instruction-memory byte address of instruction idx.
+func (p *Program) PC(idx int) uint64 { return p.CodeBase + uint64(idx)*4 }
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// At returns instruction idx; out-of-range acts as Halt so runaway
+// wrong-path fetch terminates harmlessly.
+func (p *Program) At(idx int) Inst {
+	if idx < 0 || idx >= len(p.Insts) {
+		return Inst{Op: OpHalt}
+	}
+	return p.Insts[idx]
+}
+
+// Disassemble renders the whole program.
+func (p *Program) Disassemble() string {
+	out := ""
+	for i, in := range p.Insts {
+		out += fmt.Sprintf("%4d: %s\n", i, in)
+	}
+	return out
+}

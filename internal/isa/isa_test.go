@@ -1,0 +1,155 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder()
+	b.Const(1, 5).
+		Const(2, 10).
+		BranchLT(1, 2, "taken").
+		Const(3, 111).
+		Jmp("end").
+		Label("taken").
+		Const(3, 222).
+		Label("end").
+		Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.Insts[2]
+	if br.Op != OpBranchLT || br.Target != 5 {
+		t.Fatalf("branch target %d, want 5 (%s)", br.Target, br)
+	}
+	jmp := p.Insts[4]
+	if jmp.Op != OpJmp || jmp.Target != 6 {
+		t.Fatalf("jmp target %d, want 6", jmp.Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere").Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x").Nop().Label("x").Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestSrcDstRegs(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		srcs int
+		dst  bool
+	}{
+		{Inst{Op: OpConst, Rd: 1, Imm: 4}, 0, true},
+		{Inst{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}, 2, true},
+		{Inst{Op: OpLoad, Rd: 1, Rs: 2}, 1, true},
+		{Inst{Op: OpStore, Rs: 1, Rt: 2}, 2, false},
+		{Inst{Op: OpFlush, Rs: 1}, 1, false},
+		{Inst{Op: OpFence}, 0, false},
+		{Inst{Op: OpRdTSC, Rd: 5}, 0, true},
+		{Inst{Op: OpBranchLT, Rs: 1, Rt: 2}, 2, false},
+		{Inst{Op: OpHalt}, 0, false},
+		// Writes to the zero register are discarded.
+		{Inst{Op: OpConst, Rd: Zero}, 0, false},
+	}
+	for _, c := range cases {
+		if got := len(c.in.SrcRegs()); got != c.srcs {
+			t.Errorf("%s: %d sources, want %d", c.in, got, c.srcs)
+		}
+		if _, ok := c.in.DstReg(); ok != c.dst {
+			t.Errorf("%s: dst=%v, want %v", c.in, ok, c.dst)
+		}
+	}
+}
+
+func TestOpClassPredicates(t *testing.T) {
+	for _, op := range []Op{OpBranchLT, OpBranchGE, OpBranchEQ, OpBranchNE} {
+		if !op.IsBranch() {
+			t.Errorf("%s should be a branch", op)
+		}
+	}
+	if OpJmp.IsBranch() {
+		t.Error("jmp is not a predicted branch")
+	}
+	for _, op := range []Op{OpLoad, OpStore, OpFlush} {
+		if !op.IsMemory() {
+			t.Errorf("%s should be memory", op)
+		}
+	}
+	if OpFence.IsMemory() {
+		t.Error("fence handled by serialization, not the memory port")
+	}
+}
+
+func TestProgramAtOutOfRangeIsHalt(t *testing.T) {
+	p := NewBuilder().Nop().MustBuild()
+	if p.At(99).Op != OpHalt {
+		t.Fatal("out-of-range fetch must read as halt")
+	}
+	if p.At(-1).Op != OpHalt {
+		t.Fatal("negative fetch must read as halt")
+	}
+}
+
+func TestProgramPC(t *testing.T) {
+	p := NewBuilder().Nop().Nop().MustBuild()
+	if p.PC(0) != p.CodeBase || p.PC(2) != p.CodeBase+8 {
+		t.Fatalf("PC mapping wrong: %#x %#x", p.PC(0), p.PC(2))
+	}
+}
+
+func TestDisassembleReadable(t *testing.T) {
+	p := NewBuilder().
+		Const(1, 42).
+		Load(2, 1, 64).
+		Store(1, 8, 2).
+		Flush(1, 0).
+		Fence().
+		RdTSC(3).
+		BranchLT(1, 2, "end").
+		Label("end").
+		Halt().
+		MustBuild()
+	d := p.Disassemble()
+	for _, want := range []string{"const r1, 42", "load r2, [r1+64]", "store [r1+8], r2",
+		"flush [r1+0]", "fence", "rdtsc r3", "blt r1, r2, @7", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if Reg(7).String() != "r7" {
+		t.Fatal("reg formatting")
+	}
+}
+
+func TestUnknownOpString(t *testing.T) {
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Fatal("unknown op should print its number")
+	}
+}
+
+func TestHereTracksPosition(t *testing.T) {
+	b := NewBuilder()
+	if b.Here() != 0 {
+		t.Fatal("fresh builder position")
+	}
+	b.Nop().Nop()
+	if b.Here() != 2 {
+		t.Fatal("position after two instructions")
+	}
+}

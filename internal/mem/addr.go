@@ -1,0 +1,64 @@
+// Package mem provides physical-address arithmetic and a sparse backing
+// memory for the simulated machine. Every other substrate (caches, the
+// memory hierarchy, the CPU) speaks in terms of mem.Addr.
+//
+// The model follows the paper's Table I machine: 64-byte cache lines and
+// a flat physical address space. Data values are stored at 8-byte word
+// granularity, which is all the attack programs need (array elements,
+// bounds variables, and one-bit secrets).
+package mem
+
+import "fmt"
+
+// LineSize is the cache-line size in bytes. The paper's probe array is
+// strided by 64 bytes ("P[64*i]") precisely so that consecutive secrets
+// map to distinct lines.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// WordSize is the data-word granularity of the backing store.
+const WordSize = 8
+
+// Addr is a physical byte address in the simulated machine.
+type Addr uint64
+
+// Line returns the address of the cache line containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// Offset returns the byte offset of a within its cache line.
+func (a Addr) Offset() uint64 { return uint64(a) & (LineSize - 1) }
+
+// LineIndex returns the line number of a (address divided by LineSize).
+func (a Addr) LineIndex() uint64 { return uint64(a) >> LineShift }
+
+// WordAlign returns a rounded down to the containing 8-byte word.
+func (a Addr) WordAlign() Addr { return a &^ (WordSize - 1) }
+
+// SameLine reports whether a and b fall in the same cache line.
+func (a Addr) SameLine(b Addr) bool { return a.Line() == b.Line() }
+
+// String renders the address in hex for logs and test failures.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// SetIndex extracts the cache set index for a cache with the given
+// number of sets (must be a power of two), using the conventional
+// line-address low bits. Randomized mappers (package randmap) transform
+// this value further.
+func (a Addr) SetIndex(sets int) uint64 {
+	return a.LineIndex() & uint64(sets-1)
+}
+
+// Tag extracts the tag for a cache with the given number of sets.
+func (a Addr) Tag(sets int) uint64 {
+	return a.LineIndex() / uint64(sets)
+}
+
+// FromSetTag reconstructs a line address from a (set, tag) pair for a
+// cache with the given number of sets. It is the inverse of
+// SetIndex/Tag and is used by eviction-set builders to synthesize
+// congruent addresses.
+func FromSetTag(sets int, set, tag uint64) Addr {
+	return Addr((tag*uint64(sets) + set) << LineShift)
+}

@@ -1,0 +1,86 @@
+package mem
+
+// Memory is the sparse backing store of the simulated machine. It holds
+// architectural data (the values the victim and attacker programs read
+// and write), not timing state — latency is modelled by the hierarchy in
+// package memsys.
+//
+// Storage is word-granular: each 8-byte aligned address maps to a uint64.
+// Unwritten words read as zero, matching a zero-initialized physical
+// memory.
+type Memory struct {
+	words map[Addr]uint64
+	// writes counts word stores, exposed for tests and statistics.
+	writes uint64
+	reads  uint64
+}
+
+// NewMemory returns an empty, zero-initialized memory.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[Addr]uint64)}
+}
+
+// ReadWord returns the 8-byte word containing addr.
+func (m *Memory) ReadWord(addr Addr) uint64 {
+	m.reads++
+	return m.words[addr.WordAlign()]
+}
+
+// WriteWord stores v into the 8-byte word containing addr.
+func (m *Memory) WriteWord(addr Addr, v uint64) {
+	m.writes++
+	m.words[addr.WordAlign()] = v
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr Addr) byte {
+	w := m.ReadWord(addr)
+	shift := (uint64(addr) % WordSize) * 8
+	return byte(w >> shift)
+}
+
+// StoreByte stores b at addr without disturbing neighbouring bytes.
+func (m *Memory) StoreByte(addr Addr, b byte) {
+	aligned := addr.WordAlign()
+	shift := (uint64(addr) % WordSize) * 8
+	w := m.words[aligned]
+	w &^= 0xff << shift
+	w |= uint64(b) << shift
+	m.writes++
+	m.words[aligned] = w
+}
+
+// WriteWords stores consecutive words starting at addr.
+func (m *Memory) WriteWords(addr Addr, vs []uint64) {
+	for i, v := range vs {
+		m.WriteWord(addr+Addr(i*WordSize), v)
+	}
+}
+
+// ReadWords reads n consecutive words starting at addr.
+func (m *Memory) ReadWords(addr Addr, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = m.ReadWord(addr + Addr(i*WordSize))
+	}
+	return out
+}
+
+// Reads returns the number of word reads served so far.
+func (m *Memory) Reads() uint64 { return m.reads }
+
+// Writes returns the number of word writes performed so far.
+func (m *Memory) Writes() uint64 { return m.writes }
+
+// Footprint returns the number of distinct words ever written.
+func (m *Memory) Footprint() int { return len(m.words) }
+
+// Clone returns a deep copy of the memory, useful for re-running a
+// program from identical initial state.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for k, v := range m.words {
+		c.words[k] = v
+	}
+	return c
+}

@@ -1,0 +1,232 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// TestNoMoPartitionBlocksPrimePlusProbe reproduces the paper's §III-A
+// claim: way partitioning (NoMo) stops a same-core SMT adversary's
+// Prime+Probe. The attacker (agent 1) primes a set; the victim
+// (agent 0) accesses a congruent line; with partitioning the victim's
+// fill cannot evict the attacker's ways, so probing shows no signal.
+func TestNoMoPartitionBlocksPrimePlusProbe(t *testing.T) {
+	run := func(partitionWays int) (evictedPrimed bool) {
+		cfg := DefaultConfig(1)
+		cfg.L1D = cache.Config{
+			Name: "l1d", Sets: 64, Ways: 8, HitLatency: 2,
+			PartitionWays: partitionWays,
+		}
+		h := MustNew(cfg, nil)
+		victim := mem.Addr(0x40000)
+		sets := cfg.L1D.Sets
+
+		// Attacker primes the victim's set with its partition's worth
+		// of lines (agent 1).
+		var primed []mem.Addr
+		ways := partitionWays
+		if ways == 0 {
+			ways = cfg.L1D.Ways
+		}
+		for i := 0; i < ways; i++ {
+			a := mem.FromSetTag(sets, victim.SetIndex(sets), victim.Tag(sets)+uint64(i+1))
+			h.L1D().Fill(a, 1, false, 0)
+			primed = append(primed, a)
+		}
+		// Victim accesses its line (agent 0 fill).
+		h.L1D().Fill(victim, 0, false, 0)
+		// Probe: did the victim displace any primed line?
+		for _, a := range primed {
+			if !h.L1D().Probe(a) {
+				return true
+			}
+		}
+		return false
+	}
+	if !run(0) {
+		t.Fatal("without partitioning the victim's fill should evict a primed line (full set)")
+	}
+	if run(4) {
+		t.Fatal("NoMo partition violated: victim evicted the SMT attacker's primed line")
+	}
+}
+
+// TestRandomReplacementHidesAccessOrder demonstrates why CleanupSpec
+// mandates random L1 replacement: under LRU the eviction victim reveals
+// the victim's access recency (Reload+Refresh-style channels); under
+// random replacement the victim choice carries no recency information.
+func TestRandomReplacementHidesAccessOrder(t *testing.T) {
+	victimOf := func(policy cache.ReplacementPolicy, touchFirst bool) mem.Addr {
+		c := cache.New(cache.Config{Name: "t", Sets: 4, Ways: 4, Policy: policy})
+		lines := make([]mem.Addr, 4)
+		for i := range lines {
+			lines[i] = mem.FromSetTag(4, 1, uint64(i+1))
+			c.Fill(lines[i], 0, false, 0)
+		}
+		// The secret-dependent step: re-touch line 0 (or not).
+		if touchFirst {
+			c.Lookup(lines[0])
+		}
+		// Force one eviction and report who got evicted.
+		ev, _ := c.Fill(mem.FromSetTag(4, 1, 99), 0, false, 0)
+		return ev.LineAddr
+	}
+
+	// LRU: the evicted line differs depending on the secret touch —
+	// a replacement-state channel.
+	lruTouched := victimOf(cache.NewLRU(4, 4), true)
+	lruUntouched := victimOf(cache.NewLRU(4, 4), false)
+	if lruTouched == lruUntouched {
+		t.Fatal("LRU victim identical regardless of access — test setup broken")
+	}
+
+	// Random: across many trials the victim distribution must be
+	// (statistically) independent of the touch.
+	const trials = 400
+	diff := 0
+	for i := 0; i < trials; i++ {
+		a := victimOf(cache.NewRandom(int64(i)), true)
+		b := victimOf(cache.NewRandom(int64(i)), false)
+		if a != b {
+			diff++
+		}
+	}
+	// Same seed gives the same victim pick regardless of access
+	// history: the policy never consults recency.
+	if diff != 0 {
+		t.Fatalf("random policy consulted access history in %d/%d trials", diff, trials)
+	}
+}
+
+func TestUnsafeConfigDisablesProtections(t *testing.T) {
+	cfg := UnsafeConfig()
+	if cfg.DelayCoherenceDowngrade || cfg.DummyMissOnSpecHit {
+		t.Fatal("unsafe config left protections on")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h := MustNew(cfg, nil)
+	h.Read(0x1000, true, 1, 0)
+	// Speculative line visible cross-agent: the classic leak.
+	if res := h.CrossRead(1, 0x1000, 0); !res.L2Hit || res.Dummy {
+		t.Fatalf("unsafe config should expose the transient line: %+v", res)
+	}
+}
+
+func TestReadShadowLeavesNoTrace(t *testing.T) {
+	h := MustNew(DefaultConfig(9), nil)
+	res := h.ReadShadow(0x5000, 1, 0)
+	if !res.MemAccess {
+		t.Fatal("cold shadow read should report memory latency")
+	}
+	if in1, in2 := h.Probe(0x5000); in1 || in2 {
+		t.Fatal("shadow read installed a line")
+	}
+	// Latency ladder without state change.
+	h.Read(0x5000, false, 0, 0)
+	if r := h.ReadShadow(0x5000, 1, 0); !r.L1Hit || r.Latency != h.Config().L1D.HitLatency {
+		t.Fatalf("warm shadow read %+v", r)
+	}
+	h.L1D().Invalidate(0x5000)
+	if r := h.ReadShadow(0x5000, 1, 0); !r.L2Hit {
+		t.Fatalf("L2 shadow read %+v", r)
+	}
+}
+
+func TestCrossReadMissPath(t *testing.T) {
+	h := MustNew(DefaultConfig(10), nil)
+	res := h.CrossRead(1, 0x6000, 0)
+	if !res.MemAccess {
+		t.Fatal("cold cross read should miss to memory")
+	}
+	// The line is now Shared in L2.
+	l, ok := h.L2().ProbeState(0x6000)
+	if !ok || l.State != cache.Shared {
+		t.Fatalf("cross-filled line %+v ok=%v", l, ok)
+	}
+	// Second cross read hits.
+	if res := h.CrossRead(1, 0x6000, 0); !res.L2Hit {
+		t.Fatal("second cross read should hit")
+	}
+}
+
+func TestWarmRead(t *testing.T) {
+	h := MustNew(DefaultConfig(11), nil)
+	h.WarmRead(0x7000)
+	if in1, _ := h.Probe(0x7000); !in1 {
+		t.Fatal("warm read did not install")
+	}
+}
+
+func TestWriteThroughL2HitPath(t *testing.T) {
+	h := MustNew(DefaultConfig(12), nil)
+	h.Read(0x8000, false, 0, 0)
+	h.L1D().Invalidate(0x8000)
+	res := h.Write(0x8000, 5, 0)
+	if !res.L2Hit {
+		t.Fatalf("write after L1-only eviction should hit L2: %+v", res)
+	}
+	if h.Memory().ReadWord(0x8000) != 5 {
+		t.Fatal("write lost")
+	}
+}
+
+func TestCommitLineAppliesPendingDowngrade(t *testing.T) {
+	cfg := DefaultConfig(13)
+	cfg.DummyMissOnSpecHit = false
+	h := MustNew(cfg, nil)
+	h.Read(0x9000, true, 4, 0)
+	h.CrossRead(1, 0x9000, 0)
+	if h.PendingDowngrades() != 1 {
+		t.Fatal("expected a pending downgrade")
+	}
+	h.CommitLine(0x9000)
+	if h.PendingDowngrades() != 0 {
+		t.Fatal("commit did not drain the pending downgrade")
+	}
+	l, _ := h.L2().ProbeState(0x9000)
+	if l.State != cache.Shared {
+		t.Fatalf("state %v after commit, want S", l.State)
+	}
+}
+
+func TestNewSharedValidation(t *testing.T) {
+	cfg := DefaultConfig(20)
+	backing := mem.NewMemory()
+	l2 := cache.New(cfg.L2)
+	if _, err := NewShared(cfg, backing, nil, 0); err == nil {
+		t.Fatal("nil shared L2 accepted")
+	}
+	if _, err := NewShared(cfg, nil, l2, 0); err == nil {
+		t.Fatal("nil backing accepted")
+	}
+	bad := cfg
+	bad.L1D.Sets = 3
+	if _, err := NewShared(bad, backing, l2, 0); err == nil {
+		t.Fatal("bad L1D accepted")
+	}
+	h, err := NewShared(cfg, backing, l2, 3)
+	if err != nil || h.Agent() != 3 {
+		t.Fatalf("shared hierarchy: %v agent=%d", err, h.Agent())
+	}
+}
+
+func TestNewSMTValidation(t *testing.T) {
+	cfg := DefaultConfig(21)
+	backing := mem.NewMemory()
+	l1 := cache.New(cfg.L1D)
+	l2 := cache.New(cfg.L2)
+	if _, err := NewSMT(cfg, backing, nil, l2, 0); err == nil {
+		t.Fatal("nil shared L1 accepted")
+	}
+	if _, err := NewSMT(cfg, backing, l1, nil, 0); err == nil {
+		t.Fatal("nil shared L2 accepted")
+	}
+	h, err := NewSMT(cfg, backing, l1, l2, 1)
+	if err != nil || h.L1D() != l1 || h.Agent() != 1 {
+		t.Fatalf("SMT hierarchy wiring wrong: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package multicore
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/undo"
+)
+
+// Cross-core probe scenario (§II-B): core 0 is a victim that
+// periodically mis-speculates and transiently installs a secret-
+// dependent line T into the shared L2; core 1 runs a Flush+Reload
+// prober against T. Against the unsafe baseline the prober sees fast
+// reloads whenever T was transiently installed. Under CleanupSpec the
+// window is covered twice over: in-window probes are served as dummy
+// misses and post-squash state is rolled back, so every reload looks
+// like a miss.
+
+// Scenario layout (shared address space).
+const (
+	scBoundAddr = mem.Addr(0x12000)
+	scABase     = mem.Addr(0x20000)
+	scSecret    = mem.Addr(0x28000)
+	scProbeBase = mem.Addr(0x300000)
+	scLogBase   = mem.Addr(0x500000)
+	scBound     = 16
+	scTrainIdx  = 3
+)
+
+// scTarget is T: the line the victim touches transiently iff secret=1.
+func scTarget() mem.Addr { return scProbeBase + 64 }
+
+// victimProgram loops `rounds` iterations of the Algorithm 2 sender;
+// every eighth iteration uses the out-of-bounds index, the others stay
+// in bounds (keeping the predictor trained). The bound is flushed each
+// iteration so the mis-speculation window is wide.
+func victimProgram(rounds int) *isa.Program {
+	oob := int64(scSecret - scABase)
+	b := isa.NewBuilder()
+	b.Const(20, 0). // i
+			Const(21, int64(rounds)). // limit
+			Const(2, int64(scBoundAddr)).
+			Const(10, int64(scABase)).
+			Const(12, int64(scProbeBase)).
+			Label("loop").
+		// index = (i & 7) == 7 ? OOB : trainIdx
+		Const(3, 7).
+		And(4, 20, 3).
+		Const(1, scTrainIdx).
+		BranchNE(4, 3, "chosen").
+		Const(1, oob).
+		Label("chosen").
+		Flush(2, 0). // slow bounds check → wide window
+		Fence().
+		Load(5, 2, 0).          // bound
+		BranchGE(1, 5, "skip"). // if index >= bound skip body
+		Add(6, 10, 1).
+		Load(7, 6, 0). // secret (transient on OOB rounds)
+		ShlI(8, 7, 6).
+		Add(9, 12, 8).
+		Load(13, 9, 0). // P[secret*64] — T iff secret=1
+		Label("skip").
+		AddI(20, 20, 1).
+		BranchLT(20, 21, "loop").
+		Halt()
+	return b.MustBuild()
+}
+
+// proberProgram runs `probes` Flush+Reload rounds against T, logging
+// each reload latency to scLogBase[i], with a short delay loop between
+// rounds so probes spread across the victim's execution.
+func proberProgram(probes, gapRounds int) *isa.Program {
+	b := isa.NewBuilder()
+	b.Const(1, int64(scTarget())).
+		Const(2, int64(scLogBase)).
+		Const(20, 0).
+		Const(21, int64(probes)).
+		Const(25, 3).
+		Label("loop").
+		Fence().
+		RdTSC(30).
+		Load(3, 1, 0). // reload T
+		RdTSC(31).
+		Sub(4, 31, 30).
+		Store(2, 0, 4). // log the latency
+		AddI(2, 2, 8).
+		Flush(1, 0). // re-flush T for the next round
+		Fence()
+	// Spacer: dependent multiplies so probes sample different phases.
+	for i := 0; i < gapRounds; i++ {
+		b.Mul(25, 25, 25).AddI(25, 25, 1)
+	}
+	b.AddI(20, 20, 1).
+		BranchLT(20, 21, "loop").
+		Halt()
+	return b.MustBuild()
+}
+
+// ProbeResult summarizes a cross-core probing campaign.
+type ProbeResult struct {
+	Probes       int
+	FastReloads  int
+	VictimSquash uint64
+	DummyMisses  uint64
+	// Latencies are the prober's logged reload times.
+	Latencies []uint64
+}
+
+// Hit reports whether the prober observed the transient line at all.
+func (r ProbeResult) Hit() bool { return r.FastReloads > 0 }
+
+// CrossCoreProbe runs the scenario: victim under schemeFor(0), prober
+// under schemeFor(1) (the prober never speculates into anything
+// interesting, so its scheme is irrelevant). secret selects whether the
+// victim's transient path touches T. Returns the prober's observations.
+func CrossCoreProbe(cfg Config, secret int, rounds, probes int) (ProbeResult, error) {
+	cfg.Cores = 2
+	sys, err := New(cfg)
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	m := sys.Memory()
+	m.WriteWord(scBoundAddr, scBound)
+	m.WriteWord(scABase+scTrainIdx, 0)
+	m.WriteWord(scSecret, uint64(secret&1))
+	// The victim recently touched its secret: warm it.
+	sys.Hierarchy(0).WarmRead(scSecret)
+	// P[0] is warm (the in-bounds body touches it constantly anyway).
+	sys.Hierarchy(0).WarmRead(scProbeBase)
+
+	victim := victimProgram(rounds)
+	prober := proberProgram(probes, 24)
+	stats, err := sys.RunAll([]*isa.Program{victim, prober}, 0)
+	if err != nil {
+		return ProbeResult{}, err
+	}
+
+	res := ProbeResult{Probes: probes, VictimSquash: stats[0].Squashes}
+	res.DummyMisses = sys.Hierarchy(1).Stats().DummyMisses
+	l1Hit := uint64(cfg.Mem.L1D.HitLatency)
+	l2Hit := uint64(cfg.Mem.L1D.HitLatency + cfg.Mem.L2.HitLatency)
+	for i := 0; i < probes; i++ {
+		lat := m.ReadWord(scLogBase + mem.Addr(i*8))
+		if lat == 0 {
+			continue // prober did not reach this round before halting
+		}
+		res.Latencies = append(res.Latencies, lat)
+		// A reload at L1/L2-hit speed means T was present: with the
+		// prober flushing T each round, only the victim can have
+		// reinstalled it.
+		if lat <= l2Hit+2 && lat > l1Hit {
+			res.FastReloads++
+		}
+	}
+	return res, nil
+}
+
+// NewUnsafeCrossCfg returns a two-core configuration with no defense:
+// unsafe scheme and unprotected hierarchy rules.
+func NewUnsafeCrossCfg(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Mem.DummyMissOnSpecHit = false
+	cfg.Mem.DelayCoherenceDowngrade = false
+	cfg.SchemeFor = func(int) undo.Scheme { return undo.NewUnsafe() }
+	return cfg
+}
+
+// NewProtectedCrossCfg returns a two-core CleanupSpec configuration.
+func NewProtectedCrossCfg(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.SchemeFor = func(int) undo.Scheme { return undo.NewCleanupSpec() }
+	return cfg
+}
+
+// String renders the result for examples.
+func (r ProbeResult) String() string {
+	return fmt.Sprintf("probes=%d fast=%d victimSquashes=%d dummyMisses=%d",
+		len(r.Latencies), r.FastReloads, r.VictimSquash, r.DummyMisses)
+}

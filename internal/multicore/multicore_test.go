@@ -1,0 +1,197 @@
+package multicore
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/undo"
+)
+
+func TestLockstepTwoCoresIndependentResults(t *testing.T) {
+	sys := MustNew(DefaultConfig(1))
+	p0 := isa.NewBuilder().Const(1, 10).AddI(1, 1, 5).Halt().MustBuild()
+	p1 := isa.NewBuilder().Const(1, 100).AddI(1, 1, 7).Halt().MustBuild()
+	stats, err := sys.RunAll([]*isa.Program{p0, p1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Core(0).Reg(1) != 15 || sys.Core(1).Reg(1) != 107 {
+		t.Fatalf("core results %d/%d", sys.Core(0).Reg(1), sys.Core(1).Reg(1))
+	}
+	if stats[0].Retired == 0 || stats[1].Retired == 0 {
+		t.Fatal("stats missing")
+	}
+}
+
+func TestSharedL2Visible(t *testing.T) {
+	sys := MustNew(DefaultConfig(2))
+	sys.Memory().WriteWord(0x8000, 42)
+	// Core 0 loads the line; core 1's later load should hit the shared
+	// L2 (miss its private L1).
+	load := func() *isa.Program {
+		return isa.NewBuilder().
+			Const(1, 0x8000).
+			Fence().
+			RdTSC(30).
+			Load(2, 1, 0).
+			RdTSC(31).
+			Sub(3, 31, 30).
+			Halt().MustBuild()
+	}
+	if _, err := sys.RunAll([]*isa.Program{load(), isa.NewBuilder().Halt().MustBuild()}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunAll([]*isa.Program{isa.NewBuilder().Halt().MustBuild(), load()}, 0); err != nil {
+		t.Fatal(err)
+	}
+	coldish := sys.Core(1).Reg(3)
+	cfg := DefaultConfig(2).Mem
+	wantMax := uint64(cfg.L1D.HitLatency + cfg.L2.HitLatency + 6)
+	if coldish > wantMax {
+		t.Fatalf("core 1 latency %d, want ≤ %d (shared L2 hit)", coldish, wantMax)
+	}
+	if sys.Core(1).Reg(2) != 42 {
+		t.Fatal("wrong data through shared L2")
+	}
+}
+
+func TestPrivateL1Isolation(t *testing.T) {
+	sys := MustNew(DefaultConfig(3))
+	sys.Memory().WriteWord(0x9000, 7)
+	warm := isa.NewBuilder().Const(1, 0x9000).Load(2, 1, 0).Halt().MustBuild()
+	idle := isa.NewBuilder().Halt().MustBuild()
+	if _, err := sys.RunAll([]*isa.Program{warm, idle}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Hierarchy(0).L1D().Probe(0x9000) {
+		t.Fatal("core 0 L1 missing its line")
+	}
+	if sys.Hierarchy(1).L1D().Probe(0x9000) {
+		t.Fatal("core 1 L1 contains a line it never touched")
+	}
+}
+
+func TestRunAllValidation(t *testing.T) {
+	sys := MustNew(DefaultConfig(4))
+	if _, err := sys.RunAll([]*isa.Program{isa.NewBuilder().Halt().MustBuild()}, 0); err == nil {
+		t.Fatal("program/core count mismatch accepted")
+	}
+	if _, err := New(Config{Cores: 0}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	// Lockstep watchdog fires on a spinning core.
+	spin := isa.NewBuilder().Label("x").Jmp("x").MustBuild()
+	halt := isa.NewBuilder().Halt().MustBuild()
+	small := DefaultConfig(5)
+	sys2 := MustNew(small)
+	if _, err := sys2.RunAll([]*isa.Program{spin, halt}, 2000); err == nil {
+		t.Fatal("watchdog did not fire")
+	}
+}
+
+func TestCrossCoreProbeUnsafeLeaks(t *testing.T) {
+	res, err := CrossCoreProbe(NewUnsafeCrossCfg(6), 1, 600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimSquash == 0 {
+		t.Fatal("victim never mis-speculated — scenario broken")
+	}
+	if !res.Hit() {
+		t.Fatalf("prober saw nothing against the unsafe baseline: %s", res)
+	}
+}
+
+func TestCrossCoreProbeCleanupSpecDefends(t *testing.T) {
+	res, err := CrossCoreProbe(NewProtectedCrossCfg(7), 1, 600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VictimSquash == 0 {
+		t.Fatal("victim never mis-speculated")
+	}
+	if res.Hit() {
+		t.Fatalf("prober observed the transient line despite CleanupSpec: %s", res)
+	}
+}
+
+func TestCrossCoreProbeSecretZeroQuiet(t *testing.T) {
+	// With secret 0 the victim's transient path touches only the warm
+	// P[0]; T is never installed and even the unsafe machine shows no
+	// fast reloads.
+	res, err := CrossCoreProbe(NewUnsafeCrossCfg(8), 0, 600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit() {
+		t.Fatalf("secret-0 run still produced fast reloads: %s", res)
+	}
+}
+
+func TestFlushIsCoherenceGlobal(t *testing.T) {
+	sys := MustNew(DefaultConfig(10))
+	warm := isa.NewBuilder().Const(1, 0xa000).Load(2, 1, 0).Halt().MustBuild()
+	idle := isa.NewBuilder().Halt().MustBuild()
+	if _, err := sys.RunAll([]*isa.Program{warm, idle}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Hierarchy(0).L1D().Probe(0xa000) {
+		t.Fatal("warm-up failed")
+	}
+	// Core 1 flushes the line: core 0's private L1 copy must die too.
+	flush := isa.NewBuilder().Const(1, 0xa000).Flush(1, 0).Fence().Halt().MustBuild()
+	if _, err := sys.RunAll([]*isa.Program{idle, flush}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Hierarchy(0).L1D().Probe(0xa000) {
+		t.Fatal("clflush did not reach the sibling L1 — not coherence-global")
+	}
+	if sys.SharedL2().Probe(0xa000) {
+		t.Fatal("clflush left the L2 copy")
+	}
+}
+
+func TestInclusiveBackInvalidationAcrossCores(t *testing.T) {
+	// Shrink the L2 so core 1 can easily evict core 0's line from it;
+	// the inclusive invariant must clear core 0's L1 copy as well.
+	cfg := DefaultConfig(11)
+	cfg.Mem.L2.Sets = 2
+	cfg.Mem.L2.Ways = 2
+	sys := MustNew(cfg)
+	victimLine := mem.Addr(0xb000)
+	warm := isa.NewBuilder().Const(1, int64(victimLine)).Load(2, 1, 0).Halt().MustBuild()
+	idle := isa.NewBuilder().Halt().MustBuild()
+	if _, err := sys.RunAll([]*isa.Program{warm, idle}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Core 1 floods the tiny L2.
+	fb := isa.NewBuilder().Const(1, 0x100000)
+	for i := 0; i < 16; i++ {
+		fb.Load(2, 1, int64(i*64))
+	}
+	flood := fb.Halt().MustBuild()
+	if _, err := sys.RunAll([]*isa.Program{idle, flood}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.SharedL2().Probe(victimLine) && sys.Hierarchy(0).L1D().Probe(victimLine) {
+		t.Fatal("L2 eviction by core 1 left a stale L1 copy in core 0 — inclusion violated")
+	}
+}
+
+func TestSchemePerCore(t *testing.T) {
+	cfg := DefaultConfig(9)
+	names := map[int]string{}
+	cfg.SchemeFor = func(core int) undo.Scheme {
+		if core == 0 {
+			return undo.NewCleanupSpec()
+		}
+		return undo.NewUnsafe()
+	}
+	sys := MustNew(cfg)
+	names[0] = sys.Core(0).Scheme().Name()
+	names[1] = sys.Core(1).Scheme().Name()
+	if names[0] != "cleanupspec" || names[1] != "unsafe-baseline" {
+		t.Fatalf("schemes %v", names)
+	}
+}

@@ -1,0 +1,89 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoneIsSilent(t *testing.T) {
+	var n None
+	for i := 0; i < 100; i++ {
+		if n.LoadJitter() != 0 || n.InterferenceStall() != 0 {
+			t.Fatal("None must be silent")
+		}
+	}
+}
+
+func TestSystemJitterStatistics(t *testing.T) {
+	s := NewSystem(1)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		j := float64(s.LoadJitter())
+		sum += j
+		sumSq += j * j
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 1.5 {
+		t.Fatalf("jitter mean %.2f, want ≈0", mean)
+	}
+	if std < s.Sigma*0.8 || std > s.Sigma*1.2 {
+		t.Fatalf("jitter std %.2f, want ≈%.1f", std, s.Sigma)
+	}
+}
+
+func TestSystemJitterClamped(t *testing.T) {
+	s := NewSystem(2)
+	for i := 0; i < 50000; i++ {
+		if j := s.LoadJitter(); j < -30 {
+			t.Fatalf("jitter %d below clamp", j)
+		}
+	}
+}
+
+func TestInterferenceRateAndRange(t *testing.T) {
+	s := NewSystem(3)
+	const n = 2_000_000
+	events := 0
+	for i := 0; i < n; i++ {
+		if d := s.InterferenceStall(); d > 0 {
+			events++
+			if d < s.SpikeMin || d >= s.SpikeMax {
+				t.Fatalf("spike duration %d outside [%d,%d)", d, s.SpikeMin, s.SpikeMax)
+			}
+		}
+	}
+	expect := float64(n) * s.SpikeProb
+	if float64(events) < expect*0.6 || float64(events) > expect*1.4 {
+		t.Fatalf("saw %d events, expected ≈%.0f", events, expect)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := NewSystem(42), NewSystem(42)
+	for i := 0; i < 100; i++ {
+		if a.LoadJitter() != b.LoadJitter() {
+			t.Fatal("same seed must give same jitter stream")
+		}
+	}
+}
+
+func TestHostOSNoisier(t *testing.T) {
+	h := NewHostOS(1)
+	if h.Sigma <= NewSystem(1).Sigma {
+		t.Fatal("host profile should be noisier than the simulator profile")
+	}
+	if h.Name() != "system" || (None{}).Name() != "none" {
+		t.Fatal("names")
+	}
+}
+
+func TestSpikeDegenerateRange(t *testing.T) {
+	s := &System{SpikeProb: 1, SpikeMin: 5, SpikeMax: 5}
+	s2 := NewSystem(1)
+	s.rng = s2.rng
+	if d := s.InterferenceStall(); d != 5 {
+		t.Fatalf("degenerate spike range returned %d", d)
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// Checker is a Tracer that validates pipeline invariants as events
+// stream by:
+//
+//   - per instruction: fetch ≤ issue ≤ retire (in cycle order);
+//   - retirement is in program (sequence) order;
+//   - an instruction squashed by a mispredicted branch never retires;
+//   - cleanup events follow squash events of the same branch.
+//
+// Attach it with cpu.SetTracer during stress tests; Violations collects
+// anything that broke.
+type Checker struct {
+	Violations []string
+
+	fetchCycle map[uint64]uint64
+	issueCycle map[uint64]uint64
+	dead       map[uint64]bool
+	lastRetire uint64
+	haveRetire bool
+	lastSquash *cpu.TraceEvent
+}
+
+// NewChecker returns an empty invariant checker.
+func NewChecker() *Checker {
+	return &Checker{
+		fetchCycle: make(map[uint64]uint64),
+		issueCycle: make(map[uint64]uint64),
+		dead:       make(map[uint64]bool),
+	}
+}
+
+func (k *Checker) fail(format string, args ...interface{}) {
+	k.Violations = append(k.Violations, fmt.Sprintf(format, args...))
+}
+
+// Event implements cpu.Tracer.
+func (k *Checker) Event(ev cpu.TraceEvent) {
+	switch ev.Kind {
+	case "fetch":
+		k.fetchCycle[ev.Seq] = ev.Cycle
+	case "issue":
+		f, ok := k.fetchCycle[ev.Seq]
+		if !ok {
+			k.fail("seq %d issued without fetch", ev.Seq)
+		} else if ev.Cycle < f {
+			k.fail("seq %d issued at %d before fetch at %d", ev.Seq, ev.Cycle, f)
+		}
+		k.issueCycle[ev.Seq] = ev.Cycle
+	case "retire":
+		if k.dead[ev.Seq] {
+			k.fail("squashed seq %d retired at cycle %d (%s)", ev.Seq, ev.Cycle, ev.Inst)
+		}
+		if f, ok := k.fetchCycle[ev.Seq]; ok && ev.Cycle < f {
+			k.fail("seq %d retired at %d before fetch at %d", ev.Seq, ev.Cycle, f)
+		}
+		if is, ok := k.issueCycle[ev.Seq]; ok && ev.Cycle < is {
+			k.fail("seq %d retired at %d before issue at %d", ev.Seq, ev.Cycle, is)
+		}
+		if k.haveRetire && ev.Seq <= k.lastRetire {
+			k.fail("retirement out of order: seq %d after %d", ev.Seq, k.lastRetire)
+		}
+		k.lastRetire, k.haveRetire = ev.Seq, true
+		delete(k.fetchCycle, ev.Seq)
+		delete(k.issueCycle, ev.Seq)
+	case "squash":
+		// Every already-fetched instruction younger than the branch is
+		// now dead.
+		for seq := range k.fetchCycle {
+			if seq > ev.Seq {
+				k.dead[seq] = true
+				delete(k.fetchCycle, seq)
+				delete(k.issueCycle, seq)
+			}
+		}
+		evCopy := ev
+		k.lastSquash = &evCopy
+	case "cleanup":
+		if k.lastSquash == nil {
+			k.fail("cleanup at cycle %d without a preceding squash", ev.Cycle)
+		} else if k.lastSquash.Seq != ev.Seq {
+			k.fail("cleanup for seq %d but last squash was seq %d", ev.Seq, k.lastSquash.Seq)
+		}
+	}
+}
+
+// Ok reports whether no invariant broke.
+func (k *Checker) Ok() bool { return len(k.Violations) == 0 }

@@ -1,0 +1,192 @@
+// Package trace collects and renders pipeline event traces from the
+// simulated core. Attach a Buffer to a cpu.CPU with SetTracer, run a
+// program, and render the timeline — the tooling used to understand and
+// debug the attack's T1–T6 window (Figure 1).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cpu"
+)
+
+// Buffer records events up to a capacity (0 = unbounded). When bounded
+// it keeps the most recent events (ring behaviour).
+type Buffer struct {
+	capacity int
+	events   []cpu.TraceEvent
+	dropped  uint64
+	// KindFilter, when non-empty, records only listed kinds.
+	KindFilter map[string]bool
+}
+
+// NewBuffer returns a recorder holding up to capacity events.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{capacity: capacity}
+}
+
+// Event implements cpu.Tracer.
+func (b *Buffer) Event(ev cpu.TraceEvent) {
+	if b.KindFilter != nil && !b.KindFilter[ev.Kind] {
+		return
+	}
+	if b.capacity > 0 && len(b.events) >= b.capacity {
+		copy(b.events, b.events[1:])
+		b.events[len(b.events)-1] = ev
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, ev)
+}
+
+// Events returns the recorded events in order.
+func (b *Buffer) Events() []cpu.TraceEvent {
+	out := make([]cpu.TraceEvent, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Dropped returns how many events fell out of a bounded buffer.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Reset clears the buffer.
+func (b *Buffer) Reset() {
+	b.events = b.events[:0]
+	b.dropped = 0
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// OfKind returns the retained events of one kind.
+func (b *Buffer) OfKind(kind string) []cpu.TraceEvent {
+	var out []cpu.TraceEvent
+	for _, ev := range b.events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Render writes a human-readable event log.
+func (b *Buffer) Render(w io.Writer) {
+	for _, ev := range b.events {
+		switch ev.Kind {
+		case "squash":
+			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %-24s squashed %d younger\n",
+				ev.Cycle, ev.Kind, ev.PC, ev.Inst, ev.Detail)
+		case "cleanup":
+			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %-24s stall %d cycles\n",
+				ev.Cycle, ev.Kind, ev.PC, ev.Inst, ev.Detail)
+		case "resolve":
+			verdict := "correct"
+			if ev.Detail == 1 {
+				verdict = "MISPREDICT"
+			}
+			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %-24s %s\n",
+				ev.Cycle, ev.Kind, ev.PC, ev.Inst, verdict)
+		case "issue":
+			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %-24s latency %d\n",
+				ev.Cycle, ev.Kind, ev.PC, ev.Inst, ev.Detail)
+		default:
+			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %s\n", ev.Cycle, ev.Kind, ev.PC, ev.Inst)
+		}
+	}
+	if b.dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", b.dropped)
+	}
+}
+
+// Summary aggregates a trace into per-kind counts.
+func (b *Buffer) Summary() map[string]int {
+	out := map[string]int{}
+	for _, ev := range b.events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Timeline renders per-sequence pipeline occupancy as a compact gantt
+// string for the first n instructions: F=fetch, I=issue, R=retire.
+// Intended for short kernels (the attack round), not whole benchmarks.
+func (b *Buffer) Timeline(n int) string {
+	type life struct {
+		seq               uint64
+		pc                int
+		text              string
+		fetch, issue, ret uint64
+		squashed          bool
+	}
+	byseq := map[uint64]*life{}
+	var order []uint64
+	var minCycle, maxCycle uint64 = ^uint64(0), 0
+	note := func(c uint64) {
+		if c < minCycle {
+			minCycle = c
+		}
+		if c > maxCycle {
+			maxCycle = c
+		}
+	}
+	for _, ev := range b.events {
+		l, ok := byseq[ev.Seq]
+		if !ok {
+			if len(order) >= n && ev.Kind == "fetch" {
+				continue
+			}
+			l = &life{seq: ev.Seq, pc: ev.PC, text: ev.Inst.String(), fetch: ^uint64(0), issue: ^uint64(0), ret: ^uint64(0)}
+			byseq[ev.Seq] = l
+			order = append(order, ev.Seq)
+		}
+		switch ev.Kind {
+		case "fetch":
+			l.fetch = ev.Cycle
+			note(ev.Cycle)
+		case "issue":
+			l.issue = ev.Cycle
+			note(ev.Cycle)
+		case "retire":
+			l.ret = ev.Cycle
+			note(ev.Cycle)
+		}
+	}
+	if len(order) == 0 || minCycle > maxCycle {
+		return ""
+	}
+	span := maxCycle - minCycle + 1
+	const maxCols = 120
+	scale := uint64(1)
+	if span > maxCols {
+		scale = (span + maxCols - 1) / maxCols
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles %d..%d (1 column = %d cycle(s))\n", minCycle, maxCycle, scale)
+	for i, seq := range order {
+		if i >= n {
+			break
+		}
+		l := byseq[seq]
+		cols := int(span / scale)
+		row := make([]byte, cols+1)
+		for j := range row {
+			row[j] = '.'
+		}
+		mark := func(c uint64, ch byte) {
+			if c == ^uint64(0) {
+				return
+			}
+			j := int((c - minCycle) / scale)
+			if j >= 0 && j < len(row) {
+				row[j] = ch
+			}
+		}
+		mark(l.fetch, 'F')
+		mark(l.issue, 'I')
+		mark(l.ret, 'R')
+		fmt.Fprintf(&sb, "%4d %-22s |%s|\n", l.pc, l.text, row)
+	}
+	return sb.String()
+}

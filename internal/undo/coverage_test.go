@@ -1,0 +1,136 @@
+package undo
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestSchemeInterfaceContracts(t *testing.T) {
+	// Every Undo-family scheme speculates visibly and pays nothing at
+	// commit; only the Invisible scheme differs. Stats start empty.
+	undoFamily := []Scheme{
+		NewCleanupSpec(),
+		NewCleanupSpecWithModel(DefaultLatencyModel()),
+		NewUnsafe(),
+		NewConstantTime(45, Relaxed),
+		NewConstantTime(25, Strict),
+		NewFuzzyTime(40, 1),
+	}
+	for _, s := range undoFamily {
+		if !s.VisibleSpeculation() {
+			t.Errorf("%s must allow visible speculation", s.Name())
+		}
+		if s.CommitLoadPenalty() != 0 {
+			t.Errorf("%s must not charge commits", s.Name())
+		}
+		if st := s.Stats(); st.Squashes != 0 {
+			t.Errorf("%s has dirty initial stats", s.Name())
+		}
+	}
+}
+
+func TestCleanupSpecWithCustomModel(t *testing.T) {
+	m := DefaultLatencyModel()
+	m.InvFirstCycles = 8
+	s := NewCleanupSpecWithModel(m)
+	h := newHier(t)
+	tl := installTransient(h, 0x4000, 1)
+	res := s.OnSquash(h, SquashContext{Epoch: 1, Transients: []TransientLoad{tl}})
+	// 4 (MSHR) + 2 (drain) + 8 (invFirst) = 14.
+	if res.StallCycles != 14 {
+		t.Fatalf("custom model stall %d, want 14", res.StallCycles)
+	}
+}
+
+func TestStrictSquashRestorationBudget(t *testing.T) {
+	// A strict budget large enough for invalidations and the first
+	// restoration but not the rest: restores beyond the budget become
+	// residual while invalidation completed.
+	h := newHier(t)
+	cfg := h.Config().L1D
+	var tls []TransientLoad
+	// Build 4 transient fills each with a real victim: fill 4 sets.
+	for set := 0; set < 4; set++ {
+		for i := 0; i < cfg.Ways; i++ {
+			h.Read(mem.FromSetTag(cfg.Sets, uint64(set), 300+uint64(i)), false, 0, 0)
+		}
+		tl := installTransient(h, mem.FromSetTag(cfg.Sets, uint64(set), 400), 2)
+		if !tl.HasVictim {
+			t.Fatal("expected victim")
+		}
+		tls = append(tls, tl)
+	}
+	// Budget: 6 prep + 16 invFirst + 3×1 inv + 10 restoreFirst = 35;
+	// use 36 so exactly one restore fits.
+	s := NewConstantTime(36, Strict)
+	res := s.OnSquash(h, SquashContext{Epoch: 2, Transients: tls})
+	if res.Invalidated != 4 {
+		t.Fatalf("invalidated %d, want all 4", res.Invalidated)
+	}
+	if res.Restored != 1 {
+		t.Fatalf("restored %d, want exactly 1 within budget", res.Restored)
+	}
+	if res.Residual != 3 {
+		t.Fatalf("residual %d, want 3 skipped restores", res.Residual)
+	}
+	if res.StallCycles != 36 {
+		t.Fatalf("strict stall %d, want the constant", res.StallCycles)
+	}
+}
+
+func TestFuzzyTimeStatsAccumulate(t *testing.T) {
+	s := NewFuzzyTime(40, 5)
+	h := newHier(t)
+	s.OnSquash(h, SquashContext{Epoch: 1})
+	s.OnSquash(h, SquashContext{Epoch: 2})
+	if st := s.Stats(); st.Squashes != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestConstantTimeStatsAccumulate(t *testing.T) {
+	s := NewConstantTime(30, Relaxed)
+	h := newHier(t)
+	s.OnSquash(h, SquashContext{Epoch: 1})
+	if st := s.Stats(); st.Squashes != 1 || st.MaxStall != 30 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestInvisibleLiteStats(t *testing.T) {
+	s := NewInvisibleLite()
+	h := newHier(t)
+	s.OnSquash(h, SquashContext{Epoch: 1})
+	if st := s.Stats(); st.Squashes != 1 || st.CleanupsEmptyWork != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnsafeStats(t *testing.T) {
+	s := NewUnsafe()
+	h := newHier(t)
+	s.OnSquash(h, SquashContext{Epoch: 1})
+	if st := s.Stats(); st.Squashes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if !s.VisibleSpeculation() || s.CommitLoadPenalty() != 0 {
+		t.Fatal("unsafe contract")
+	}
+}
+
+func TestLatencyModelZeroWork(t *testing.T) {
+	m := DefaultLatencyModel()
+	if m.stallFor(0, 0, 0) != 0 {
+		t.Fatal("no work must stall zero")
+	}
+	// Restoration-only stall (possible when every install deduplicated
+	// away but a victim record remains).
+	if got := m.stallFor(0, 1, 0); got != 4+2+10 {
+		t.Fatalf("restore-only stall %d", got)
+	}
+	// Memory-serviced restore pays the extra.
+	if got := m.stallFor(1, 1, 1); got != 32+m.RestoreMemExtra {
+		t.Fatalf("mem-restore stall %d", got)
+	}
+}

@@ -1,0 +1,33 @@
+package undo
+
+import "fmt"
+
+// Parse builds a scheme from a command-line spec:
+//
+//	unsafe        – no defense
+//	cleanupspec   – the Undo defense under attack
+//	const-N       – relaxed constant-time rollback of N cycles
+//	strict-N      – strict constant-time rollback (may leave residue)
+//	fuzzy-N       – fuzzy-time padding up to N cycles
+//	invisible     – the minimal Invisible-style baseline
+func Parse(spec string, seed int64) (Scheme, error) {
+	switch spec {
+	case "unsafe":
+		return NewUnsafe(), nil
+	case "cleanupspec":
+		return NewCleanupSpec(), nil
+	case "invisible":
+		return NewInvisibleLite(), nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(spec, "const-%d", &n); err == nil && n > 0 {
+		return NewConstantTime(n, Relaxed), nil
+	}
+	if _, err := fmt.Sscanf(spec, "strict-%d", &n); err == nil && n > 0 {
+		return NewConstantTime(n, Strict), nil
+	}
+	if _, err := fmt.Sscanf(spec, "fuzzy-%d", &n); err == nil && n > 0 {
+		return NewFuzzyTime(n, uint64(seed)), nil
+	}
+	return nil, fmt.Errorf("undo: unknown scheme spec %q", spec)
+}

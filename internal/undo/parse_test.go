@@ -1,0 +1,49 @@
+package undo
+
+import "testing"
+
+func TestParseKnownSpecs(t *testing.T) {
+	cases := map[string]string{
+		"unsafe":      "unsafe-baseline",
+		"cleanupspec": "cleanupspec",
+		"invisible":   "invisible-lite",
+		"const-45":    "cleanupspec-const45-relaxed",
+		"strict-25":   "cleanupspec-const25-strict",
+		"fuzzy-40":    "cleanupspec-fuzzy40",
+	}
+	for spec, wantName := range cases {
+		s, err := Parse(spec, 1)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if s.Name() != wantName {
+			t.Errorf("Parse(%q).Name() = %q, want %q", spec, s.Name(), wantName)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{"", "const-", "const-0", "const--5", "fuzzy-x", "nonsense"} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParsedStrictActuallyStrict(t *testing.T) {
+	s, err := Parse("strict-30", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := s.(*ConstantTime)
+	if !ok || ct.Mode != Strict || ct.Cycles != 30 {
+		t.Fatalf("parsed %#v", s)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Relaxed.String() != "relaxed" || Strict.String() != "strict" {
+		t.Fatal("mode names")
+	}
+}

@@ -1,0 +1,53 @@
+package unxpec_test
+
+import (
+	"fmt"
+
+	"repro/internal/unxpec"
+)
+
+// The minimal use of the public API: build the attack, transmit both
+// secret values once, observe the rollback-timing difference.
+func ExampleAttack_MeasureOnce() {
+	attack := unxpec.MustNew(unxpec.Options{Seed: 1})
+	lat0 := attack.MeasureOnce(0)
+	lat1 := attack.MeasureOnce(1)
+	fmt.Println(lat1 - lat0)
+	// Output: 22
+}
+
+// Eviction sets enlarge the difference by forcing restorations.
+func ExampleAttack_MeasureOnce_evictionSets() {
+	attack := unxpec.MustNew(unxpec.Options{Seed: 1, UseEvictionSets: true})
+	lat0 := attack.MeasureOnce(0)
+	lat1 := attack.MeasureOnce(1)
+	fmt.Println(lat1 - lat0)
+	// Output: 32
+}
+
+// Calibrate fits the receiver's decision threshold; noiseless runs
+// separate the classes perfectly.
+func ExampleAttack_Calibrate() {
+	attack := unxpec.MustNew(unxpec.Options{Seed: 1})
+	cal := attack.Calibrate(10)
+	fmt.Printf("diff=%.0f accuracy=%.0f%%\n", cal.Diff, 100*cal.TrainAcc)
+	// Output: diff=22 accuracy=100%
+}
+
+// LeakSecret steals a bit string one measurement per bit.
+func ExampleAttack_LeakSecret() {
+	attack := unxpec.MustNew(unxpec.Options{Seed: 1})
+	cal := attack.Calibrate(10)
+	res := attack.LeakSecret([]int{1, 0, 1, 1, 0}, cal.Threshold, 1)
+	fmt.Println(res.Guesses, res.Accuracy)
+	// Output: [1 0 1 1 0] 1
+}
+
+// Hamming(7,4) coding makes the channel reliable under noise.
+func ExampleEncodeHamming() {
+	code := unxpec.EncodeHamming([]int{1, 0, 1, 1})
+	code[3] ^= 1 // one transmission error
+	data, corrections := unxpec.DecodeHamming(code)
+	fmt.Println(data, corrections)
+	// Output: [1 0 1 1] 1
+}

@@ -1,0 +1,201 @@
+// Package unxpec implements the paper's contribution: the unXpec attack
+// against Undo-based safe speculation. The receiver mistrains the branch
+// predictor, instruments the caches (load P[0], flush P[64·i], optionally
+// prime the victim sets with eviction sets), triggers the sender's
+// mis-speculation, and decodes one secret bit per round from the
+// secret-dependent rollback time of the Undo defense (Figures 4 and 5).
+package unxpec
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Register conventions shared by the generated sender/receiver programs.
+const (
+	regIndex     isa.Reg = 1  // victim index (in-bounds or OOB)
+	regChain     isa.Reg = 2  // f(N) chain base pointer
+	regBound     isa.Reg = 4  // resolved bound value f(N)
+	regSecret    isa.Reg = 5  // transiently loaded secret
+	regSecShift  isa.Reg = 6  // secret * 64
+	regAcc       isa.Reg = 7  // running probe address
+	regVictimPtr isa.Reg = 11 // A base + index
+	regABase     isa.Reg = 10 // victim array A base
+	regProbe     isa.Reg = 12 // probe array P base
+	regTrash     isa.Reg = 13 // load sink
+	regScratch   isa.Reg = 14 // prep-stage address scratch
+	// RegT1 and RegT2 hold the receiver's two timestamps after a
+	// measurement round.
+	RegT1 isa.Reg = 30
+	RegT2 isa.Reg = 31
+)
+
+// senderStart is the fixed instruction index where the sender block
+// begins in every generated program, so the victim branch sits at the
+// same PC in training and measurement runs and predictor state
+// transfers between them.
+const senderStart = 8
+
+// Layout fixes where the attack's data structures live. The regions are
+// placed in distinct 4 KiB-aligned areas so eviction-set lines for the
+// probe sets never collide with the bound chain or the victim array.
+type Layout struct {
+	// ChainBase anchors the f(N) pointer chain: M[chain_k] holds the
+	// address of chain_{k+1}, and the last node holds the bound.
+	ChainBase mem.Addr
+	// ChainNodes lists every node address (N nodes for f(N)).
+	ChainNodes []mem.Addr
+	// Bound is the in-bounds limit stored at the last chain node.
+	Bound uint64
+	// ABase is the victim array A; in-bounds entries read 0.
+	ABase mem.Addr
+	// TrainIndex is the in-bounds index used for mistraining.
+	TrainIndex uint64
+	// ProbeBase is P: the transient loads touch P[secret·64·i].
+	ProbeBase mem.Addr
+	// SecretAddr is the out-of-bounds target A[i*] resolves to.
+	SecretAddr mem.Addr
+	// OOBIndex is the index i* with ABase+i* == SecretAddr.
+	OOBIndex uint64
+}
+
+// NewLayout builds the standard layout for a given f(N) depth.
+func NewLayout(fnAccesses int) (Layout, error) {
+	if fnAccesses < 1 {
+		return Layout{}, fmt.Errorf("unxpec: f(N) needs at least one access, got %d", fnAccesses)
+	}
+	l := Layout{
+		ChainBase:  0x10000,
+		Bound:      64,
+		ABase:      0x30000,
+		TrainIndex: 8,
+		ProbeBase:  0x200000,
+		SecretAddr: 0x38000,
+	}
+	l.OOBIndex = uint64(l.SecretAddr - l.ABase)
+	// Chain nodes one line apart so each f(N) access is a distinct
+	// (flushable) line.
+	for k := 0; k < fnAccesses; k++ {
+		l.ChainNodes = append(l.ChainNodes, l.ChainBase+mem.Addr(k*mem.LineSize))
+	}
+	return l, nil
+}
+
+// InstallData writes the layout's architectural data into memory m:
+// the pointer chain, the bound, and zeroed in-bounds A entries.
+func (l Layout) InstallData(m *mem.Memory) {
+	for k := 0; k < len(l.ChainNodes)-1; k++ {
+		m.WriteWord(l.ChainNodes[k], uint64(l.ChainNodes[k+1]))
+	}
+	m.WriteWord(l.ChainNodes[len(l.ChainNodes)-1], l.Bound)
+	m.WriteWord(l.ABase+mem.Addr(l.TrainIndex), 0)
+}
+
+// ProbeLine returns the address of P[64·i].
+func (l Layout) ProbeLine(i int) mem.Addr {
+	return l.ProbeBase + mem.Addr(i*mem.LineSize)
+}
+
+// senderBlock emits the shared sender (Algorithm 2): the f(N) chain,
+// the bounds-check branch, and loadsInBranch transient loads. It must
+// be emitted starting exactly at senderStart.
+//
+//	if index < f(N):            # BranchGE(index, bound) to skip
+//	    secret = A[index]
+//	    for i in 1..L: load P[secret*64*i]
+func senderBlock(b *isa.Builder, fnAccesses, loadsInBranch int) {
+	// f(N): dependent chain of loads ending in the bound value.
+	b.Load(regBound, regChain, 0)
+	for k := 1; k < fnAccesses; k++ {
+		b.Load(regBound, regBound, 0)
+	}
+	b.BranchGE(regIndex, regBound, "skip")
+	// Transient path.
+	b.Add(regVictimPtr, regABase, regIndex)
+	b.Load(regSecret, regVictimPtr, 0)
+	b.ShlI(regSecShift, regSecret, 6)
+	b.Mov(regAcc, regProbe)
+	for i := 0; i < loadsInBranch; i++ {
+		b.Add(regAcc, regAcc, regSecShift)
+		b.Load(regTrash, regAcc, 0)
+	}
+	b.Label("skip")
+}
+
+// padTo fills the builder with nops up to instruction index n.
+func padTo(b *isa.Builder, n int) error {
+	if b.Here() > n {
+		return fmt.Errorf("unxpec: prologue too long: %d > %d", b.Here(), n)
+	}
+	for b.Here() < n {
+		b.Nop()
+	}
+	return nil
+}
+
+// TrainProgram builds the mistraining run: invoke the sender with an
+// in-bounds index so the branch predictor learns the in-bounds (body
+// taken) direction. The sender block sits at the same PCs as in the
+// measurement program.
+func (l Layout) TrainProgram(fnAccesses, loadsInBranch int) (*isa.Program, error) {
+	b := isa.NewBuilder()
+	b.Const(regIndex, int64(l.TrainIndex))
+	b.Const(regChain, int64(l.ChainBase))
+	b.Const(regABase, int64(l.ABase))
+	b.Const(regProbe, int64(l.ProbeBase))
+	if err := padTo(b, senderStart); err != nil {
+		return nil, err
+	}
+	senderBlock(b, fnAccesses, loadsInBranch)
+	b.Halt()
+	return b.Build()
+}
+
+// PrepProgram builds the preparation stage: load P[0], flush
+// P[64·1..L], flush the f(N) chain, optionally prime the probe sets
+// with eviction-set lines, and fence.
+func (l Layout) PrepProgram(fnAccesses, loadsInBranch int, primeLines []mem.Addr) (*isa.Program, error) {
+	b := isa.NewBuilder()
+	b.Const(regProbe, int64(l.ProbeBase))
+	b.Load(regTrash, regProbe, 0) // load P[0]
+	for i := 1; i <= loadsInBranch; i++ {
+		b.Flush(regProbe, int64(i*mem.LineSize))
+	}
+	for _, node := range l.ChainNodes {
+		b.Const(regScratch, int64(node))
+		b.Flush(regScratch, 0)
+	}
+	// Prime the victim sets (Figure 5, step 1). Two passes cope with
+	// random replacement evicting a just-primed sibling.
+	for pass := 0; pass < 2; pass++ {
+		for _, line := range primeLines {
+			b.Const(regScratch, int64(line))
+			b.Load(regTrash, regScratch, 0)
+		}
+	}
+	b.Fence()
+	b.Halt()
+	return b.Build()
+}
+
+// MeasureProgram builds the measurement stage: fence, first timestamp,
+// the sender block (same PCs as training), and the second timestamp on
+// the correct path after the squash.
+func (l Layout) MeasureProgram(fnAccesses, loadsInBranch int) (*isa.Program, error) {
+	b := isa.NewBuilder()
+	b.Const(regIndex, int64(l.OOBIndex))
+	b.Const(regChain, int64(l.ChainBase))
+	b.Const(regABase, int64(l.ABase))
+	b.Const(regProbe, int64(l.ProbeBase))
+	b.Fence()
+	b.RdTSC(RegT1)
+	if err := padTo(b, senderStart); err != nil {
+		return nil, err
+	}
+	senderBlock(b, fnAccesses, loadsInBranch)
+	b.RdTSC(RegT2)
+	b.Halt()
+	return b.Build()
+}

@@ -1,0 +1,126 @@
+package unxpec
+
+import (
+	"math"
+
+	"repro/internal/undo"
+)
+
+// TunePoint is one candidate configuration's measured trade-off
+// (§V-C): more loads in the branch widen the timing difference (better
+// noise robustness) but lengthen the round (lower rate) and eventually
+// dilute the difference's share of the window (worse accuracy).
+type TunePoint struct {
+	Loads int
+	// Diff is the calibrated secret-dependent difference.
+	Diff float64
+	// Accuracy is the single-sample training accuracy under noise.
+	Accuracy float64
+	// SamplesPerSecond at the 2 GHz clock.
+	SamplesPerSecond float64
+	// CapacityBps is the effective channel capacity: rate scaled by
+	// the binary-symmetric-channel capacity of the observed error
+	// probability — the metric the attacker actually maximizes.
+	CapacityBps float64
+}
+
+// binaryEntropy returns H2(p).
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// AutoTune sweeps LoadsInBranch over 1..maxLoads, calibrating each
+// candidate with calib samples per secret value, and returns the sweep
+// plus the index of the capacity-maximizing configuration. Each
+// candidate gets a fresh scheme from schemeFactory (schemes carry
+// statistics and must not be shared across machines); nil defaults to
+// CleanupSpec.
+func AutoTune(base Options, schemeFactory func() undo.Scheme, maxLoads, calib int) ([]TunePoint, int, error) {
+	if maxLoads < 1 {
+		maxLoads = 1
+	}
+	if schemeFactory == nil {
+		schemeFactory = func() undo.Scheme { return undo.NewCleanupSpec() }
+	}
+	var points []TunePoint
+	best := 0
+	for loads := 1; loads <= maxLoads; loads++ {
+		opts := base
+		opts.LoadsInBranch = loads
+		opts.Scheme = schemeFactory()
+		a, err := New(opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		cal := a.Calibrate(calib)
+		rate := a.LeakageRate(2.0)
+		pErr := 1 - cal.TrainAcc
+		pt := TunePoint{
+			Loads:            loads,
+			Diff:             cal.Diff,
+			Accuracy:         cal.TrainAcc,
+			SamplesPerSecond: rate.SamplesPerSecond,
+			CapacityBps:      rate.SamplesPerSecond * (1 - binaryEntropy(pErr)),
+		}
+		points = append(points, pt)
+		if pt.CapacityBps > points[best].CapacityBps {
+			best = loads - 1
+		}
+	}
+	return points, best, nil
+}
+
+// MajorityPlan returns the number of samples per bit needed to push a
+// per-sample accuracy to at least target accuracy under independent
+// majority voting (odd sample counts only), capped at maxSamples.
+func MajorityPlan(perSample, target float64, maxSamples int) int {
+	if perSample >= target {
+		return 1
+	}
+	if perSample <= 0.5 {
+		return maxSamples
+	}
+	p := perSample
+	for n := 3; n <= maxSamples; n += 2 {
+		if majorityAccuracy(p, n) >= target {
+			return n
+		}
+	}
+	return maxSamples
+}
+
+// majorityAccuracy computes P(majority of n iid samples correct) for
+// per-sample accuracy p.
+func majorityAccuracy(p float64, n int) float64 {
+	// Sum over k > n/2 of C(n,k) p^k (1-p)^(n-k).
+	var total float64
+	for k := n/2 + 1; k <= n; k++ {
+		total += binomPMF(n, k, p)
+	}
+	return total
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	// Log-space for stability.
+	lg := lnChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+func lnChoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// EstimateLeakTime returns the expected wall-clock seconds to leak
+// `bits` bits at the given per-sample rate and samples per bit.
+func EstimateLeakTime(bits, samplesPerBit int, samplesPerSecond float64) float64 {
+	if samplesPerSecond <= 0 {
+		return math.Inf(1)
+	}
+	return float64(bits*samplesPerBit) / samplesPerSecond
+}

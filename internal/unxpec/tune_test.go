@@ -1,0 +1,89 @@
+package unxpec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func TestAutoTuneSweep(t *testing.T) {
+	pts, best, err := AutoTune(Options{Seed: 1, UseEvictionSets: true, Noise: noise.NewSystem(3)}, nil, 4, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if best < 0 || best >= len(pts) {
+		t.Fatalf("best index %d", best)
+	}
+	// The difference must grow with loads (eviction sets enabled).
+	if pts[3].Diff <= pts[0].Diff {
+		t.Fatalf("diff not growing: %v → %v", pts[0].Diff, pts[3].Diff)
+	}
+	// Rate must shrink as rounds lengthen... with the fixed overhead
+	// the change is small, but capacity must be positive and the best
+	// point must dominate.
+	for _, p := range pts {
+		if p.CapacityBps <= 0 {
+			t.Fatalf("non-positive capacity at %d loads", p.Loads)
+		}
+		if p.CapacityBps > pts[best].CapacityBps {
+			t.Fatal("best index does not maximize capacity")
+		}
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if binaryEntropy(0.5) != 1 {
+		t.Fatalf("H2(0.5) = %f", binaryEntropy(0.5))
+	}
+	if binaryEntropy(0) != 0 || binaryEntropy(1) != 0 {
+		t.Fatal("H2 boundary values")
+	}
+	if h := binaryEntropy(0.11); math.Abs(h-0.4999) > 0.01 {
+		t.Fatalf("H2(0.11) = %f, want ≈0.5", h)
+	}
+}
+
+func TestMajorityAccuracy(t *testing.T) {
+	// p=0.9, n=3: p³ + 3p²(1-p) = 0.729 + 0.243 = 0.972.
+	if got := majorityAccuracy(0.9, 3); math.Abs(got-0.972) > 1e-9 {
+		t.Fatalf("majority(0.9,3) = %f", got)
+	}
+	// Voting must help when p > 0.5 and hurt when p < 0.5.
+	if majorityAccuracy(0.8, 5) <= 0.8 {
+		t.Fatal("voting did not help at p=0.8")
+	}
+	if majorityAccuracy(0.4, 5) >= 0.4 {
+		t.Fatal("voting should hurt below 0.5")
+	}
+}
+
+func TestMajorityPlan(t *testing.T) {
+	if MajorityPlan(0.99, 0.95, 31) != 1 {
+		t.Fatal("already sufficient accuracy should need one sample")
+	}
+	n := MajorityPlan(0.867, 0.99, 31)
+	if n < 3 || n%2 == 0 {
+		t.Fatalf("plan %d samples", n)
+	}
+	if majorityAccuracy(0.867, n) < 0.99 {
+		t.Fatalf("plan of %d samples misses the target", n)
+	}
+	if MajorityPlan(0.4, 0.9, 31) != 31 {
+		t.Fatal("hopeless channel should cap out")
+	}
+}
+
+func TestEstimateLeakTime(t *testing.T) {
+	// 1000 bits at 1 sample/bit and 140k samples/s ≈ 7.1 ms.
+	got := EstimateLeakTime(1000, 1, 140_000)
+	if math.Abs(got-0.00714) > 0.001 {
+		t.Fatalf("leak time %f s", got)
+	}
+	if !math.IsInf(EstimateLeakTime(1, 1, 0), 1) {
+		t.Fatal("zero rate should be infinite time")
+	}
+}

@@ -1,0 +1,497 @@
+// Package workload generates the synthetic benchmark suite used where
+// the paper uses SPEC CPU 2017 (which its own artifact could not ship
+// either, for licensing reasons — see the Artifact Appendix). Each
+// workload is an ISA program with a distinct microarchitectural profile:
+// the suite spans predictable streaming code, pointer chasing, and
+// branch-heavy kernels whose data-dependent branches mis-speculate
+// frequently — the population constant-time rollback taxes (Figure 12).
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Workload is one benchmark: a program plus its data initialization.
+type Workload struct {
+	Name        string
+	Description string
+	Program     *isa.Program
+	// Init plants the workload's data in memory before the run.
+	Init func(*mem.Memory)
+}
+
+// Registers shared by the generators.
+const (
+	rPtr    isa.Reg = 1
+	rVal    isa.Reg = 2
+	rAcc    isa.Reg = 3
+	rIdx    isa.Reg = 4
+	rLimit  isa.Reg = 5
+	rThresh isa.Reg = 6
+	rTmp    isa.Reg = 7
+	rBase   isa.Reg = 8
+	rTmp2   isa.Reg = 9
+	rAlt    isa.Reg = 10
+	rDil    isa.Reg = 11 // dilution-chain accumulator
+	rDilK   isa.Reg = 12 // dilution-chain multiplier
+)
+
+const dataBase = 0x100000
+
+// dilute emits a serial multiply/xor chain on rTmp2: ≈3·rounds cycles of
+// predictable work per iteration. Branch-heavy kernels use it to space
+// their unpredictable branches to one per ~25 cycles, matching the
+// mis-speculation density the paper's Figure 12 averages imply (without
+// it every other instruction would squash, which no real workload does).
+// Callers must emit diluteInit once before the loop.
+func dilute(b *isa.Builder, rounds int) {
+	for i := 0; i < rounds; i++ {
+		b.Mul(rDil, rDil, rDilK).
+			Xor(rDil, rDil, rIdx)
+	}
+}
+
+func diluteInit(b *isa.Builder) {
+	b.Const(rDil, 0x1234567).Const(rDilK, 0x9e3779b9)
+}
+
+// Stream sums a contiguous array: perfectly predicted loop branch,
+// sequential misses, essentially no squashes. The lbm/nab-like floor of
+// the suite.
+func Stream(iters int) Workload {
+	words := 4096
+	b := isa.NewBuilder()
+	b.Const(rBase, dataBase).
+		Const(rPtr, dataBase).
+		Const(rAcc, 0).
+		Const(rIdx, 0).
+		Const(rLimit, int64(iters)).
+		Label("loop").
+		Load(rVal, rPtr, 0).
+		Add(rAcc, rAcc, rVal).
+		AddI(rPtr, rPtr, 8).
+		AddI(rIdx, rIdx, 1).
+		// Wrap the pointer so the footprint stays bounded.
+		Const(rTmp, int64(dataBase+words*8)).
+		BranchLT(rPtr, rTmp, "nowrap").
+		Const(rPtr, dataBase).
+		Label("nowrap").
+		BranchLT(rIdx, rLimit, "loop").
+		Halt()
+	return Workload{
+		Name:        "stream",
+		Description: "sequential array reduction, predictable branches",
+		Program:     b.MustBuild(),
+		Init: func(m *mem.Memory) {
+			for i := 0; i < words; i++ {
+				m.WriteWord(dataBase+mem.Addr(i*8), uint64(i))
+			}
+		},
+	}
+}
+
+// PointerChase walks a randomized ring of nodes: every load depends on
+// the previous one (mcf-like), loop branch predictable.
+func PointerChase(iters, nodes int, seed int64) Workload {
+	b := isa.NewBuilder()
+	b.Const(rPtr, dataBase).
+		Const(rIdx, 0).
+		Const(rLimit, int64(iters)).
+		Label("loop").
+		Load(rPtr, rPtr, 0).
+		AddI(rIdx, rIdx, 1).
+		BranchLT(rIdx, rLimit, "loop").
+		Halt()
+	return Workload{
+		Name:        "pointer_chase",
+		Description: "dependent random pointer walk, memory bound",
+		Program:     b.MustBuild(),
+		Init: func(m *mem.Memory) {
+			rng := rand.New(rand.NewSource(seed))
+			perm := rng.Perm(nodes)
+			// Ring through the permutation, one node per line.
+			addr := func(i int) mem.Addr { return dataBase + mem.Addr(perm[i]*mem.LineSize) }
+			for i := 0; i < nodes; i++ {
+				m.WriteWord(addr(i), uint64(addr((i+1)%nodes)))
+			}
+		},
+	}
+}
+
+// BranchyFilter scans random data and conditionally accumulates through
+// an unpredictable branch whose taken arm loads from a second table —
+// the wrong path executes transient loads, the case CleanupSpec's
+// rollback (and any constant-time floor on it) must handle.
+func BranchyFilter(iters int, seed int64) Workload {
+	words := 2048     // 16 KiB scan array: L1 resident
+	tableWords := 256 // 2 KiB side table: always hot
+	tableBase := int64(dataBase + 0x40000)
+	b := isa.NewBuilder()
+	b.Const(rPtr, dataBase).
+		Const(rBase, tableBase).
+		Const(rAcc, 0).
+		Const(rAlt, 0).
+		Const(rIdx, 0).
+		Const(rLimit, int64(iters)).
+		Const(rThresh, 1<<31)
+	diluteInit(b)
+	b.Label("loop")
+	dilute(b, 7)
+	b.Load(rVal, rPtr, 0).
+		// Compare the high half so a random 64-bit word lands on
+		// either side of the 2^31 threshold with equal probability.
+		ShrI(rVal, rVal, 32).
+		BranchGE(rVal, rThresh, "else").
+		// Taken ~half the time on random data: unpredictable.
+		ShrI(rTmp, rVal, 18).
+		Const(rTmp2, int64(tableWords-1)).
+		And(rTmp, rTmp, rTmp2).
+		ShlI(rTmp, rTmp, 3).
+		Add(rTmp, rBase, rTmp).
+		Load(rTmp, rTmp, 0). // data-dependent (hot) table load
+		Add(rAcc, rAcc, rTmp).
+		Jmp("join").
+		Label("else").
+		AddI(rAlt, rAlt, 1).
+		Label("join").
+		AddI(rPtr, rPtr, 8).
+		AddI(rIdx, rIdx, 1).
+		Const(rTmp, int64(dataBase+words*8)).
+		BranchLT(rPtr, rTmp, "nowrap").
+		Const(rPtr, dataBase).
+		Label("nowrap").
+		BranchLT(rIdx, rLimit, "loop").
+		Halt()
+	return Workload{
+		Name:        "branchy_filter",
+		Description: "data-dependent filter, unpredictable branch every ~25 cycles",
+		Program:     b.MustBuild(),
+		Init: func(m *mem.Memory) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < words; i++ {
+				m.WriteWord(dataBase+mem.Addr(i*8), rng.Uint64())
+			}
+			for i := 0; i < tableWords; i++ {
+				m.WriteWord(mem.Addr(tableBase)+mem.Addr(i*8), rng.Uint64()%97)
+			}
+		},
+	}
+}
+
+// BinSearch performs repeated binary searches with random keys: every
+// direction branch is data-dependent and mispredicts roughly half the
+// time (xz/omnetpp-flavoured control flow).
+func BinSearch(searches, size int, seed int64) Workload {
+	// The array holds sorted values 2i at dataBase+8i.
+	levels := 0
+	for 1<<levels < size {
+		levels++
+	}
+	b := isa.NewBuilder()
+	b.Const(rIdx, 0).
+		Const(rLimit, int64(searches)).
+		Const(rBase, dataBase)
+	diluteInit(b)
+	b.Label("outer").
+		// key = pseudo-random from rIdx
+		Const(rTmp, 2654435761).
+		Mul(rVal, rIdx, rTmp).
+		ShrI(rVal, rVal, 13).
+		Const(rTmp, int64(2*size)).
+		And(rVal, rVal, rTmp).       // key in [0, 2*size)
+		Const(rPtr, 0).              // lo
+		Const(rThresh, int64(size)). // span
+		Const(rTmp2, 0)
+	for l := 0; l < levels; l++ {
+		// Predictable comparison work between levels spaces the
+		// unpredictable direction branches apart.
+		dilute(b, 6)
+		b.ShrI(rThresh, rThresh, 1) // halve span
+		// mid = lo + span ; probe A[mid]
+		b.Add(rTmp2, rPtr, rThresh).
+			ShlI(rTmp, rTmp2, 3).
+			Add(rTmp, rTmp, rBase).
+			Load(rAcc, rTmp, 0).
+			BranchGE(rAcc, rVal, "skip_"+label(l)).
+			Mov(rPtr, rTmp2). // lo = mid
+			Label("skip_" + label(l))
+	}
+	b.AddI(rIdx, rIdx, 1).
+		BranchLT(rIdx, rLimit, "outer").
+		Halt()
+	return Workload{
+		Name:        "binsearch",
+		Description: "random-key binary search, unpredictable direction branches",
+		Program:     b.MustBuild(),
+		Init: func(m *mem.Memory) {
+			for i := 0; i < size; i++ {
+				m.WriteWord(dataBase+mem.Addr(i*8), uint64(2*i))
+			}
+		},
+	}
+}
+
+func label(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+// HashProbe hashes a counter and probes a scattered table, branching on
+// the tag comparison (hash-join / deepsjeng-flavoured).
+func HashProbe(iters, tableWords int, seed int64) Workload {
+	b := isa.NewBuilder()
+	b.Const(rIdx, 0).
+		Const(rLimit, int64(iters)).
+		Const(rBase, dataBase).
+		Const(rAcc, 0).
+		Const(rThresh, 48) // tag threshold; table values in [0,97)
+	diluteInit(b)
+	b.Label("loop")
+	dilute(b, 7)
+	b.Const(rTmp, 0x9e3779b9).
+		Mul(rVal, rIdx, rTmp).
+		ShrI(rVal, rVal, 9).
+		Const(rTmp, int64(tableWords-1)).
+		And(rVal, rVal, rTmp).
+		ShlI(rVal, rVal, 3).
+		Add(rVal, rVal, rBase).
+		Load(rTmp2, rVal, 0).
+		BranchGE(rTmp2, rThresh, "miss").
+		AddI(rAcc, rAcc, 1).
+		Load(rTmp, rVal, 8). // hit path reads the payload word
+		Add(rAcc, rAcc, rTmp).
+		Label("miss").
+		AddI(rIdx, rIdx, 1).
+		BranchLT(rIdx, rLimit, "loop").
+		Halt()
+	return Workload{
+		Name:        "hash_probe",
+		Description: "hashed table probes with unpredictable tag-match branch",
+		Program:     b.MustBuild(),
+		Init: func(m *mem.Memory) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < tableWords; i++ {
+				m.WriteWord(dataBase+mem.Addr(i*8), rng.Uint64()%97)
+			}
+		},
+	}
+}
+
+// StrideSum reads every 8th line of a large array: predictable branch,
+// high miss rate (streaming through memory).
+func StrideSum(iters int) Workload {
+	span := 1 << 20 // 1 MiB region
+	b := isa.NewBuilder()
+	b.Const(rPtr, dataBase).
+		Const(rAcc, 0).
+		Const(rIdx, 0).
+		Const(rLimit, int64(iters)).
+		Label("loop").
+		Load(rVal, rPtr, 0).
+		Add(rAcc, rAcc, rVal).
+		AddI(rPtr, rPtr, 512).
+		AddI(rIdx, rIdx, 1).
+		Const(rTmp, int64(dataBase+span)).
+		BranchLT(rPtr, rTmp, "nowrap").
+		Const(rPtr, dataBase).
+		Label("nowrap").
+		BranchLT(rIdx, rLimit, "loop").
+		Halt()
+	return Workload{
+		Name:        "stride_sum",
+		Description: "strided streaming reads, predictable control",
+		Program:     b.MustBuild(),
+		Init:        func(m *mem.Memory) {},
+	}
+}
+
+// RandomWalk mixes random loads with a value-dependent branch whose both
+// arms touch memory (perlbench/gcc-flavoured irregularity).
+func RandomWalk(iters int, seed int64) Workload {
+	maskWords := 2047 // 16 KiB table: L1 resident
+	b := isa.NewBuilder()
+	b.Const(rIdx, 0).
+		Const(rLimit, int64(iters)).
+		Const(rBase, dataBase).
+		Const(rVal, int64(seed|1)).
+		Const(rThresh, 1<<31)
+	diluteInit(b)
+	b.Label("loop")
+	dilute(b, 5)
+	b.Const(rTmp, 6364136223846793005).
+		Mul(rVal, rVal, rTmp).
+		AddI(rVal, rVal, 1442695040888963407).
+		ShrI(rTmp, rVal, 33).
+		Const(rTmp2, int64(maskWords)).
+		And(rTmp, rTmp, rTmp2).
+		ShlI(rTmp, rTmp, 3).
+		Add(rTmp, rTmp, rBase).
+		Load(rTmp2, rTmp, 0).
+		ShrI(rTmp2, rTmp2, 32). // high half: 50/50 against the threshold
+		BranchGE(rTmp2, rThresh, "high").
+		Load(rAcc, rTmp, 8).
+		Jmp("join").
+		Label("high").
+		Load(rAcc, rTmp, 16).
+		Label("join").
+		AddI(rIdx, rIdx, 1).
+		BranchLT(rIdx, rLimit, "loop").
+		Halt()
+	return Workload{
+		Name:        "random_walk",
+		Description: "random loads with value-dependent two-arm branch",
+		Program:     b.MustBuild(),
+		Init: func(m *mem.Memory) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i <= maskWords+2; i++ {
+				m.WriteWord(dataBase+mem.Addr(i*8), rng.Uint64())
+			}
+		},
+	}
+}
+
+// Compute is an ALU-dominated kernel (imagick-flavoured): long dependent
+// arithmetic chains, almost no memory traffic or squashes.
+func Compute(iters int) Workload {
+	b := isa.NewBuilder()
+	b.Const(rAcc, 1).
+		Const(rIdx, 0).
+		Const(rLimit, int64(iters)).
+		Const(rTmp, 16777619).
+		Label("loop").
+		Mul(rAcc, rAcc, rTmp).
+		AddI(rAcc, rAcc, 13).
+		Xor(rAcc, rAcc, rIdx).
+		ShrI(rTmp2, rAcc, 7).
+		Add(rAcc, rAcc, rTmp2).
+		AddI(rIdx, rIdx, 1).
+		BranchLT(rIdx, rLimit, "loop").
+		Halt()
+	return Workload{
+		Name:        "compute",
+		Description: "ALU-bound dependent arithmetic, near-zero squashes",
+		Program:     b.MustBuild(),
+		Init:        func(m *mem.Memory) {},
+	}
+}
+
+// MatMulTile multiplies a small blocked tile repeatedly: regular
+// address streams, well-predicted loops, moderate L1 pressure
+// (imagick/fotonik-flavoured numeric code).
+func MatMulTile(reps, n int) Workload {
+	if n <= 0 || n > 16 {
+		n = 8
+	}
+	aBase := int64(dataBase)
+	bBase := int64(dataBase + 0x10000)
+	cBase := int64(dataBase + 0x20000)
+	b := isa.NewBuilder()
+	b.Const(rIdx, 0).
+		Const(rLimit, int64(reps)).
+		Label("rep")
+	// Fully unrolled n×n×n tile: the inner accumulation chains are
+	// serial, the loads stream.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Const(rAcc, 0)
+			for k := 0; k < n; k++ {
+				b.Const(rTmp, aBase+int64((i*n+k)*8)).
+					Load(rVal, rTmp, 0).
+					Const(rTmp, bBase+int64((k*n+j)*8)).
+					Load(rTmp2, rTmp, 0).
+					Mul(rVal, rVal, rTmp2).
+					Add(rAcc, rAcc, rVal)
+			}
+			b.Const(rTmp, cBase+int64((i*n+j)*8)).
+				Store(rTmp, 0, rAcc)
+		}
+	}
+	b.AddI(rIdx, rIdx, 1).
+		BranchLT(rIdx, rLimit, "rep").
+		Halt()
+	return Workload{
+		Name:        "matmul_tile",
+		Description: "blocked matrix-multiply tile, regular streams, predictable control",
+		Program:     b.MustBuild(),
+		Init: func(m *mem.Memory) {
+			for i := 0; i < n*n; i++ {
+				m.WriteWord(mem.Addr(aBase)+mem.Addr(i*8), uint64(i%7+1))
+				m.WriteWord(mem.Addr(bBase)+mem.Addr(i*8), uint64(i%5+1))
+			}
+		},
+	}
+}
+
+// QueueSim drains a ring of work items whose service path depends on
+// the item class (deepsjeng/omnetpp-flavoured discrete-event flavour):
+// a moderately biased, data-dependent branch per item.
+func QueueSim(items int, seed int64) Workload {
+	ring := 1024
+	b := isa.NewBuilder()
+	b.Const(rPtr, dataBase).
+		Const(rIdx, 0).
+		Const(rLimit, int64(items)).
+		Const(rThresh, 3) // class threshold: items in [0,8) → 3:5 split
+	diluteInit(b)
+	b.Label("loop")
+	dilute(b, 5)
+	b.Load(rVal, rPtr, 0).
+		BranchGE(rVal, rThresh, "slowpath").
+		AddI(rAcc, rAcc, 1). // fast service
+		Jmp("next").
+		Label("slowpath").
+		Mul(rTmp2, rVal, rVal). // slow service: extra work + payload read
+		Load(rTmp, rPtr, 8).
+		Add(rAcc, rAcc, rTmp).
+		Label("next").
+		AddI(rPtr, rPtr, 16).
+		AddI(rIdx, rIdx, 1).
+		Const(rTmp, int64(dataBase+ring*16)).
+		BranchLT(rPtr, rTmp, "nowrap").
+		Const(rPtr, dataBase).
+		Label("nowrap").
+		BranchLT(rIdx, rLimit, "loop").
+		Halt()
+	return Workload{
+		Name:        "queue_sim",
+		Description: "work-queue drain with class-dependent service branch",
+		Program:     b.MustBuild(),
+		Init: func(m *mem.Memory) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ring; i++ {
+				m.WriteWord(dataBase+mem.Addr(i*16), rng.Uint64()%8)
+				m.WriteWord(dataBase+mem.Addr(i*16+8), rng.Uint64()%100)
+			}
+		},
+	}
+}
+
+// ExtendedSuite returns Suite plus the extra kernels; simrun exposes it
+// for ad-hoc exploration while Figure 12 keeps the fixed 8-kernel suite
+// for comparability.
+func ExtendedSuite(scale int, seed int64) []Workload {
+	return append(Suite(scale, seed),
+		MatMulTile(scale/64, 8),
+		QueueSim(scale/2, seed+5),
+	)
+}
+
+// Suite returns the full benchmark set at a given scale (approximate
+// dynamic iterations per workload).
+func Suite(scale int, seed int64) []Workload {
+	if scale <= 0 {
+		scale = 10_000
+	}
+	return []Workload{
+		Stream(scale),
+		StrideSum(scale),
+		Compute(scale),
+		PointerChase(scale/2, 1024, seed),
+		BranchyFilter(scale/2, seed+1),
+		BinSearch(scale/16, 1024, seed+2),
+		HashProbe(scale/2, 2048, seed+3),
+		RandomWalk(scale/2, seed+4),
+	}
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Artifact-compatible entry point, mirroring the interface of the
+# original unXpec artifact (HPCA'22 Artifact Appendix):
+#
+#   bash run.sh TimingDifference [-e]   # §VI-A  (Figures 7/8)
+#   bash run.sh LeakageRate             # §VI-B
+#   bash run.sh SecretLeakage [-e]      # §VI-C  (Figures 10/11)
+#   bash run.sh NoiseInsensitivity      # §VI-D  (Figure 13)
+#   bash run.sh ConstantTime            # §VI-E  (Figure 12)
+#   bash run.sh All                     # everything, CSVs into results/
+#
+# -e enables the eviction-set optimization where applicable.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmd="${1:-All}"
+evict=""
+if [[ "${2:-}" == "-e" ]]; then
+  evict="yes"
+fi
+
+case "$cmd" in
+  TimingDifference)
+    if [[ -n "$evict" ]]; then
+      go run ./cmd/figures -fig 8 -plot
+    else
+      go run ./cmd/figures -fig 7 -plot
+    fi
+    ;;
+  LeakageRate)
+    go run ./cmd/figures -fig rate
+    ;;
+  SecretLeakage)
+    if [[ -n "$evict" ]]; then
+      go run ./cmd/figures -fig 11 -plot
+    else
+      go run ./cmd/figures -fig 10 -plot
+    fi
+    ;;
+  NoiseInsensitivity)
+    go run ./cmd/figures -fig 13
+    ;;
+  ConstantTime)
+    go run ./cmd/figures -fig 12
+    ;;
+  All)
+    go run ./cmd/figures
+    ;;
+  *)
+    echo "run.sh: unknown experiment '$cmd'" >&2
+    echo "choose: TimingDifference|LeakageRate|SecretLeakage|NoiseInsensitivity|ConstantTime|All" >&2
+    exit 2
+    ;;
+esac
