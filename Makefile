@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test bench figures report attack examples clean
+.PHONY: all test bench figures report attack examples fuzz fuzz-selftest regen-results clean
 
 all: test
 
@@ -31,5 +31,22 @@ examples:
 	go run ./examples/crosscore
 	go run ./examples/interference
 
+# Differential fuzzing sweep (see docs/FUZZING.md). Failing witnesses
+# land in testdata/corpus/ where the test suite replays them forever.
+fuzz:
+	go run ./cmd/fuzz -n 500 -seed 1
+
+# Prove the fuzzer's properties have teeth: with a deliberately broken
+# rollback the sweep MUST fail, so this target succeeds when cmd/fuzz
+# exits non-zero (witnesses go to a scratch dir, not the corpus).
+fuzz-selftest:
+	! go run ./cmd/fuzz -n 30 -seed 0 -scheme cleanupspec -inject skip-rollback -corpus /tmp/fuzz-selftest-corpus
+
+# Regenerate the version-controlled golden CSVs under results/.
+regen-results:
+	go run ./cmd/figures -out results
+
+# Scratch outputs only: results/*.csv are version-controlled goldens
+# regenerated via `make regen-results`, never deleted here.
 clean:
-	rm -rf results/*.csv test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt

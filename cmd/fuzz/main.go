@@ -1,0 +1,182 @@
+// Command fuzz drives the differential fuzzing subsystem from the
+// command line: it generates seeded random programs, checks the
+// metamorphic properties (undo-scheme invariance of architectural
+// state, rollback completeness, determinism) across the scheme matrix,
+// optionally minimizes failures with the delta-debugging shrinker, and
+// persists failing witnesses to the corpus directory the test suite
+// replays.
+//
+// Typical runs:
+//
+//	go run ./cmd/fuzz -n 500 -seed 1              # nightly-style sweep
+//	go run ./cmd/fuzz -n 50 -inject skip-rollback # prove the properties have teeth
+//	go run ./cmd/fuzz -containment                # leak-gadget verdict per scheme
+//
+// Exit status is 0 when every program passes and non-zero when any
+// property diverged (or, with -containment, when the verdicts disagree
+// with the paper's taxonomy).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fuzz"
+	"repro/internal/isa"
+	"repro/internal/undo"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 1, "first generator seed; program i uses seed+i")
+		n           = flag.Int("n", 100, "number of random programs to check")
+		scheme      = flag.String("scheme", "all", `comma-separated undo scheme specs (e.g. "cleanupspec,const-45"), or "all"`)
+		corpus      = flag.String("corpus", "testdata/corpus", "directory failing witnesses are written to (empty disables persistence)")
+		minimize    = flag.Bool("minimize", true, "shrink failing programs to minimal witnesses before reporting/saving")
+		inject      = flag.String("inject", "", `fault injection: "skip-rollback" or "global-stall" (self-test; a healthy run must then FAIL)`)
+		containment = flag.Bool("containment", false, "run the squash-containment leak gadget per scheme instead of random programs")
+		trials      = flag.Int("trials", 20, "trials per secret value for -containment")
+	)
+	flag.Parse()
+
+	schemes := fuzz.AllSchemes
+	if *scheme != "all" && *scheme != "" {
+		schemes = strings.Split(*scheme, ",")
+	}
+	// Reject bad specs before the sweep: a scheme typo must be a usage
+	// error, not 500 "divergences" minimized into junk corpus entries.
+	for _, s := range schemes {
+		if _, err := undo.Parse(s, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	injection, err := fuzz.ParseInjection(*inject)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	g := fuzz.MustNew(fuzz.DefaultConfig())
+	if *containment {
+		os.Exit(runContainment(g, schemes, *trials))
+	}
+	os.Exit(runSweep(g, schemes, *seed, *n, *corpus, *minimize, injection))
+}
+
+// runSweep checks n seeded random programs and returns the exit code.
+func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus string, minimize bool, injection fuzz.Injection) int {
+	failures := 0
+	for i := 0; i < n; i++ {
+		s := seed + int64(i)
+		opts := fuzz.Options{
+			Schemes:     schemes,
+			MemSeed:     s + 1000,
+			MachineSeed: s,
+			Wrap:        injection.Wrapper(),
+		}
+		prog := g.Program(s)
+		divs := g.CheckProgram(prog, opts)
+		divs = append(divs, g.CheckDeterminism(prog, opts)...)
+		if len(divs) == 0 {
+			continue
+		}
+		failures++
+		fmt.Printf("seed %d: %d divergence(s)\n", s, len(divs))
+		for _, d := range divs {
+			fmt.Printf("  %s\n", d.String())
+		}
+
+		witness := prog
+		if minimize {
+			// Pin the shrink predicate to the properties the original
+			// program violated, so reduction can't wander into an
+			// unrelated failure (e.g. shrinking a rollback bug into an
+			// infinite loop that merely times out the reference).
+			origProps := make(map[string]bool, len(divs))
+			for _, d := range divs {
+				origProps[d.Property] = true
+			}
+			witness = fuzz.Shrink(prog, func(p *isa.Program) bool {
+				all := g.CheckProgram(p, opts)
+				// The determinism check runs the core twice per scheme,
+				// which is expensive on degenerate candidates (infinite
+				// loops run to the watchdog) — only pay for it when
+				// determinism is what originally broke.
+				if origProps["determinism"] {
+					all = append(all, g.CheckDeterminism(p, opts)...)
+				}
+				for _, d := range all {
+					if origProps[d.Property] {
+						return true
+					}
+				}
+				return false
+			})
+			fmt.Printf("  minimized %d → %d instructions\n", prog.Len(), witness.Len())
+		}
+		if corpus != "" {
+			reasons := make([]string, 0, len(divs))
+			for _, d := range divs {
+				reasons = append(reasons, d.String())
+			}
+			w := &fuzz.Witness{
+				Name:        fmt.Sprintf("seed%d", s),
+				Reason:      strings.Join(reasons, "\n"),
+				Seed:        s,
+				MemSeed:     opts.MemSeed,
+				MachineSeed: opts.MachineSeed,
+				Prog:        witness,
+			}
+			path, err := fuzz.SaveWitness(corpus, w)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			fmt.Printf("  witness saved to %s\n", path)
+		}
+	}
+	fmt.Printf("checked %d programs across %d scheme(s): %d failing\n", n, len(schemes), failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runContainment prints the leak-gadget verdict per scheme and returns
+// non-zero when the verdicts contradict the paper's taxonomy: the
+// unsafe baseline must leak, and Undo-style rollback must leak through
+// victim time (the unXpec channel) even where the probe is contained.
+func runContainment(g *fuzz.Generator, schemes []string, trials int) int {
+	bad := 0
+	for _, spec := range schemes {
+		rep, err := g.CheckContainment(spec, trials, fuzz.Options{MemSeed: 42})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		verdict := "contained"
+		if rep.Leaks(0.7) {
+			verdict = "LEAKS"
+		}
+		fmt.Printf("%-12s %-9s %s\n", spec, verdict, rep.String())
+		switch spec {
+		case "unsafe":
+			if rep.ProbeAccuracy < 0.9 {
+				fmt.Printf("  UNEXPECTED: unsafe baseline should leak via the probe\n")
+				bad++
+			}
+		case "cleanupspec":
+			if rep.VictimAccuracy < 0.9 {
+				fmt.Printf("  UNEXPECTED: Undo rollback should leak via victim time (unXpec)\n")
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

@@ -5,20 +5,23 @@
 // check on the core: it covers operand forwarding, store ordering,
 // wrong-path containment, squash recovery, and scheme side effects in
 // one property.
+//
+// The generator and the property checks live in internal/fuzz (shared
+// with cmd/fuzz and the corpus replay tests); this file keeps the
+// historical seed schedule so the exact programs that validated the
+// seed repo keep running on every `go test`.
 package repro_test
 
 import (
-	"fmt"
-	"math/rand"
 	"testing"
 
 	"repro/internal/branch"
 	"repro/internal/cpu"
+	"repro/internal/fuzz"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/memsys"
 	"repro/internal/noise"
-	"repro/internal/trace"
 	"repro/internal/undo"
 )
 
@@ -28,169 +31,34 @@ type memAdapter struct{ m *mem.Memory }
 func (a memAdapter) ReadWord(addr uint64) uint64     { return a.m.ReadWord(mem.Addr(addr)) }
 func (a memAdapter) WriteWord(addr uint64, v uint64) { a.m.WriteWord(mem.Addr(addr), v) }
 
-// genProgram builds a random terminating program:
-// a prologue of constants, then `blocks` randomly chosen constructs
-// (ALU chains, load/store pairs into a private region, data-dependent
-// forward branches, bounded counter loops), then Halt.
-//
-// Register discipline: r1..r8 are general scratch; r9 is the data-region
-// base; r10/r11 are loop counters (never clobbered by scratch ops).
-func genProgram(rng *rand.Rand, blocks int) *isa.Program {
-	b := isa.NewBuilder()
-	const regionBase = 0x100000
-	b.Const(9, regionBase)
-	for r := isa.Reg(1); r <= 8; r++ {
-		b.Const(r, int64(rng.Intn(1000)))
-	}
-	scratch := func() isa.Reg { return isa.Reg(1 + rng.Intn(8)) }
-	labelID := 0
-	newLabel := func() string { labelID++; return fmt.Sprintf("L%d", labelID) }
-
-	for blk := 0; blk < blocks; blk++ {
-		switch rng.Intn(5) {
-		case 0: // ALU chain
-			for i := 0; i < 1+rng.Intn(5); i++ {
-				rd, ra, rb := scratch(), scratch(), scratch()
-				switch rng.Intn(6) {
-				case 0:
-					b.Add(rd, ra, rb)
-				case 1:
-					b.Sub(rd, ra, rb)
-				case 2:
-					b.Mul(rd, ra, rb)
-				case 3:
-					b.Xor(rd, ra, rb)
-				case 4:
-					b.ShlI(rd, ra, int64(rng.Intn(8)))
-				case 5:
-					b.AddI(rd, ra, int64(rng.Intn(64)))
-				}
-			}
-		case 1: // store then load (same or different offset)
-			off1 := int64(rng.Intn(64)) * 8
-			off2 := int64(rng.Intn(64)) * 8
-			b.Store(9, off1, scratch())
-			b.Load(scratch(), 9, off2)
-		case 2: // data-dependent forward branch over a few ops
-			skip := newLabel()
-			ra, rb := scratch(), scratch()
-			switch rng.Intn(4) {
-			case 0:
-				b.BranchLT(ra, rb, skip)
-			case 1:
-				b.BranchGE(ra, rb, skip)
-			case 2:
-				b.BranchEQ(ra, rb, skip)
-			case 3:
-				b.BranchNE(ra, rb, skip)
-			}
-			for i := 0; i < 1+rng.Intn(3); i++ {
-				b.AddI(scratch(), scratch(), int64(rng.Intn(16)))
-			}
-			// Shadow loads: these become transient when the branch
-			// mispredicts — the interesting case for undo schemes.
-			b.Load(scratch(), 9, int64(rng.Intn(64))*8)
-			b.Label(skip)
-		case 3: // bounded counter loop
-			loop := newLabel()
-			iters := int64(2 + rng.Intn(6))
-			b.Const(10, 0).Const(11, iters)
-			b.Label(loop)
-			b.Add(scratch(), scratch(), scratch())
-			if rng.Intn(2) == 0 {
-				b.Load(scratch(), 9, int64(rng.Intn(64))*8)
-			}
-			b.AddI(10, 10, 1)
-			b.BranchLT(10, 11, loop)
-		case 4: // flush + fence (timing ops, architecturally inert)
-			b.Flush(9, int64(rng.Intn(64))*8)
-			if rng.Intn(2) == 0 {
-				b.Fence()
-			}
-		}
-	}
-	b.Halt()
-	return b.MustBuild()
-}
-
-// initRegion plants random data in the program's load/store region.
-func initRegion(rng *rand.Rand, m *mem.Memory) {
-	for i := 0; i < 64; i++ {
-		m.WriteWord(mem.Addr(0x100000+i*8), rng.Uint64()%1_000_000)
-	}
-}
-
 func TestCosimRandomProgramsAllSchemes(t *testing.T) {
-	schemes := []func() undo.Scheme{
-		func() undo.Scheme { return undo.NewUnsafe() },
-		func() undo.Scheme { return undo.NewCleanupSpec() },
-		func() undo.Scheme { return undo.NewConstantTime(45, undo.Relaxed) },
-		func() undo.Scheme { return undo.NewConstantTime(20, undo.Strict) },
-		func() undo.Scheme { return undo.NewFuzzyTime(40, 7) },
-		func() undo.Scheme { return undo.NewInvisibleLite() },
-	}
+	g := fuzz.MustNew(fuzz.DefaultConfig())
 	const trials = 40
-	for trial := 0; trial < trials; trial++ {
-		rng := rand.New(rand.NewSource(int64(trial)))
-		prog := genProgram(rng, 3+rng.Intn(6))
-
-		// Reference execution.
-		refMem := mem.NewMemory()
-		initRegion(rand.New(rand.NewSource(int64(trial)+1000)), refMem)
-		ref := isa.Interpret(prog, memAdapter{refMem}, [isa.NumRegs]uint64{}, 200_000)
-		if ref.TimedOut {
-			t.Fatalf("trial %d: reference timed out (generator produced a diverging program)", trial)
-		}
-
-		for si, mk := range schemes {
-			scheme := mk()
-			coreMem := mem.NewMemory()
-			initRegion(rand.New(rand.NewSource(int64(trial)+1000)), coreMem)
-			hier := memsys.MustNew(memsys.DefaultConfig(int64(trial)), coreMem)
-			core := cpu.MustNew(cpu.DefaultConfig(), hier, branch.New(branch.DefaultConfig()), scheme, noise.None{})
-			checker := trace.NewChecker()
-			core.SetTracer(checker)
-			st := core.Run(prog)
-			if st.TimedOut {
-				t.Fatalf("trial %d scheme %s: core timed out", trial, scheme.Name())
-			}
-			if !checker.Ok() {
-				t.Fatalf("trial %d scheme %s: pipeline invariants broken:\n%v",
-					trial, scheme.Name(), checker.Violations)
-			}
-			for r := isa.Reg(1); r <= 11; r++ {
-				if core.Reg(r) != ref.Regs[r] {
-					t.Fatalf("trial %d scheme %s (#%d): r%d = %d, reference %d\nprogram:\n%s",
-						trial, scheme.Name(), si, r, core.Reg(r), ref.Regs[r], prog.Disassemble())
-				}
-			}
-			// Memory agreement over the region.
-			for i := 0; i < 64; i++ {
-				a := mem.Addr(0x100000 + i*8)
-				if coreMem.ReadWord(a) != refMem.ReadWord(a) {
-					t.Fatalf("trial %d scheme %s: memory %s = %d, reference %d\nprogram:\n%s",
-						trial, scheme.Name(), a, coreMem.ReadWord(a), refMem.ReadWord(a), prog.Disassemble())
-				}
-			}
+	for trial := int64(0); trial < trials; trial++ {
+		prog := g.Program(trial)
+		opts := fuzz.Options{MemSeed: trial + 1000, MachineSeed: trial}
+		if divs := g.CheckProgram(prog, opts); len(divs) > 0 {
+			t.Fatalf("trial %d: %s\nprogram:\n%s", trial, divs[0].String(), prog.Disassemble())
 		}
 	}
 }
 
 func TestCosimWithNoiseStillArchitecturallyExact(t *testing.T) {
 	// Noise perturbs timing; architecture must still match the golden
-	// model bit for bit.
-	for trial := 0; trial < 10; trial++ {
-		rng := rand.New(rand.NewSource(int64(1000 + trial)))
-		prog := genProgram(rng, 5)
+	// model bit for bit. CheckProgram runs noiseless machines, so this
+	// test wires the noisy core by hand.
+	g := fuzz.MustNew(fuzz.DefaultConfig())
+	for trial := int64(0); trial < 10; trial++ {
+		prog := g.ProgramWithBlocks(1000+trial, 5)
 		refMem := mem.NewMemory()
-		initRegion(rand.New(rand.NewSource(int64(trial))), refMem)
+		g.InitMemory(trial, refMem)
 		ref := isa.Interpret(prog, memAdapter{refMem}, [isa.NumRegs]uint64{}, 200_000)
 
 		coreMem := mem.NewMemory()
-		initRegion(rand.New(rand.NewSource(int64(trial))), coreMem)
+		g.InitMemory(trial, coreMem)
 		hier := memsys.MustNew(memsys.DefaultConfig(3), coreMem)
 		core := cpu.MustNew(cpu.DefaultConfig(), hier, branch.New(branch.DefaultConfig()),
-			undo.NewCleanupSpec(), noise.NewSystem(int64(trial)))
+			undo.NewCleanupSpec(), noise.NewSystem(trial))
 		core.Run(prog)
 		for r := isa.Reg(1); r <= 11; r++ {
 			if core.Reg(r) != ref.Regs[r] {

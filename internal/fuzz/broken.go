@@ -1,0 +1,82 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+	"repro/internal/undo"
+)
+
+// Injection names a deliberate model corruption. The fuzzer's self-test
+// story depends on these: a property that never fires on a broken model
+// is theater, so `cmd/fuzz -inject` (and the package tests) corrupt a
+// core invariant and demand the properties catch it.
+type Injection string
+
+const (
+	// InjectNone disables fault injection.
+	InjectNone Injection = ""
+	// InjectSkipRollback drops the first transient load from every
+	// squash's rollback set — the "forgot one line" bug class. The
+	// skipped line is neither invalidated nor committed, so the
+	// spec-residue property must flag it.
+	InjectSkipRollback Injection = "skip-rollback"
+	// InjectGlobalStall adds a stall penalty derived from process-
+	// global mutable state, breaking run-to-run reproducibility — the
+	// determinism property must flag it.
+	InjectGlobalStall Injection = "global-stall"
+)
+
+// ParseInjection validates an -inject flag value.
+func ParseInjection(s string) (Injection, error) {
+	switch Injection(s) {
+	case InjectNone, InjectSkipRollback, InjectGlobalStall:
+		return Injection(s), nil
+	}
+	return InjectNone, fmt.Errorf("fuzz: unknown injection %q (want %q or %q)",
+		s, InjectSkipRollback, InjectGlobalStall)
+}
+
+// Wrapper returns the scheme wrapper implementing the injection, or nil
+// for InjectNone.
+func (in Injection) Wrapper() func(undo.Scheme) undo.Scheme {
+	switch in {
+	case InjectSkipRollback:
+		return func(s undo.Scheme) undo.Scheme { return &skipRollback{Scheme: s} }
+	case InjectGlobalStall:
+		return func(s undo.Scheme) undo.Scheme { return &globalStall{Scheme: s} }
+	}
+	return nil
+}
+
+// skipRollback forwards every call to the wrapped scheme but silently
+// drops the first transient load from each squash, modelling an undo
+// implementation that loses track of one line.
+type skipRollback struct {
+	undo.Scheme
+}
+
+func (s *skipRollback) OnSquash(h *memsys.Hierarchy, ctx undo.SquashContext) undo.Result {
+	if len(ctx.Transients) > 0 {
+		ctx.Transients = ctx.Transients[1:]
+	}
+	return s.Scheme.OnSquash(h, ctx)
+}
+
+// globalStallCounter is deliberately process-global: two "identical"
+// runs observe different values, which is exactly the nondeterminism
+// the property must catch.
+var globalStallCounter int
+
+// globalStall perturbs each squash's stall with ever-changing global
+// state.
+type globalStall struct {
+	undo.Scheme
+}
+
+func (g *globalStall) OnSquash(h *memsys.Hierarchy, ctx undo.SquashContext) undo.Result {
+	res := g.Scheme.OnSquash(h, ctx)
+	globalStallCounter++
+	res.StallCycles += globalStallCounter % 7
+	return res
+}

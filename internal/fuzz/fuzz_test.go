@@ -1,0 +1,241 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestGeneratorDeterministic: same (config, seed) ⇒ byte-identical
+// program and memory image.
+func TestGeneratorDeterministic(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	for seed := int64(0); seed < 10; seed++ {
+		a := g.Program(seed).Disassemble()
+		b := g.Program(seed).Disassemble()
+		if a != b {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+	}
+}
+
+// TestGeneratorRespectsWeights: a zero weight must suppress the block
+// kind entirely.
+func TestGeneratorRespectsWeights(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Weights = Weights{ALU: 1} // nothing else
+	g := MustNew(cfg)
+	for seed := int64(0); seed < 5; seed++ {
+		prog := g.Program(seed)
+		for _, in := range prog.Insts {
+			switch in.Op {
+			case isa.OpLoad, isa.OpStore, isa.OpFlush, isa.OpFence,
+				isa.OpBranchLT, isa.OpBranchGE, isa.OpBranchEQ, isa.OpBranchNE:
+				t.Fatalf("seed %d emitted %v despite ALU-only weights", seed, in)
+			}
+		}
+	}
+}
+
+// TestCheckProgramCleanOnHealthyModel: the differential properties hold
+// across the whole scheme matrix for a spread of random programs.
+func TestCheckProgramCleanOnHealthyModel(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	for seed := int64(0); seed < 15; seed++ {
+		prog := g.Program(seed)
+		opts := Options{MemSeed: seed + 1000, MachineSeed: seed}
+		if divs := g.CheckProgram(prog, opts); len(divs) > 0 {
+			t.Fatalf("seed %d: unexpected divergence: %s\nprogram:\n%s",
+				seed, divs[0].String(), prog.Disassemble())
+		}
+		if divs := g.CheckDeterminism(prog, opts); len(divs) > 0 {
+			t.Fatalf("seed %d: %s", seed, divs[0].String())
+		}
+	}
+}
+
+// TestSkipRollbackInjectionCaughtAndMinimized is the subsystem's
+// reason to exist: corrupting a core invariant (dropping one line from
+// every rollback) must be caught by the spec-residue property, and the
+// shrinker must reduce the witness to a human-readable size.
+func TestSkipRollbackInjectionCaughtAndMinimized(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	wrap := InjectSkipRollback.Wrapper()
+
+	var caughtSeed int64 = -1
+	var opts Options
+	for seed := int64(0); seed < 50; seed++ {
+		o := Options{MemSeed: seed + 1000, MachineSeed: seed, Wrap: wrap,
+			Schemes: []string{"cleanupspec"}}
+		if divs := g.CheckProgram(g.Program(seed), o); len(divs) > 0 {
+			if divs[0].Property != "spec-residue" {
+				t.Fatalf("seed %d: caught by %q, want spec-residue: %s",
+					seed, divs[0].Property, divs[0].Detail)
+			}
+			caughtSeed, opts = seed, o
+			break
+		}
+	}
+	if caughtSeed < 0 {
+		t.Fatal("skip-rollback injection never caught in 50 seeds — the property has no power")
+	}
+
+	orig := g.Program(caughtSeed)
+	// Pin the predicate to spec-residue so shrinking can't wander into
+	// an unrelated failure class (e.g. a timeout loop).
+	fails := func(p *isa.Program) bool {
+		for _, d := range g.CheckProgram(p, opts) {
+			if d.Property == "spec-residue" {
+				return true
+			}
+		}
+		return false
+	}
+	minimized := Shrink(orig, fails)
+	if !fails(minimized) {
+		t.Fatal("shrinker returned a non-failing program")
+	}
+	if minimized.Len() > 20 {
+		t.Fatalf("witness not minimal: %d instructions (want ≤ 20)\n%s",
+			minimized.Len(), minimized.Disassemble())
+	}
+	if minimized.Len() >= orig.Len() {
+		t.Fatalf("shrinker made no progress: %d → %d", orig.Len(), minimized.Len())
+	}
+}
+
+// TestGlobalStallInjectionBreaksDeterminism: the determinism property
+// must notice run-to-run divergence.
+func TestGlobalStallInjectionBreaksDeterminism(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	wrap := InjectGlobalStall.Wrapper()
+	caught := false
+	for seed := int64(0); seed < 20 && !caught; seed++ {
+		o := Options{MemSeed: seed + 1000, MachineSeed: seed, Wrap: wrap,
+			Schemes: []string{"cleanupspec"}}
+		caught = len(g.CheckDeterminism(g.Program(seed), o)) > 0
+	}
+	if !caught {
+		t.Fatal("global-stall injection never detected by the determinism property")
+	}
+}
+
+// TestContainmentVerdicts encodes the paper in three property checks:
+// the unsafe baseline leaks through the attacker's probe (Spectre), the
+// CleanupSpec Undo defense leaks through the victim's rollback time
+// (unXpec's core claim), and the Invisible-style scheme leaks through
+// neither observable.
+func TestContainmentVerdicts(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	const trials = 12
+	opts := Options{MemSeed: 42, MachineSeed: 0}
+
+	unsafe, err := g.CheckContainment("unsafe", trials, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsafe.ProbeAccuracy < 0.9 {
+		t.Errorf("unsafe baseline should leak via probe timing, got %s", unsafe)
+	}
+
+	undo, err := g.CheckContainment("cleanupspec", trials, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if undo.VictimAccuracy < 0.9 {
+		t.Errorf("cleanupspec should leak via rollback time (the unXpec channel), got %s", undo)
+	}
+	if undo.ProbeAccuracy > 0.7 {
+		t.Errorf("cleanupspec rollback should close the probe channel, got %s", undo)
+	}
+
+	inv, err := g.CheckContainment("invisible", trials, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Leaks(0.7) {
+		t.Errorf("invisible scheme should contain both observables, got %s", inv)
+	}
+}
+
+// TestShrinkPreservesFailurePredicate: shrink an artificial failure
+// ("program contains a mul") and confirm minimality.
+func TestShrinkPreservesFailurePredicate(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Const(1, 3).Const(2, 4)
+	for i := 0; i < 20; i++ {
+		b.AddI(3, 3, 1)
+	}
+	b.Mul(4, 1, 2)
+	for i := 0; i < 20; i++ {
+		b.AddI(5, 5, 1)
+	}
+	b.Halt()
+	prog := b.MustBuild()
+
+	hasMul := func(p *isa.Program) bool {
+		for _, in := range p.Insts {
+			if in.Op == isa.OpMul {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(prog, hasMul)
+	if !hasMul(min) {
+		t.Fatal("shrink lost the failure")
+	}
+	if min.Len() > 2 { // mul + halt at most survives compaction
+		t.Fatalf("expected ≤ 2 instructions, got %d:\n%s", min.Len(), min.Disassemble())
+	}
+}
+
+// TestWitnessRoundTrip: marshal → parse reproduces the program and
+// seeds.
+func TestWitnessRoundTrip(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	w := &Witness{
+		Name: "roundtrip", Reason: "arch-state divergence\nsecond line",
+		Seed: 7, MemSeed: 1007, MachineSeed: 3, Prog: g.Program(7),
+	}
+	got, err := ParseWitness(w.Name, w.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 7 || got.MemSeed != 1007 || got.MachineSeed != 3 {
+		t.Fatalf("seeds lost: %+v", got)
+	}
+	if got.Prog.Disassemble() != w.Prog.Disassemble() {
+		t.Fatal("program changed in round trip")
+	}
+}
+
+// TestSaveAndLoadCorpus exercises the disk path.
+func TestSaveAndLoadCorpus(t *testing.T) {
+	dir := t.TempDir()
+	g := MustNew(DefaultConfig())
+	for seed := int64(1); seed <= 3; seed++ {
+		w := &Witness{Seed: seed, MemSeed: seed + 1000, Prog: g.Program(seed)}
+		if _, err := SaveWitness(dir, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("loaded %d witnesses, want 3", len(ws))
+	}
+	// Replay what we loaded — corpus entries must stay green.
+	for _, w := range ws {
+		opts := Options{MemSeed: w.MemSeed, MachineSeed: w.MachineSeed}
+		if divs := g.CheckProgram(w.Prog, opts); len(divs) > 0 {
+			t.Fatalf("witness %s diverged on replay: %s", w.Name, divs[0].String())
+		}
+	}
+	// Empty/missing directory is an empty corpus.
+	if ws, err := LoadCorpus(dir + "/nonexistent"); err != nil || len(ws) != 0 {
+		t.Fatalf("missing dir: got %d witnesses, err %v", len(ws), err)
+	}
+}

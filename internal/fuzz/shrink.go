@@ -1,0 +1,117 @@
+package fuzz
+
+import "repro/internal/isa"
+
+// Shrink delta-debugs a failing program down to a minimal witness:
+// `fails` must return true for the original program and keeps returning
+// true for every intermediate candidate Shrink commits to.
+//
+// The search nops out instruction ranges (ddmin-style, halving the
+// chunk size down to single instructions) rather than deleting them, so
+// branch targets stay valid throughout; a final compaction pass removes
+// the nops and remaps targets, and is only kept if the compacted
+// program still fails. The result is the smallest failing program the
+// search found — typically a handful of instructions, which is what
+// turns a 200-instruction fuzz dump into a reviewable bug report.
+func Shrink(prog *isa.Program, fails func(*isa.Program) bool) *isa.Program {
+	insts := append([]isa.Inst(nil), prog.Insts...)
+	candidate := func(in []isa.Inst) *isa.Program {
+		return &isa.Program{Insts: in, CodeBase: prog.CodeBase}
+	}
+	if !fails(candidate(insts)) {
+		// Not a failing program — nothing to minimize.
+		return prog
+	}
+
+	tryNop := func(lo, hi int) bool {
+		any := false
+		for i := lo; i < hi; i++ {
+			if insts[i].Op != isa.OpNop {
+				any = true
+			}
+		}
+		if !any {
+			return false
+		}
+		trial := append([]isa.Inst(nil), insts...)
+		for i := lo; i < hi; i++ {
+			trial[i] = isa.Inst{Op: isa.OpNop}
+		}
+		if fails(candidate(trial)) {
+			insts = trial
+			return true
+		}
+		return false
+	}
+
+	// ddmin: sweep windows of halving size until a full fixpoint.
+	for {
+		improved := false
+		for chunk := len(insts); chunk >= 1; chunk /= 2 {
+			for lo := 0; lo < len(insts); lo += chunk {
+				hi := lo + chunk
+				if hi > len(insts) {
+					hi = len(insts)
+				}
+				if tryNop(lo, hi) {
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	// Compaction: drop the nops and remap branch/jump targets. Because
+	// the failure can be fetch-alignment-sensitive (the frontend
+	// fetches FetchWidth instructions per group, so removing nops can
+	// change which loads issue inside a speculation window), retry the
+	// compacted program under a few small nop prefixes to restore the
+	// alignment; keep the first variant that still fails.
+	for prefix := 0; prefix <= 8; prefix++ {
+		if compacted := compact(insts, prog.CodeBase, prefix); fails(compacted) {
+			return compacted
+		}
+	}
+	return candidate(insts)
+}
+
+// compact removes OpNop instructions and remaps Target indices, then
+// prepends `prefix` nops (shifting targets accordingly) so callers can
+// restore a fetch-group alignment the removal destroyed. A target that
+// pointed at a removed instruction moves to the next surviving one (or
+// the program end, where At() reads as Halt).
+func compact(insts []isa.Inst, codeBase uint64, prefix int) *isa.Program {
+	newIdx := make([]int, len(insts)+1)
+	n := 0
+	for i, in := range insts {
+		newIdx[i] = n
+		if in.Op != isa.OpNop {
+			n++
+		}
+	}
+	newIdx[len(insts)] = n
+
+	out := make([]isa.Inst, 0, n+prefix)
+	for i := 0; i < prefix; i++ {
+		out = append(out, isa.Inst{Op: isa.OpNop})
+	}
+	for _, in := range insts {
+		if in.Op == isa.OpNop {
+			continue
+		}
+		if in.Op.IsBranch() || in.Op == isa.OpJmp {
+			t := in.Target
+			if t < 0 {
+				t = 0
+			}
+			if t > len(insts) {
+				t = len(insts)
+			}
+			in.Target = newIdx[t] + prefix
+		}
+		out = append(out, in)
+	}
+	return &isa.Program{Insts: out, CodeBase: codeBase}
+}

@@ -1,0 +1,141 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Witness is one failing (or hand-picked edge-case) program, stored on
+// disk as readable assembly plus the seeds needed to replay it exactly.
+type Witness struct {
+	// Name becomes the file name (without extension).
+	Name string
+	// Reason describes what failed (empty for hand-written seeds).
+	Reason string
+	// Seed is the generator seed that produced the program (0 for
+	// hand-written witnesses; informational only, since the program
+	// itself is stored).
+	Seed int64
+	// MemSeed seeds the data-region contents for replay.
+	MemSeed int64
+	// MachineSeed seeds the cache hierarchy and scheme randomness.
+	MachineSeed int64
+	// Prog is the program itself.
+	Prog *isa.Program
+}
+
+// WitnessExt is the corpus file extension.
+const WitnessExt = ".prog"
+
+// Marshal renders the witness in the corpus file format: "key value"
+// directives, a blank line, then the instruction listing.
+func (w *Witness) Marshal() []byte {
+	var b strings.Builder
+	if w.Reason != "" {
+		for _, line := range strings.Split(w.Reason, "\n") {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	fmt.Fprintf(&b, "seed %d\n", w.Seed)
+	fmt.Fprintf(&b, "memseed %d\n", w.MemSeed)
+	fmt.Fprintf(&b, "machineseed %d\n", w.MachineSeed)
+	b.WriteString("\n")
+	b.WriteString(w.Prog.Disassemble())
+	return []byte(b.String())
+}
+
+// ParseWitness decodes the corpus file format. Directives may appear in
+// any order before the first instruction; unknown directives are an
+// error so typos fail loudly.
+func ParseWitness(name string, data []byte) (*Witness, error) {
+	w := &Witness{Name: name}
+	var progLines []string
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && len(progLines) == 0 {
+			if v, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+				switch fields[0] {
+				case "seed":
+					w.Seed = v
+					continue
+				case "memseed":
+					w.MemSeed = v
+					continue
+				case "machineseed":
+					w.MachineSeed = v
+					continue
+				default:
+					return nil, fmt.Errorf("fuzz: %s line %d: unknown directive %q", name, ln+1, fields[0])
+				}
+			}
+		}
+		progLines = append(progLines, raw)
+	}
+	prog, err := isa.ParseProgram(strings.Join(progLines, "\n"))
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %s: %v", name, err)
+	}
+	w.Prog = prog
+	return w, nil
+}
+
+// SaveWitness writes the witness into dir, creating it if needed, and
+// returns the file path. Existing files with the same name are
+// overwritten (same name = same witness identity).
+func SaveWitness(dir string, w *Witness) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("fuzz: %v", err)
+	}
+	name := w.Name
+	if name == "" {
+		name = fmt.Sprintf("seed%d", w.Seed)
+	}
+	path := filepath.Join(dir, name+WitnessExt)
+	if err := os.WriteFile(path, w.Marshal(), 0o644); err != nil {
+		return "", fmt.Errorf("fuzz: %v", err)
+	}
+	return path, nil
+}
+
+// LoadCorpus reads every *.prog witness in dir, sorted by name for
+// deterministic replay order. A missing directory is an empty corpus,
+// not an error, so fresh checkouts work before any witness exists.
+func LoadCorpus(dir string) ([]*Witness, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), WitnessExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Witness
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %v", err)
+		}
+		w, err := ParseWitness(strings.TrimSuffix(n, WitnessExt), data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

@@ -242,6 +242,12 @@ func BestThreshold(class0, class1 []float64) (threshold float64, accuracy float6
 		} else {
 			below1++
 		}
+		// Only cut between strictly distinct values: a threshold inside
+		// a run of ties would misclassify the rest of the run, and the
+		// running counts here don't account for that.
+		if i+1 < len(pts) && pts[i+1].v == pts[i].v {
+			continue
+		}
 		th := pts[i].v + 0.5
 		if i+1 < len(pts) {
 			th = (pts[i].v + pts[i+1].v) / 2

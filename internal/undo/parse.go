@@ -1,6 +1,10 @@
 package undo
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Parse builds a scheme from a command-line spec:
 //
@@ -10,8 +14,14 @@ import "fmt"
 //	strict-N      – strict constant-time rollback (may leave residue)
 //	fuzzy-N       – fuzzy-time padding up to N cycles
 //	invisible     – the minimal Invisible-style baseline
+//
+// Specs are case-insensitive and surrounding whitespace is ignored, so
+// flag values copy-pasted from tables or shell history just work. The
+// numeric forms are strict: N must be a bare positive decimal with no
+// trailing characters ("const-45x" is an error, not 45).
 func Parse(spec string, seed int64) (Scheme, error) {
-	switch spec {
+	norm := strings.ToLower(strings.TrimSpace(spec))
+	switch norm {
 	case "unsafe":
 		return NewUnsafe(), nil
 	case "cleanupspec":
@@ -19,15 +29,23 @@ func Parse(spec string, seed int64) (Scheme, error) {
 	case "invisible":
 		return NewInvisibleLite(), nil
 	}
-	var n int
-	if _, err := fmt.Sscanf(spec, "const-%d", &n); err == nil && n > 0 {
-		return NewConstantTime(n, Relaxed), nil
-	}
-	if _, err := fmt.Sscanf(spec, "strict-%d", &n); err == nil && n > 0 {
-		return NewConstantTime(n, Strict), nil
-	}
-	if _, err := fmt.Sscanf(spec, "fuzzy-%d", &n); err == nil && n > 0 {
-		return NewFuzzyTime(n, uint64(seed)), nil
+	for _, form := range []struct {
+		prefix string
+		build  func(n int) Scheme
+	}{
+		{"const-", func(n int) Scheme { return NewConstantTime(n, Relaxed) }},
+		{"strict-", func(n int) Scheme { return NewConstantTime(n, Strict) }},
+		{"fuzzy-", func(n int) Scheme { return NewFuzzyTime(n, uint64(seed)) }},
+	} {
+		rest, ok := strings.CutPrefix(norm, form.prefix)
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("undo: bad cycle count %q in scheme spec %q (want a positive integer)", rest, spec)
+		}
+		return form.build(n), nil
 	}
 	return nil, fmt.Errorf("undo: unknown scheme spec %q", spec)
 }

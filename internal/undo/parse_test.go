@@ -23,10 +23,62 @@ func TestParseKnownSpecs(t *testing.T) {
 	}
 }
 
-func TestParseRejectsGarbage(t *testing.T) {
-	for _, spec := range []string{"", "const-", "const-0", "const--5", "fuzzy-x", "nonsense"} {
-		if _, err := Parse(spec, 1); err == nil {
-			t.Errorf("Parse(%q) accepted", spec)
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		spec   string
+		reason string
+	}{
+		{"", "empty spec"},
+		{"const-", "missing cycle count"},
+		{"const-0", "zero cycles is not a rollback budget"},
+		{"const--5", "negative cycles"},
+		{"const-45garbage", "trailing garbage after the number"},
+		{"const-45 extra", "trailing word after the number"},
+		{"const-4.5", "fractional cycles"},
+		{"const-0x20", "hex is not accepted"},
+		{"strict-", "missing cycle count"},
+		{"strict-1e3", "scientific notation"},
+		{"fuzzy-x", "non-numeric cycles"},
+		{"fuzzy--1", "negative cycles"},
+		{"fuzzy-9999999999999999999999", "overflowing cycle count"},
+		{"nonsense", "unknown scheme"},
+		{"un safe", "interior whitespace"},
+		{"cleanup spec", "interior whitespace"},
+		{"-45", "bare number without a scheme"},
+		{"const_45", "wrong separator"},
+	}
+	for _, c := range cases {
+		if s, err := Parse(c.spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted (%s): got %s", c.spec, c.reason, s.Name())
+		}
+	}
+}
+
+func TestParseCaseAndWhitespaceVariants(t *testing.T) {
+	cases := []struct {
+		spec     string
+		wantName string
+	}{
+		{"UNSAFE", "unsafe-baseline"},
+		{"Unsafe", "unsafe-baseline"},
+		{"CleanupSpec", "cleanupspec"},
+		{"CLEANUPSPEC", "cleanupspec"},
+		{"Invisible", "invisible-lite"},
+		{" unsafe ", "unsafe-baseline"},
+		{"\tcleanupspec\n", "cleanupspec"},
+		{"Const-45", "cleanupspec-const45-relaxed"},
+		{"STRICT-25", "cleanupspec-const25-strict"},
+		{"Fuzzy-40", "cleanupspec-fuzzy40"},
+		{"  fuzzy-40  ", "cleanupspec-fuzzy40"},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.spec, 1)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if s.Name() != c.wantName {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.spec, s.Name(), c.wantName)
 		}
 	}
 }
