@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test bench figures report attack examples fuzz fuzz-selftest regen-results clean
+.PHONY: all test bench figures report attack examples fuzz fuzz-selftest harness-smoke regen-results clean
 
 all: test
 
@@ -41,6 +41,12 @@ fuzz:
 # exits non-zero (witnesses go to a scratch dir, not the corpus).
 fuzz-selftest:
 	! go run ./cmd/fuzz -n 30 -seed 0 -scheme cleanupspec -inject skip-rollback -corpus /tmp/fuzz-selftest-corpus
+
+# End-to-end resilience check (see docs/HARNESS.md): injected faults
+# become classified journaled gaps, an interrupted campaign exits 6,
+# and -resume completes it with a byte-identical CSV.
+harness-smoke:
+	./scripts/harness_smoke.sh
 
 # Regenerate the version-controlled golden CSVs under results/.
 regen-results:

@@ -2,11 +2,24 @@
 // evaluation section and writes the series to results/*.csv alongside a
 // console summary with paper-vs-measured values.
 //
+// Every sweep runs on internal/harness: a bounded worker pool with
+// panic containment, watchdog escalation, retry/backoff and an optional
+// JSONL journal. A failed cell becomes a recorded gap — the remaining
+// figures still render — and an interrupted campaign (-stop-after, or a
+// real kill with -journal) resumes with -resume, skipping completed
+// cells.
+//
 // Usage:
 //
 //	figures [-fig N|table1|rate|crosscore|sensitivity|interference|
 //	         minconst|mitigation|all] [-out DIR] [-seed S] [-samples N]
 //	        [-bits N] [-scale N] [-plot]
+//	        [-jobs N] [-retries N] [-trial-timeout D]
+//	        [-journal FILE] [-resume] [-stop-after N] [-inject SPEC]
+//
+// Exit codes follow the harness taxonomy: 0 ok, 1 infrastructure,
+// 2 usage, 3 timeout gaps, 4 panic gaps, 5 other gaps, 6 interrupted
+// (resumable).
 package main
 
 import (
@@ -16,6 +29,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/plot"
 )
 
@@ -28,36 +42,102 @@ func main() {
 		bits    = flag.Int("bits", 1000, "secret bits for figures 9/10/11")
 		scale   = flag.Int("scale", 10000, "workload scale for figure 12")
 		ascii   = flag.Bool("plot", false, "also render ASCII charts of the figures")
+
+		jobs      = flag.Int("jobs", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		retries   = flag.Int("retries", 0, "attempt budget per cell (0 = harness default of 3)")
+		trialTmo  = flag.Duration("trial-timeout", 0, "wall-clock deadline per trial attempt (0 = none)")
+		journal   = flag.String("journal", "", "JSONL run journal (enables -resume)")
+		resume    = flag.Bool("resume", false, "skip cells with a terminal record in -journal")
+		stopAfter = flag.Int("stop-after", 0, "interrupt the campaign after N executed trials (deterministic kill, for CI)")
+		inject    = flag.String("inject", "", "fault injections: kind:glob[:attempts],... (kinds: panic, hang)")
 	)
 	flag.Parse()
 
+	injs, err := harness.ParseInjections(*inject)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(harness.ExitUsage)
+	}
+	runner, err := harness.New(harness.Config{
+		Workers:      *jobs,
+		MaxAttempts:  *retries,
+		TrialTimeout: *trialTmo,
+		JournalPath:  *journal,
+		Resume:       *resume,
+		StopAfter:    *stopAfter,
+		Injections:   injs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(harness.ExitUsage)
+	}
+
+	var (
+		reports  []*harness.Report
+		infraErr bool
+		saveErr  bool
+	)
+	// note records a sweep's report for the final exit code and prints
+	// its gaps; it returns true when every cell produced a value.
+	note := func(rep *harness.Report, err error) bool {
+		if rep != nil {
+			reports = append(reports, rep)
+			for _, f := range rep.Failures() {
+				fmt.Fprintf(os.Stderr, "  GAP %s [%s, attempt %d]: %s\n", f.Cell, f.Class, f.Attempt, f.Msg)
+				if f.Post != nil {
+					fmt.Fprintf(os.Stderr, "      post-mortem: cycle=%d retired=%d rob=%d inflight=%d squashes=%d\n",
+						f.Post.Cycle, f.Post.Retired, f.Post.ROBOccupancy, f.Post.InflightLoads, f.Post.Squashes)
+				}
+			}
+			if rep.Interrupted {
+				fmt.Fprintf(os.Stderr, "  sweep %q interrupted after %d/%d cells — rerun with -resume to finish\n",
+					rep.Name, rep.Completed(), len(rep.Outcomes))
+			}
+			return err == nil && !rep.Interrupted && len(rep.Failures()) == 0
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			infraErr = true
+		}
+		return err == nil
+	}
+
 	run := func(name string) bool { return *fig == "all" || *fig == name }
 	csvPath := func(name string) string { return filepath.Join(*out, name+".csv") }
-	save := func(name string, rows [][]string) {
+	// save writes atomically and aggregates failures instead of
+	// aborting: one unwritable file must not lose the rest of the run.
+	save := func(name string, rows [][]string, complete bool) {
 		if err := experiments.WriteCSV(csvPath(name), rows); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: writing %s: %v\n", name, err)
-			os.Exit(1)
+			saveErr = true
+			return
 		}
-		fmt.Printf("  wrote %s\n", csvPath(name))
+		if complete {
+			fmt.Printf("  wrote %s\n", csvPath(name))
+		} else {
+			fmt.Printf("  wrote %s (PARTIAL — campaign has gaps or was interrupted)\n", csvPath(name))
+		}
 	}
 
 	if run("table1") {
 		fmt.Println("== Table I: experiment setup ==")
 		rows := experiments.TableI()
 		experiments.PrintTable(os.Stdout, experiments.TableICSV(rows))
-		save("table1", experiments.TableICSV(rows))
+		save("table1", experiments.TableICSV(rows), true)
 	}
 
 	if run("2") {
 		fmt.Println("\n== Figure 2: branch resolution time (simulator) ==")
-		pts := experiments.Figure2(*seed)
+		pts, rep, err := experiments.Figure2With(runner, *seed)
+		ok := note(rep, err)
 		summarizeResolution(pts)
-		save("figure2", experiments.ResolutionCSV(pts))
+		save("figure2", experiments.ResolutionCSV(pts), ok)
 	}
 
 	if run("3") {
 		fmt.Println("\n== Figure 3: timing difference vs squashed loads (no eviction sets) ==")
-		pts := experiments.Figure3(*seed)
+		pts, rep, err := experiments.Figure3With(runner, *seed)
+		ok := note(rep, err)
 		for _, p := range pts {
 			fmt.Printf("  %d loads: %.1f cycles\n", p.Loads, p.Diff)
 		}
@@ -65,12 +145,13 @@ func main() {
 		if *ascii {
 			fmt.Print(diffPlot("Figure 3 (no eviction sets)", pts))
 		}
-		save("figure3", experiments.DiffCSV(pts))
+		save("figure3", experiments.DiffCSV(pts), ok)
 	}
 
 	if run("6") {
 		fmt.Println("\n== Figure 6: timing difference with eviction sets ==")
-		pts := experiments.Figure6(*seed)
+		pts, rep, err := experiments.Figure6With(runner, *seed)
+		ok := note(rep, err)
 		for _, p := range pts {
 			fmt.Printf("  %d loads: %.1f cycles\n", p.Loads, p.Diff)
 		}
@@ -78,29 +159,33 @@ func main() {
 		if *ascii {
 			fmt.Print(diffPlot("Figure 6 (eviction sets)", pts))
 		}
-		save("figure6", experiments.DiffCSV(pts))
+		save("figure6", experiments.DiffCSV(pts), ok)
 	}
 
 	if run("7") {
 		fmt.Println("\n== Figure 7: latency PDF, no eviction sets ==")
-		r := experiments.Figure7(*seed, *samples)
-		fmt.Printf("  mean0=%.1f mean1=%.1f diff=%.1f threshold=%.0f (paper: diff≈22, threshold 178)\n",
-			r.Mean0, r.Mean1, r.Diff, r.Threshold)
-		if *ascii {
-			fmt.Print(pdfPlot("Figure 7 PDFs (0=secret0, 1=secret1)", r))
+		r, rep, err := experiments.Figure7With(runner, *seed, *samples)
+		if note(rep, err) {
+			fmt.Printf("  mean0=%.1f mean1=%.1f diff=%.1f threshold=%.0f (paper: diff≈22, threshold 178)\n",
+				r.Mean0, r.Mean1, r.Diff, r.Threshold)
+			if *ascii {
+				fmt.Print(pdfPlot("Figure 7 PDFs (0=secret0, 1=secret1)", r))
+			}
+			save("figure7", experiments.PDFCSV(r), true)
 		}
-		save("figure7", experiments.PDFCSV(r))
 	}
 
 	if run("8") {
 		fmt.Println("\n== Figure 8: latency PDF, with eviction sets ==")
-		r := experiments.Figure8(*seed, *samples)
-		fmt.Printf("  mean0=%.1f mean1=%.1f diff=%.1f threshold=%.0f (paper: diff≈32, threshold 183)\n",
-			r.Mean0, r.Mean1, r.Diff, r.Threshold)
-		if *ascii {
-			fmt.Print(pdfPlot("Figure 8 PDFs (0=secret0, 1=secret1)", r))
+		r, rep, err := experiments.Figure8With(runner, *seed, *samples)
+		if note(rep, err) {
+			fmt.Printf("  mean0=%.1f mean1=%.1f diff=%.1f threshold=%.0f (paper: diff≈32, threshold 183)\n",
+				r.Mean0, r.Mean1, r.Diff, r.Threshold)
+			if *ascii {
+				fmt.Print(pdfPlot("Figure 8 PDFs (0=secret0, 1=secret1)", r))
+			}
+			save("figure8", experiments.PDFCSV(r), true)
 		}
-		save("figure8", experiments.PDFCSV(r))
 	}
 
 	if run("9") {
@@ -111,29 +196,33 @@ func main() {
 			ones += b
 		}
 		fmt.Printf("  %d bits, %d ones\n", len(bitsv), ones)
-		save("figure9", experiments.BitsCSV(bitsv))
+		save("figure9", experiments.BitsCSV(bitsv), true)
 	}
 
 	if run("10") {
 		fmt.Println("\n== Figure 10: secret leakage, no eviction sets ==")
-		r := experiments.Figure10(*seed, *bits)
-		fmt.Printf("  accuracy %.1f%% over %d bits, threshold %.0f (paper: 86.7%%)\n",
-			100*r.Accuracy, len(r.Guesses), r.Threshold)
-		if *ascii {
-			fmt.Print(leakPlot("Figure 10 observed latencies (o=secret0, x=secret1)", r))
+		r, rep, err := experiments.Figure10With(runner, *seed, *bits)
+		if note(rep, err) {
+			fmt.Printf("  accuracy %.1f%% over %d bits, threshold %.0f (paper: 86.7%%)\n",
+				100*r.Accuracy, len(r.Guesses), r.Threshold)
+			if *ascii {
+				fmt.Print(leakPlot("Figure 10 observed latencies (o=secret0, x=secret1)", r))
+			}
+			save("figure10", experiments.LeakageCSV(r), true)
 		}
-		save("figure10", experiments.LeakageCSV(r))
 	}
 
 	if run("11") {
 		fmt.Println("\n== Figure 11: secret leakage, with eviction sets ==")
-		r := experiments.Figure11(*seed, *bits)
-		fmt.Printf("  accuracy %.1f%% over %d bits, threshold %.0f (paper: 91.6%%)\n",
-			100*r.Accuracy, len(r.Guesses), r.Threshold)
-		if *ascii {
-			fmt.Print(leakPlot("Figure 11 observed latencies (o=secret0, x=secret1)", r))
+		r, rep, err := experiments.Figure11With(runner, *seed, *bits)
+		if note(rep, err) {
+			fmt.Printf("  accuracy %.1f%% over %d bits, threshold %.0f (paper: 91.6%%)\n",
+				100*r.Accuracy, len(r.Guesses), r.Threshold)
+			if *ascii {
+				fmt.Print(leakPlot("Figure 11 observed latencies (o=secret0, x=secret1)", r))
+			}
+			save("figure11", experiments.LeakageCSV(r), true)
 		}
-		save("figure11", experiments.LeakageCSV(r))
 	}
 
 	if run("rate") {
@@ -147,7 +236,8 @@ func main() {
 
 	if run("12") {
 		fmt.Println("\n== Figure 12: constant-time rollback overhead ==")
-		r := experiments.Figure12(*seed, *scale)
+		r, rep, err := experiments.Figure12With(runner, *seed, *scale)
+		ok := note(rep, err)
 		experiments.PrintTable(os.Stdout, experiments.Figure12CSV(r))
 		fmt.Printf("  paper averages: no-const ≈5%%, const-25 22.4%%, const-65 72.8%%\n")
 		if *ascii {
@@ -159,23 +249,21 @@ func main() {
 			}
 			fmt.Print(plot.Bars("Figure 12 mean overhead vs unsafe baseline", labels, vals, 50))
 		}
-		save("figure12", experiments.Figure12CSV(r))
+		save("figure12", experiments.Figure12CSV(r), ok)
 	}
 
 	if run("13") {
 		fmt.Println("\n== Figure 13: branch resolution on the host-CPU profile ==")
-		pts := experiments.Figure13(*seed)
+		pts, rep, err := experiments.Figure13With(runner, *seed)
+		ok := note(rep, err)
 		summarizeResolution(pts)
-		save("figure13", experiments.ResolutionCSV(pts))
+		save("figure13", experiments.ResolutionCSV(pts), ok)
 	}
 
 	if run("crosscore") {
 		fmt.Println("\n== Extension: cross-core probing of the speculation window (§II-B) ==")
-		rows, err := experiments.CrossCoreStudy(*seed, 800, 350)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
-		}
+		rows, rep, err := experiments.CrossCoreStudyWith(runner, *seed, 800, 350)
+		ok := note(rep, err)
 		for _, r := range rows {
 			verdict := "safe"
 			if r.Leaks {
@@ -184,20 +272,23 @@ func main() {
 			fmt.Printf("  %-12s secret=%d: %3d/%3d fast reloads, %2d dummy misses, %d victim squashes → %s\n",
 				r.Machine, r.Secret, r.FastReloads, r.Probes, r.DummyMisses, r.VictimSquash, verdict)
 		}
-		save("crosscore", experiments.CrossCoreCSV(rows))
+		save("crosscore", experiments.CrossCoreCSV(rows), ok)
 	}
 
 	if run("sensitivity") {
 		fmt.Println("\n== Extension: sensitivity studies ==")
 		fmt.Println("noise robustness (single-sample calibration accuracy):")
-		nr := experiments.NoiseRobustness(*seed, []float64{2, 5, 10, 15, 25}, 150)
+		nr, rep, err := experiments.NoiseRobustnessWith(runner, *seed, []float64{2, 5, 10, 15, 25}, 150)
+		ok := note(rep, err)
 		for _, p := range nr {
 			fmt.Printf("  σ=%4.1f: accuracy %.3f without ES, %.3f with ES\n",
 				p.Sigma, p.Accuracy, p.AccuracyES)
 		}
-		save("sensitivity_noise", experiments.NoiseCSV(nr))
+		save("sensitivity_noise", experiments.NoiseCSV(nr), ok)
 		fmt.Println("rollback-pipeline sensitivity (single-load diff, eviction sets):")
-		for _, p := range experiments.LatencyModelSensitivity(*seed, []int{8, 16, 24}, []int{5, 10, 20}) {
+		lm, rep, err := experiments.LatencyModelSensitivityWith(runner, *seed, []int{8, 16, 24}, []int{5, 10, 20})
+		note(rep, err)
+		for _, p := range lm {
 			fmt.Printf("  invFirst=%2d restoreFirst=%2d: diff %.1f cycles\n",
 				p.InvFirst, p.RestoreFirst, p.Diff)
 		}
@@ -205,11 +296,8 @@ func main() {
 
 	if run("interference") {
 		fmt.Println("\n== Extension: speculative interference ([2]) vs every defense family ==")
-		rows, err := experiments.InterferenceStudy(*seed, 5)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
-		}
+		rows, rep, err := experiments.InterferenceStudyWith(runner, *seed, 5)
+		ok := note(rep, err)
 		for _, r := range rows {
 			verdict := "safe"
 			if r.Leaks {
@@ -217,7 +305,7 @@ func main() {
 			}
 			fmt.Printf("  %-18s MSHR-contention delay %5.1f cycles → %s\n", r.Scheme, r.Diff, verdict)
 		}
-		save("interference", experiments.InterferenceCSV(rows))
+		save("interference", experiments.InterferenceCSV(rows), ok)
 		fmt.Println("  contention channels survive both state hiding and rollback fixes —")
 		fmt.Println("  the landscape that motivates the paper's closing call for new designs.")
 	}
@@ -229,19 +317,62 @@ func main() {
 			fmt.Printf("  %d load(s): worst-case rollback %2d cycles → minimal closing constant %2d (≈%.0f%% overhead)\n",
 				p.Loads, p.WorstStall, p.MinSafeConst, 100*p.OverheadAtConst)
 		}
-		save("minconst", experiments.MinConstCSV(mc))
+		save("minconst", experiments.MinConstCSV(mc), true)
 		fmt.Println("  the defender must budget for the strongest attacker — the paper's point")
 		fmt.Println("  that choosing the constant is hard (§VI-E).")
 	}
 
 	if run("mitigation") {
 		fmt.Println("\n== Extension: mitigation study (constant-time vs fuzzy-time) ==")
-		pts := experiments.MitigationStudy(*seed, *scale/4, 16)
+		pts, rep, err := experiments.MitigationStudyWith(runner, *seed, *scale/4, 16)
+		note(rep, err)
 		for _, p := range pts {
 			fmt.Printf("  %-18s residual channel %.1f cycles, mean overhead %.1f%%\n",
 				p.Scheme, p.ResidualDiff, 100*p.MeanOverhead)
 		}
 	}
+
+	if err := runner.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures: closing journal:", err)
+		infraErr = true
+	}
+	os.Exit(campaignExit(reports, infraErr, saveErr))
+}
+
+// campaignExit folds every sweep report into one exit code: an
+// interrupted (resumable) campaign wins, then the worst failure class,
+// then infrastructure problems, then 0.
+func campaignExit(reports []*harness.Report, infraErr, saveErr bool) int {
+	rank := func(code int) int {
+		switch code {
+		case harness.ExitPanic:
+			return 3
+		case harness.ExitTimeout:
+			return 2
+		case harness.ExitError:
+			return 1
+		}
+		return 0
+	}
+	code := harness.ExitOK
+	gaps := 0
+	for _, rep := range reports {
+		c := rep.ExitCode()
+		if c == harness.ExitInterrupted {
+			return harness.ExitInterrupted
+		}
+		if rank(c) > rank(code) {
+			code = c
+		}
+		gaps += len(rep.Failures())
+	}
+	if gaps > 0 {
+		fmt.Fprintf(os.Stderr, "figures: campaign finished with %d gap(s)\n", gaps)
+	}
+	if code == harness.ExitOK && (infraErr || saveErr) {
+		return harness.ExitInfra
+	}
+	return code
 }
 
 // diffPlot renders a Figure 3/6 series as an ASCII line chart.

@@ -21,9 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"repro/internal/fuzz"
+	"repro/internal/harness"
 	"repro/internal/isa"
 	"repro/internal/undo"
 )
@@ -66,9 +68,22 @@ func main() {
 	os.Exit(runSweep(g, schemes, *seed, *n, *corpus, *minimize, injection))
 }
 
+// checkContained runs both property checks with panic containment, so
+// one crashing program is a reported witness instead of a dead sweep.
+func checkContained(g *fuzz.Generator, prog *isa.Program, opts fuzz.Options) (divs []fuzz.Divergence, perr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			perr = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	divs = g.CheckProgram(prog, opts)
+	divs = append(divs, g.CheckDeterminism(prog, opts)...)
+	return divs, nil
+}
+
 // runSweep checks n seeded random programs and returns the exit code.
 func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus string, minimize bool, injection fuzz.Injection) int {
-	failures := 0
+	failures, panics := 0, 0
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
 		opts := fuzz.Options{
@@ -78,8 +93,27 @@ func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus str
 			Wrap:        injection.Wrapper(),
 		}
 		prog := g.Program(s)
-		divs := g.CheckProgram(prog, opts)
-		divs = append(divs, g.CheckDeterminism(prog, opts)...)
+		divs, perr := checkContained(g, prog, opts)
+		if perr != nil {
+			panics++
+			fmt.Printf("seed %d: PANIC contained:\n%v\n", s, perr)
+			if corpus != "" {
+				w := &fuzz.Witness{
+					Name:        fmt.Sprintf("seed%d-panic", s),
+					Reason:      perr.Error(),
+					Seed:        s,
+					MemSeed:     opts.MemSeed,
+					MachineSeed: opts.MachineSeed,
+					Prog:        prog,
+				}
+				if path, err := fuzz.SaveWitness(corpus, w); err == nil {
+					fmt.Printf("  witness saved to %s\n", path)
+				} else {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+			continue
+		}
 		if len(divs) == 0 {
 			continue
 		}
@@ -138,7 +172,11 @@ func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus str
 			fmt.Printf("  witness saved to %s\n", path)
 		}
 	}
-	fmt.Printf("checked %d programs across %d scheme(s): %d failing\n", n, len(schemes), failures)
+	fmt.Printf("checked %d programs across %d scheme(s): %d failing, %d panicking\n",
+		n, len(schemes), failures, panics)
+	if panics > 0 {
+		return harness.ExitPanic
+	}
 	if failures > 0 {
 		return 1
 	}

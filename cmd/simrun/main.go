@@ -10,10 +10,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cpu"
+	"repro/internal/harness"
 	"repro/internal/undo"
 	"repro/internal/workload"
 )
@@ -64,7 +67,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simrun:", err)
 			os.Exit(2)
 		}
-		res := workload.Run(w, s, *seed)
+		res, err := workload.RunChecked(w, s, *seed)
+		if err != nil {
+			// A watchdog trip is a classified timeout with a post-mortem,
+			// not a statistics row: averaging a truncated run would be
+			// silently wrong.
+			var we *cpu.WatchdogError
+			if errors.As(err, &we) {
+				fmt.Fprintf(os.Stderr, "simrun: %s under %s: %v\n", w.Name, s.Name(), err)
+				fmt.Fprintf(os.Stderr, "  post-mortem: cycle=%d retired=%d rob=%d inflight=%d squashes=%d\n",
+					we.Post.Cycle, we.Post.Retired, we.Post.ROBOccupancy, we.Post.InflightLoads, we.Post.Squashes)
+				os.Exit(harness.ExitTimeout)
+			}
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(harness.ExitError)
+		}
 		st := res.Stats
 		us := s.Stats()
 		if *asJSON {

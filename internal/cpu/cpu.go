@@ -239,6 +239,9 @@ func (c *CPU) BeginProgram(prog *isa.Program) {
 	c.fetchStopped = false
 	c.fetchReady = c.cycle
 	c.halted = false
+	// TimedOut describes one run, not the core's lifetime: clear it so
+	// a healthy run after a watchdog trip doesn't inherit the flag.
+	c.stats.TimedOut = false
 	c.runStartCycle = c.cycle
 	c.runStartRetired = c.stats.Retired
 }

@@ -1,0 +1,104 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/undo"
+)
+
+// rigBudget builds a CPU with a tiny cycle budget.
+func rigBudget(t *testing.T, maxCycles uint64) *CPU {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MaxCycles = maxCycles
+	h := memsys.MustNew(memsys.DefaultConfig(11), mem.NewMemory())
+	return MustNew(cfg, h, branch.New(branch.DefaultConfig()), undo.NewUnsafe(), noise.None{})
+}
+
+func TestRunCheckedWatchdogEscalates(t *testing.T) {
+	c := rigBudget(t, 400)
+	loop := isa.NewBuilder().
+		Label("spin").
+		AddI(1, 1, 1).
+		Jmp("spin").
+		MustBuild()
+
+	st, err := c.RunChecked(loop)
+	if !st.TimedOut {
+		t.Fatal("infinite loop did not trip the watchdog")
+	}
+	if err == nil {
+		t.Fatal("RunChecked returned nil error for a timed-out run")
+	}
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("errors.Is(err, ErrWatchdog) = false for %v", err)
+	}
+	var we *WatchdogError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %v is not a *WatchdogError", err)
+	}
+	if we.Budget != 400 {
+		t.Errorf("Budget = %d, want 400", we.Budget)
+	}
+	if !we.Post.TimedOut {
+		t.Error("post-mortem does not record TimedOut")
+	}
+	if we.Post.RunCycles < 400 {
+		t.Errorf("post-mortem RunCycles = %d, want >= budget", we.Post.RunCycles)
+	}
+}
+
+func TestRunCheckedHealthyRunAfterTimeout(t *testing.T) {
+	c := rigBudget(t, 400)
+	loop := isa.NewBuilder().Label("spin").Jmp("spin").MustBuild()
+	if _, err := c.RunChecked(loop); err == nil {
+		t.Fatal("expected watchdog error")
+	}
+
+	// TimedOut describes one run: a healthy program on the same core
+	// must not inherit the stale flag (and so must not error).
+	ok := isa.NewBuilder().Const(1, 5).AddI(2, 1, 2).Halt().MustBuild()
+	st, err := c.RunChecked(ok)
+	if err != nil {
+		t.Fatalf("healthy run after a timeout errored: %v", err)
+	}
+	if st.TimedOut {
+		t.Error("healthy run inherited TimedOut from the previous run")
+	}
+	if c.Reg(2) != 7 {
+		t.Errorf("r2 = %d, want 7", c.Reg(2))
+	}
+}
+
+func TestRunCheckedCleanRun(t *testing.T) {
+	c := rigBudget(t, 100_000)
+	ok := isa.NewBuilder().Const(1, 1).Halt().MustBuild()
+	if _, err := c.RunChecked(ok); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestPostMortemCountsInflightLoads(t *testing.T) {
+	c := rigBudget(t, 100_000)
+	p := isa.NewBuilder().
+		Const(1, 4096).
+		Load(2, 1, 0).
+		Halt().
+		MustBuild()
+	if _, err := c.RunChecked(p); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	pm := c.PostMortem()
+	if pm.ROBOccupancy != 0 {
+		t.Errorf("post-run ROB occupancy = %d, want 0", pm.ROBOccupancy)
+	}
+	if !pm.Halted {
+		t.Error("post-run snapshot should report a halted core")
+	}
+}

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+
+	"repro/internal/harness"
 	"repro/internal/interference"
 	"repro/internal/multicore"
 	"repro/internal/undo"
@@ -20,6 +23,13 @@ type InterferenceRow struct {
 // defense family: it breaks Invisible schemes (the paper's premise) and
 // is untouched by rollback-time fixes.
 func InterferenceStudy(seed int64, rounds int) ([]InterferenceRow, error) {
+	rows, _, err := InterferenceStudyWith(nil, seed, rounds)
+	return rows, err
+}
+
+// InterferenceStudyWith is InterferenceStudy on an explicit harness
+// runner, one cell per scheme.
+func InterferenceStudyWith(r *harness.Runner, seed int64, rounds int) ([]InterferenceRow, *harness.Report, error) {
 	mk := []struct {
 		name string
 		s    func() undo.Scheme
@@ -29,21 +39,37 @@ func InterferenceStudy(seed int64, rounds int) ([]InterferenceRow, error) {
 		{"cleanupspec", func() undo.Scheme { return undo.NewCleanupSpec() }},
 		{"const-80-relaxed", func() undo.Scheme { return undo.NewConstantTime(80, undo.Relaxed) }},
 	}
-	var out []InterferenceRow
+	var cells []harness.Cell
 	for _, m := range mk {
-		a, err := interference.New(interference.Options{Seed: seed, Scheme: m.s()})
-		if err != nil {
-			return nil, err
-		}
-		var s0, s1 float64
-		for r := 0; r < rounds; r++ {
-			s0 += float64(a.MeasureOnce(0))
-			s1 += float64(a.MeasureOnce(1))
-		}
-		d := (s1 - s0) / float64(rounds)
-		out = append(out, InterferenceRow{Scheme: m.name, Diff: d, Leaks: d >= 8})
+		m := m
+		cells = append(cells, harness.Cell{
+			ID:   m.name,
+			Seed: seed,
+			Run: func(t *harness.Trial) (any, error) {
+				a, err := interference.New(interference.Options{Seed: t.Seed, Scheme: m.s()})
+				if err != nil {
+					return nil, err
+				}
+				t.Observe(a.Core())
+				var s0, s1 float64
+				for r := 0; r < rounds; r++ {
+					l0, err := a.MeasureOnceChecked(0)
+					if err != nil {
+						return nil, err
+					}
+					l1, err := a.MeasureOnceChecked(1)
+					if err != nil {
+						return nil, err
+					}
+					s0 += float64(l0)
+					s1 += float64(l1)
+				}
+				d := (s1 - s0) / float64(rounds)
+				return InterferenceRow{Scheme: m.name, Diff: d, Leaks: d >= 8}, nil
+			},
+		})
 	}
-	return out, nil
+	return sweepCollect[InterferenceRow](r, "interference", cells)
 }
 
 // CrossCoreRow is one configuration of the cross-core probing study.
@@ -61,30 +87,46 @@ type CrossCoreRow struct {
 // × {secret 0, secret 1}, a concurrent Flush+Reload prober against the
 // victim's speculation window through the shared L2.
 func CrossCoreStudy(seed int64, rounds, probes int) ([]CrossCoreRow, error) {
+	rows, _, err := CrossCoreStudyWith(nil, seed, rounds, probes)
+	return rows, err
+}
+
+// CrossCoreStudyWith is CrossCoreStudy on an explicit harness runner,
+// one cell per machine × secret. Lockstep watchdog trips inside
+// multicore.CrossCoreProbe arrive wrapped around cpu.ErrWatchdog and
+// classify as timeouts.
+func CrossCoreStudyWith(r *harness.Runner, seed int64, rounds, probes int) ([]CrossCoreRow, *harness.Report, error) {
 	type machine struct {
 		name string
 		cfg  func(int64) multicore.Config
 	}
-	var out []CrossCoreRow
+	var cells []harness.Cell
 	for _, m := range []machine{
 		{"unsafe", multicore.NewUnsafeCrossCfg},
 		{"cleanupspec", multicore.NewProtectedCrossCfg},
 	} {
 		for secret := 0; secret <= 1; secret++ {
-			res, err := multicore.CrossCoreProbe(m.cfg(seed), secret, rounds, probes)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, CrossCoreRow{
-				Machine:      m.name,
-				Secret:       secret,
-				Probes:       len(res.Latencies),
-				FastReloads:  res.FastReloads,
-				DummyMisses:  res.DummyMisses,
-				VictimSquash: res.VictimSquash,
-				Leaks:        res.Hit(),
+			m, secret := m, secret
+			cells = append(cells, harness.Cell{
+				ID:   fmt.Sprintf("%s-s%d", m.name, secret),
+				Seed: seed,
+				Run: func(t *harness.Trial) (any, error) {
+					res, err := multicore.CrossCoreProbe(m.cfg(t.Seed), secret, rounds, probes)
+					if err != nil {
+						return nil, err
+					}
+					return CrossCoreRow{
+						Machine:      m.name,
+						Secret:       secret,
+						Probes:       len(res.Latencies),
+						FastReloads:  res.FastReloads,
+						DummyMisses:  res.DummyMisses,
+						VictimSquash: res.VictimSquash,
+						Leaks:        res.Hit(),
+					}, nil
+				},
 			})
 		}
 	}
-	return out, nil
+	return sweepCollect[CrossCoreRow](r, "crosscore", cells)
 }

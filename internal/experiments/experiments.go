@@ -2,6 +2,13 @@
 // paper's evaluation (§VI), each returning the same rows or series the
 // paper reports. cmd/figures renders them to the console and CSV files;
 // bench_test.go wraps each in a benchmark.
+//
+// Every sweep executes on internal/harness (see sweep.go): panics are
+// contained, watchdog trips are classified errors, and failed cells
+// become recorded gaps instead of aborted campaigns. The plain entry
+// points here keep their historical signatures and run on the default
+// in-memory runner; campaign drivers (cmd/figures) use the *With
+// variants with a journaled runner for retries and resume.
 package experiments
 
 import (
@@ -9,11 +16,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/memsys"
-	"repro/internal/noise"
-	"repro/internal/stats"
-	"repro/internal/undo"
 	"repro/internal/unxpec"
-	"repro/internal/workload"
 )
 
 // TableIRow is one row of the experiment-setup table.
@@ -45,51 +48,19 @@ type ResolutionPoint struct {
 	Resolution float64
 }
 
-// resolutionSweep measures T1–T2 for every (N, loads, secret) cell.
-func resolutionSweep(mk func(n, loads int) *unxpec.Attack, rounds int) []ResolutionPoint {
-	var out []ResolutionPoint
-	for n := 1; n <= 3; n++ {
-		for loads := 1; loads <= 5; loads++ {
-			for secret := 0; secret <= 1; secret++ {
-				a := mk(n, loads)
-				var sum float64
-				for r := 0; r < rounds; r++ {
-					a.MeasureOnce(secret)
-					res, _ := a.LastSquashStats()
-					sum += float64(res)
-				}
-				out = append(out, ResolutionPoint{
-					FNAccesses: n, Loads: loads, Secret: secret,
-					Resolution: sum / float64(rounds),
-				})
-			}
-		}
-	}
-	return out
-}
-
 // Figure2 reproduces the branch-resolution study on the simulated
 // CleanupSpec machine: resolution is flat in the number of in-branch
 // loads and the secret, and scales with f(N).
 func Figure2(seed int64) []ResolutionPoint {
-	return resolutionSweep(func(n, loads int) *unxpec.Attack {
-		return unxpec.MustNew(unxpec.Options{Seed: seed, FNAccesses: n, LoadsInBranch: loads})
-	}, 3)
+	pts, _, _ := Figure2With(nil, seed)
+	return pts
 }
 
 // Figure13 repeats the study on the "real CPU" host profile: larger
 // caches, deeper memory, OS-grade noise (i7-8550U stand-in).
 func Figure13(seed int64) []ResolutionPoint {
-	hostMem := memsys.DefaultConfig(seed)
-	hostMem.L2.Sets = 4096 // 4 MiB LLC stand-in
-	hostMem.MemLatency = 140
-	return resolutionSweep(func(n, loads int) *unxpec.Attack {
-		cfg := hostMem
-		return unxpec.MustNew(unxpec.Options{
-			Seed: seed, FNAccesses: n, LoadsInBranch: loads,
-			Mem: &cfg, Noise: noise.NewHostOS(seed + int64(n*10+loads)),
-		})
-	}, 9)
+	pts, _, _ := Figure13With(nil, seed)
+	return pts
 }
 
 // DiffPoint is one Figure 3 / Figure 6 sample: the secret-dependent
@@ -99,29 +70,18 @@ type DiffPoint struct {
 	Diff  float64
 }
 
-// diffSweep measures mean(secret1) − mean(secret0) per load count.
-func diffSweep(seed int64, evictionSets bool, rounds int) []DiffPoint {
-	var out []DiffPoint
-	for loads := 1; loads <= 8; loads++ {
-		a := unxpec.MustNew(unxpec.Options{
-			Seed: seed, LoadsInBranch: loads, UseEvictionSets: evictionSets,
-		})
-		var s0, s1 float64
-		for r := 0; r < rounds; r++ {
-			s0 += float64(a.MeasureOnce(0))
-			s1 += float64(a.MeasureOnce(1))
-		}
-		out = append(out, DiffPoint{Loads: loads, Diff: (s1 - s0) / float64(rounds)})
-	}
-	return out
-}
-
 // Figure3 reproduces the rollback timing difference without eviction
 // sets (≈22 cycles, shallow growth).
-func Figure3(seed int64) []DiffPoint { return diffSweep(seed, false, 5) }
+func Figure3(seed int64) []DiffPoint {
+	pts, _, _ := Figure3With(nil, seed)
+	return pts
+}
 
 // Figure6 reproduces it with eviction sets (≈32 → ≈64 cycles).
-func Figure6(seed int64) []DiffPoint { return diffSweep(seed, true, 5) }
+func Figure6(seed int64) []DiffPoint {
+	pts, _, _ := Figure6With(nil, seed)
+	return pts
+}
 
 // PDFResult carries a Figure 7 / Figure 8 distribution pair.
 type PDFResult struct {
@@ -133,35 +93,16 @@ type PDFResult struct {
 	TrainAccuracy          float64
 }
 
-// measureDistributions collects n samples per secret under system noise.
-func measureDistributions(seed int64, evictionSets bool, n int) PDFResult {
-	a := unxpec.MustNew(unxpec.Options{
-		Seed: seed, UseEvictionSets: evictionSets, Noise: noise.NewSystem(seed + 1000),
-	})
-	cal := a.Calibrate(n)
-	res := PDFResult{
-		Samples0: cal.Samples0, Samples1: cal.Samples1,
-		Mean0: cal.Mean0, Mean1: cal.Mean1, Diff: cal.Diff,
-		Threshold: cal.Threshold, TrainAccuracy: cal.TrainAcc,
-	}
-	lo, hi := res.Mean0-40, res.Mean1+40
-	if k0, err := stats.NewKDE(cal.Samples0, 0); err == nil {
-		res.Xs, res.Density0 = k0.Curve(lo, hi, 121)
-	}
-	if k1, err := stats.NewKDE(cal.Samples1, 0); err == nil {
-		_, res.Density1 = k1.Curve(lo, hi, 121)
-	}
-	return res
-}
-
 // Figure7 reproduces the no-eviction-set latency PDFs (Δ≈22 cycles).
 func Figure7(seed int64, samples int) PDFResult {
-	return measureDistributions(seed, false, samples)
+	r, _, _ := Figure7With(nil, seed, samples)
+	return r
 }
 
 // Figure8 reproduces the eviction-set latency PDFs (Δ≈32 cycles).
 func Figure8(seed int64, samples int) PDFResult {
-	return measureDistributions(seed, true, samples)
+	r, _, _ := Figure8With(nil, seed, samples)
+	return r
 }
 
 // Figure9 returns the random 1,000-bit secret instance.
@@ -174,23 +115,17 @@ type LeakageResult struct {
 	Rate      unxpec.RateReport
 }
 
-// leakRun calibrates, then steals `bits` random bits at one sample per
-// bit under system noise.
-func leakRun(seed int64, evictionSets bool, bits, calibration int) LeakageResult {
-	a := unxpec.MustNew(unxpec.Options{
-		Seed: seed, UseEvictionSets: evictionSets, Noise: noise.NewSystem(seed + 2000),
-	})
-	cal := a.Calibrate(calibration)
-	secret := unxpec.RandomSecret(bits, seed+3000)
-	res := a.LeakSecret(secret, cal.Threshold, 1)
-	return LeakageResult{LeakResult: res, Threshold: cal.Threshold, Rate: a.LeakageRate(2.0)}
+// Figure10 reproduces secret leakage without eviction sets (≈86.7%).
+func Figure10(seed int64, bits int) LeakageResult {
+	r, _, _ := Figure10With(nil, seed, bits)
+	return r
 }
 
-// Figure10 reproduces secret leakage without eviction sets (≈86.7%).
-func Figure10(seed int64, bits int) LeakageResult { return leakRun(seed, false, bits, 300) }
-
 // Figure11 reproduces it with eviction sets (≈91.6%).
-func Figure11(seed int64, bits int) LeakageResult { return leakRun(seed, true, bits, 300) }
+func Figure11(seed int64, bits int) LeakageResult {
+	r, _, _ := Figure11With(nil, seed, bits)
+	return r
+}
 
 // LeakageRate reproduces §VI-B: the sample rate on a 2 GHz clock.
 func LeakageRate(seed int64, rounds int, evictionSets bool) unxpec.RateReport {
@@ -225,42 +160,8 @@ type Figure12Result struct {
 // controls dynamic instruction counts; 10_000 reproduces the published
 // shape in seconds, larger values sharpen the averages.
 func Figure12(seed int64, scale int) Figure12Result {
-	suite := workload.Suite(scale, seed)
-	schemes := workload.StandardSchemes()
-	res := Figure12Result{MeanOverhead: map[string]float64{}}
-	for _, s := range schemes {
-		res.Schemes = append(res.Schemes, s.Name)
-	}
-
-	baseline := map[string]uint64{}
-	for _, w := range suite {
-		res.Workloads = append(res.Workloads, w.Name)
-		for _, sf := range schemes {
-			r := workload.Run(w, sf.New(), seed)
-			cell := Figure12Cell{Workload: w.Name, Scheme: sf.Name, Cycles: r.Stats.Cycles}
-			if sf.Name == "unsafe" {
-				baseline[w.Name] = r.Stats.Cycles
-			}
-			if b := baseline[w.Name]; b > 0 {
-				cell.Overhead = float64(r.Stats.Cycles)/float64(b) - 1
-			}
-			res.Cells = append(res.Cells, cell)
-		}
-	}
-	for _, s := range schemes {
-		var sum float64
-		var n int
-		for _, c := range res.Cells {
-			if c.Scheme == s.Name {
-				sum += c.Overhead
-				n++
-			}
-		}
-		if n > 0 {
-			res.MeanOverhead[s.Name] = sum / float64(n)
-		}
-	}
-	return res
+	r, _, _ := Figure12With(nil, seed, scale)
+	return r
 }
 
 // MitigationPoint summarizes one scheme of the extension study: fuzzy-
@@ -278,37 +179,6 @@ type MitigationPoint struct {
 // proposed fuzzy-time defense on both axes: residual channel width and
 // performance overhead.
 func MitigationStudy(seed int64, scale, rounds int) []MitigationPoint {
-	type mk struct {
-		name string
-		newS func() undo.Scheme
-	}
-	cands := []mk{
-		{"cleanupspec", func() undo.Scheme { return undo.NewCleanupSpec() }},
-		{"const-65-relaxed", func() undo.Scheme { return undo.NewConstantTime(65, undo.Relaxed) }},
-		{"fuzzy-40", func() undo.Scheme { return undo.NewFuzzyTime(40, uint64(seed)) }},
-	}
-	suite := workload.Suite(scale, seed)
-	var out []MitigationPoint
-	for _, c := range cands {
-		// Residual channel width: mean over rounds of (secret1−secret0).
-		a := unxpec.MustNew(unxpec.Options{Seed: seed, Scheme: c.newS()})
-		var s0, s1 float64
-		for r := 0; r < rounds; r++ {
-			s0 += float64(a.MeasureOnce(0))
-			s1 += float64(a.MeasureOnce(1))
-		}
-		// Overhead versus unsafe.
-		var sum float64
-		for _, w := range suite {
-			base := workload.Run(w, undo.NewUnsafe(), seed)
-			run := workload.Run(w, c.newS(), seed)
-			sum += float64(run.Stats.Cycles)/float64(base.Stats.Cycles) - 1
-		}
-		out = append(out, MitigationPoint{
-			Scheme:       c.name,
-			ResidualDiff: (s1 - s0) / float64(rounds),
-			MeanOverhead: sum / float64(len(suite)),
-		})
-	}
-	return out
+	pts, _, _ := MitigationStudyWith(nil, seed, scale, rounds)
+	return pts
 }

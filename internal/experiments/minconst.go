@@ -29,31 +29,53 @@ type MinConstPoint struct {
 // suite overhead (measured ≈1% per cycle of constant at the calibrated
 // squash density; pass 0 to skip the estimate).
 func MinimalSafeConstant(seed int64, maxLoads int, overheadPerCycle float64) []MinConstPoint {
+	pts, _ := MinimalSafeConstantChecked(seed, maxLoads, overheadPerCycle)
+	return pts
+}
+
+// MinimalSafeConstantChecked is MinimalSafeConstant with watchdog trips
+// surfaced: a timed-out round returns latency 0 for both secrets, which
+// the unchecked comparison would misread as "channel closed".
+func MinimalSafeConstantChecked(seed int64, maxLoads int, overheadPerCycle float64) ([]MinConstPoint, error) {
 	var out []MinConstPoint
 	for loads := 1; loads <= maxLoads; loads++ {
 		// Worst-case stall for this attacker: measure it once.
 		probe := unxpec.MustNew(unxpec.Options{
 			Seed: seed, LoadsInBranch: loads, UseEvictionSets: true,
 		})
-		probe.MeasureOnce(1)
+		if _, err := probe.MeasureOnceChecked(1); err != nil {
+			return out, err
+		}
 		_, worst := probe.LastSquashStats()
 
-		closes := func(c int) bool {
+		closes := func(c int) (bool, error) {
 			a := unxpec.MustNew(unxpec.Options{
 				Seed: seed, LoadsInBranch: loads, UseEvictionSets: true,
 				Scheme: undo.NewConstantTime(c, undo.Relaxed),
 			})
 			for r := 0; r < 3; r++ {
-				if a.MeasureOnce(1) != a.MeasureOnce(0) {
-					return false
+				l1, err := a.MeasureOnceChecked(1)
+				if err != nil {
+					return false, err
+				}
+				l0, err := a.MeasureOnceChecked(0)
+				if err != nil {
+					return false, err
+				}
+				if l1 != l0 {
+					return false, nil
 				}
 			}
-			return true
+			return true, nil
 		}
 		lo, hi := 1, int(worst)+8
 		for lo < hi {
 			mid := (lo + hi) / 2
-			if closes(mid) {
+			closed, err := closes(mid)
+			if err != nil {
+				return out, err
+			}
+			if closed {
 				hi = mid
 			} else {
 				lo = mid + 1
@@ -66,5 +88,5 @@ func MinimalSafeConstant(seed int64, maxLoads int, overheadPerCycle float64) []M
 			OverheadAtConst: float64(lo) * overheadPerCycle,
 		})
 	}
-	return out
+	return out, nil
 }

@@ -10,22 +10,36 @@ import (
 )
 
 // WriteCSV writes rows (first row = header) to path, creating parent
-// directories.
+// directories. The write is atomic — rows land in a temp file that is
+// renamed over path — so an interrupted campaign leaves either the old
+// file or the new one, never a half-written CSV.
 func WriteCSV(path string, rows [][]string) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
 	w := csv.NewWriter(f)
-	if err := w.WriteAll(rows); err != nil {
+	err = w.WriteAll(rows)
+	w.Flush()
+	if err == nil {
+		err = w.Error()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	w.Flush()
-	return w.Error()
+	return nil
 }
 
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
@@ -104,13 +118,23 @@ func Figure12CSV(r Figure12Result) [][]string {
 	for _, w := range r.Workloads {
 		row := []string{w}
 		for _, s := range r.Schemes {
-			row = append(row, ftoa(byCell[w][s]))
+			// A missing cell is a recorded gap (failed or skipped
+			// trial): render it empty, not as a fake 0.000 overhead.
+			if v, ok := byCell[w][s]; ok {
+				row = append(row, ftoa(v))
+			} else {
+				row = append(row, "")
+			}
 		}
 		out = append(out, row)
 	}
 	mean := []string{"MEAN"}
 	for _, s := range r.Schemes {
-		mean = append(mean, ftoa(r.MeanOverhead[s]))
+		if v, ok := r.MeanOverhead[s]; ok {
+			mean = append(mean, ftoa(v))
+		} else {
+			mean = append(mean, "")
+		}
 	}
 	out = append(out, mean)
 	return out

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"fmt"
+
+	"repro/internal/harness"
 	"repro/internal/noise"
 	"repro/internal/undo"
 	"repro/internal/unxpec"
@@ -19,26 +22,51 @@ type NoisePoint struct {
 
 // NoiseRobustness sweeps the Gaussian noise σ and reports accuracies.
 func NoiseRobustness(seed int64, sigmas []float64, samples int) []NoisePoint {
-	var out []NoisePoint
+	pts, _, _ := NoiseRobustnessWith(nil, seed, sigmas, samples)
+	return pts
+}
+
+// NoiseRobustnessWith is NoiseRobustness on an explicit harness
+// runner: one cell per σ, each calibrating both eviction-set variants
+// on a fresh machine.
+func NoiseRobustnessWith(r *harness.Runner, seed int64, sigmas []float64, samples int) ([]NoisePoint, *harness.Report, error) {
+	var cells []harness.Cell
 	for i, sigma := range sigmas {
-		run := func(es bool) float64 {
-			nz := noise.NewSystem(seed + int64(i*100))
-			nz.Sigma = sigma
-			nz.SpikeProb = 0 // isolate the Gaussian component
-			a := unxpec.MustNew(unxpec.Options{
-				Seed: seed + int64(i), UseEvictionSets: es, Noise: nz,
-			})
-			cal := a.Calibrate(samples)
-			return cal.TrainAcc
-		}
-		out = append(out, NoisePoint{
-			Sigma:       sigma,
-			Accuracy:    run(false),
-			AccuracyES:  run(true),
-			SamplesUsed: samples,
+		i, sigma := i, sigma
+		cells = append(cells, harness.Cell{
+			ID:   fmt.Sprintf("sigma%g", sigma),
+			Seed: seed,
+			Run: func(t *harness.Trial) (any, error) {
+				run := func(es bool) (float64, error) {
+					nz := noise.NewSystem(t.Seed + int64(i*100))
+					nz.Sigma = sigma
+					nz.SpikeProb = 0 // isolate the Gaussian component
+					a, err := unxpec.New(unxpec.Options{
+						Seed: t.Seed + int64(i), UseEvictionSets: es, Noise: nz,
+					})
+					if err != nil {
+						return 0, err
+					}
+					t.Observe(a.Core())
+					cal, err := a.CalibrateChecked(samples)
+					if err != nil {
+						return 0, err
+					}
+					return cal.TrainAcc, nil
+				}
+				acc, err := run(false)
+				if err != nil {
+					return nil, err
+				}
+				accES, err := run(true)
+				if err != nil {
+					return nil, err
+				}
+				return NoisePoint{Sigma: sigma, Accuracy: acc, AccuracyES: accES, SamplesUsed: samples}, nil
+			},
 		})
 	}
-	return out
+	return sweepCollect[NoisePoint](r, "sensitivity_noise", cells)
 }
 
 // LatencyModelPoint is one cell of the rollback-model sensitivity
@@ -55,19 +83,45 @@ type LatencyModelPoint struct {
 
 // LatencyModelSensitivity sweeps the two anchor costs.
 func LatencyModelSensitivity(seed int64, invFirsts, restoreFirsts []int) []LatencyModelPoint {
-	var out []LatencyModelPoint
+	pts, _, _ := LatencyModelSensitivityWith(nil, seed, invFirsts, restoreFirsts)
+	return pts
+}
+
+// LatencyModelSensitivityWith is LatencyModelSensitivity on an
+// explicit harness runner.
+func LatencyModelSensitivityWith(r *harness.Runner, seed int64, invFirsts, restoreFirsts []int) ([]LatencyModelPoint, *harness.Report, error) {
+	var cells []harness.Cell
 	for _, inv := range invFirsts {
 		for _, rest := range restoreFirsts {
-			m := undo.DefaultLatencyModel()
-			m.InvFirstCycles = inv
-			m.RestoreFirstCycles = rest
-			scheme := undo.NewCleanupSpecWithModel(m)
-			a := unxpec.MustNew(unxpec.Options{
-				Seed: seed, UseEvictionSets: true, Scheme: scheme,
+			inv, rest := inv, rest
+			cells = append(cells, harness.Cell{
+				ID:   fmt.Sprintf("inv%d-rest%d", inv, rest),
+				Seed: seed,
+				Run: func(t *harness.Trial) (any, error) {
+					m := undo.DefaultLatencyModel()
+					m.InvFirstCycles = inv
+					m.RestoreFirstCycles = rest
+					scheme := undo.NewCleanupSpecWithModel(m)
+					a, err := unxpec.New(unxpec.Options{
+						Seed: t.Seed, UseEvictionSets: true, Scheme: scheme,
+					})
+					if err != nil {
+						return nil, err
+					}
+					t.Observe(a.Core())
+					l1, err := a.MeasureOnceChecked(1)
+					if err != nil {
+						return nil, err
+					}
+					l0, err := a.MeasureOnceChecked(0)
+					if err != nil {
+						return nil, err
+					}
+					return LatencyModelPoint{InvFirst: inv, RestoreFirst: rest,
+						Diff: float64(l1) - float64(l0)}, nil
+				},
 			})
-			d := float64(a.MeasureOnce(1)) - float64(a.MeasureOnce(0))
-			out = append(out, LatencyModelPoint{InvFirst: inv, RestoreFirst: rest, Diff: d})
 		}
 	}
-	return out
+	return sweepCollect[LatencyModelPoint](r, "sensitivity_latency", cells)
 }

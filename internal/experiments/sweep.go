@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/stats"
+	"repro/internal/undo"
+	"repro/internal/unxpec"
+	"repro/internal/workload"
+)
+
+// Every sweep in this package routes through internal/harness: cells
+// run on a bounded worker pool with panic containment, watchdog
+// escalation, seed-perturbing retries and (when the runner journals)
+// resumable campaigns. The *With variants take an explicit runner; the
+// original entry points keep their signatures and run on
+// harness.Default(), dropping failed cells as gaps exactly like a
+// journaled campaign would.
+//
+// Determinism contract: each cell derives all randomness from
+// t.Seed (== the experiment seed on the first attempt), builds a fresh
+// machine, and shares no state with other cells — so results are
+// byte-identical regardless of worker count or scheduling order.
+
+// sweepCollect runs cells through r (nil → harness.Default()) and
+// decodes the successful values in input order.
+func sweepCollect[T any](r *harness.Runner, name string, cells []harness.Cell) ([]T, *harness.Report, error) {
+	if r == nil {
+		r = harness.Default()
+	}
+	rep, err := r.Sweep(name, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, err := harness.Collect[T](rep)
+	return vals, rep, err
+}
+
+// resolutionSweepWith measures T1–T2 for every (N, loads, secret) cell
+// on the harness.
+func resolutionSweepWith(r *harness.Runner, name string, seed int64, rounds int,
+	mk func(n, loads int, seed int64) (*unxpec.Attack, error)) ([]ResolutionPoint, *harness.Report, error) {
+	var cells []harness.Cell
+	for n := 1; n <= 3; n++ {
+		for loads := 1; loads <= 5; loads++ {
+			for secret := 0; secret <= 1; secret++ {
+				n, loads, secret := n, loads, secret
+				cells = append(cells, harness.Cell{
+					ID:   fmt.Sprintf("n%d-l%d-s%d", n, loads, secret),
+					Seed: seed,
+					Run: func(t *harness.Trial) (any, error) {
+						a, err := mk(n, loads, t.Seed)
+						if err != nil {
+							return nil, err
+						}
+						t.Observe(a.Core())
+						var sum float64
+						for rr := 0; rr < rounds; rr++ {
+							if _, err := a.MeasureOnceChecked(secret); err != nil {
+								return nil, err
+							}
+							res, _ := a.LastSquashStats()
+							sum += float64(res)
+						}
+						return ResolutionPoint{
+							FNAccesses: n, Loads: loads, Secret: secret,
+							Resolution: sum / float64(rounds),
+						}, nil
+					},
+				})
+			}
+		}
+	}
+	return sweepCollect[ResolutionPoint](r, name, cells)
+}
+
+// Figure2With is Figure2 on an explicit harness runner.
+func Figure2With(r *harness.Runner, seed int64) ([]ResolutionPoint, *harness.Report, error) {
+	return resolutionSweepWith(r, "figure2", seed, 3,
+		func(n, loads int, s int64) (*unxpec.Attack, error) {
+			return unxpec.New(unxpec.Options{Seed: s, FNAccesses: n, LoadsInBranch: loads})
+		})
+}
+
+// Figure13With is Figure13 on an explicit harness runner.
+func Figure13With(r *harness.Runner, seed int64) ([]ResolutionPoint, *harness.Report, error) {
+	hostMem := memsys.DefaultConfig(seed)
+	hostMem.L2.Sets = 4096 // 4 MiB LLC stand-in
+	hostMem.MemLatency = 140
+	return resolutionSweepWith(r, "figure13", seed, 9,
+		func(n, loads int, s int64) (*unxpec.Attack, error) {
+			cfg := hostMem
+			return unxpec.New(unxpec.Options{
+				Seed: s, FNAccesses: n, LoadsInBranch: loads,
+				Mem: &cfg, Noise: noise.NewHostOS(s + int64(n*10+loads)),
+			})
+		})
+}
+
+// diffSweepWith measures mean(secret1) − mean(secret0) per load count
+// on the harness.
+func diffSweepWith(r *harness.Runner, name string, seed int64, evictionSets bool, rounds int) ([]DiffPoint, *harness.Report, error) {
+	var cells []harness.Cell
+	for loads := 1; loads <= 8; loads++ {
+		loads := loads
+		cells = append(cells, harness.Cell{
+			ID:   fmt.Sprintf("l%d", loads),
+			Seed: seed,
+			Run: func(t *harness.Trial) (any, error) {
+				a, err := unxpec.New(unxpec.Options{
+					Seed: t.Seed, LoadsInBranch: loads, UseEvictionSets: evictionSets,
+				})
+				if err != nil {
+					return nil, err
+				}
+				t.Observe(a.Core())
+				var s0, s1 float64
+				for rr := 0; rr < rounds; rr++ {
+					l0, err := a.MeasureOnceChecked(0)
+					if err != nil {
+						return nil, err
+					}
+					s0 += float64(l0)
+					l1, err := a.MeasureOnceChecked(1)
+					if err != nil {
+						return nil, err
+					}
+					s1 += float64(l1)
+				}
+				return DiffPoint{Loads: loads, Diff: (s1 - s0) / float64(rounds)}, nil
+			},
+		})
+	}
+	return sweepCollect[DiffPoint](r, name, cells)
+}
+
+// Figure3With is Figure3 on an explicit harness runner.
+func Figure3With(r *harness.Runner, seed int64) ([]DiffPoint, *harness.Report, error) {
+	return diffSweepWith(r, "figure3", seed, false, 5)
+}
+
+// Figure6With is Figure6 on an explicit harness runner.
+func Figure6With(r *harness.Runner, seed int64) ([]DiffPoint, *harness.Report, error) {
+	return diffSweepWith(r, "figure6", seed, true, 5)
+}
+
+// pdfCell runs one full Figure 7/8 distribution measurement as a
+// single (heavy) harness cell.
+func pdfCell(name string, seed int64, evictionSets bool, n int) harness.Cell {
+	return harness.Cell{
+		ID:   "distributions",
+		Seed: seed,
+		Run: func(t *harness.Trial) (any, error) {
+			a, err := unxpec.New(unxpec.Options{
+				Seed: t.Seed, UseEvictionSets: evictionSets, Noise: noise.NewSystem(t.Seed + 1000),
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Observe(a.Core())
+			cal, err := a.CalibrateChecked(n)
+			if err != nil {
+				return nil, err
+			}
+			res := PDFResult{
+				Samples0: cal.Samples0, Samples1: cal.Samples1,
+				Mean0: cal.Mean0, Mean1: cal.Mean1, Diff: cal.Diff,
+				Threshold: cal.Threshold, TrainAccuracy: cal.TrainAcc,
+			}
+			lo, hi := res.Mean0-40, res.Mean1+40
+			if k0, err := stats.NewKDE(cal.Samples0, 0); err == nil {
+				res.Xs, res.Density0 = k0.Curve(lo, hi, 121)
+			}
+			if k1, err := stats.NewKDE(cal.Samples1, 0); err == nil {
+				_, res.Density1 = k1.Curve(lo, hi, 121)
+			}
+			return res, nil
+		},
+	}
+}
+
+// measureDistributionsWith collects the Figure 7/8 sample pair through
+// the harness.
+func measureDistributionsWith(r *harness.Runner, name string, seed int64, evictionSets bool, n int) (PDFResult, *harness.Report, error) {
+	vals, rep, err := sweepCollect[PDFResult](r, name, []harness.Cell{pdfCell(name, seed, evictionSets, n)})
+	if err != nil {
+		return PDFResult{}, rep, err
+	}
+	if len(vals) == 0 {
+		return PDFResult{}, rep, rep.Err()
+	}
+	return vals[0], rep, nil
+}
+
+// Figure7With is Figure7 on an explicit harness runner.
+func Figure7With(r *harness.Runner, seed int64, samples int) (PDFResult, *harness.Report, error) {
+	return measureDistributionsWith(r, "figure7", seed, false, samples)
+}
+
+// Figure8With is Figure8 on an explicit harness runner.
+func Figure8With(r *harness.Runner, seed int64, samples int) (PDFResult, *harness.Report, error) {
+	return measureDistributionsWith(r, "figure8", seed, true, samples)
+}
+
+// leakRunWith is the Figure 10/11 leak campaign through the harness.
+func leakRunWith(r *harness.Runner, name string, seed int64, evictionSets bool, bits, calibration int) (LeakageResult, *harness.Report, error) {
+	cell := harness.Cell{
+		ID:   "leak",
+		Seed: seed,
+		Run: func(t *harness.Trial) (any, error) {
+			a, err := unxpec.New(unxpec.Options{
+				Seed: t.Seed, UseEvictionSets: evictionSets, Noise: noise.NewSystem(t.Seed + 2000),
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Observe(a.Core())
+			cal, err := a.CalibrateChecked(calibration)
+			if err != nil {
+				return nil, err
+			}
+			secret := unxpec.RandomSecret(bits, t.Seed+3000)
+			res, err := a.LeakSecretChecked(secret, cal.Threshold, 1)
+			if err != nil {
+				return nil, err
+			}
+			return LeakageResult{LeakResult: res, Threshold: cal.Threshold, Rate: a.LeakageRate(2.0)}, nil
+		},
+	}
+	vals, rep, err := sweepCollect[LeakageResult](r, name, []harness.Cell{cell})
+	if err != nil {
+		return LeakageResult{}, rep, err
+	}
+	if len(vals) == 0 {
+		return LeakageResult{}, rep, rep.Err()
+	}
+	return vals[0], rep, nil
+}
+
+// Figure10With is Figure10 on an explicit harness runner.
+func Figure10With(r *harness.Runner, seed int64, bits int) (LeakageResult, *harness.Report, error) {
+	return leakRunWith(r, "figure10", seed, false, bits, 300)
+}
+
+// Figure11With is Figure11 on an explicit harness runner.
+func Figure11With(r *harness.Runner, seed int64, bits int) (LeakageResult, *harness.Report, error) {
+	return leakRunWith(r, "figure11", seed, true, bits, 300)
+}
+
+// Figure12With runs the overhead study on the harness: one cell per
+// (workload, scheme) pair, overheads and means recomputed from the
+// completed cells, so a failed cell leaves a gap instead of aborting
+// the suite or poisoning the averages.
+func Figure12With(r *harness.Runner, seed int64, scale int) (Figure12Result, *harness.Report, error) {
+	suite := workload.Suite(scale, seed)
+	schemes := workload.StandardSchemes()
+
+	var cells []harness.Cell
+	for _, w := range suite {
+		for _, sf := range schemes {
+			w, sf := w, sf
+			cells = append(cells, harness.Cell{
+				ID:   w.Name + "/" + sf.Name,
+				Seed: seed,
+				Run: func(t *harness.Trial) (any, error) {
+					res, err := workload.RunChecked(w, sf.New(), t.Seed)
+					if err != nil {
+						return nil, err
+					}
+					return Figure12Cell{Workload: w.Name, Scheme: sf.Name, Cycles: res.Stats.Cycles}, nil
+				},
+			})
+		}
+	}
+	done, rep, err := sweepCollect[Figure12Cell](r, "figure12", cells)
+	if err != nil {
+		return Figure12Result{}, rep, err
+	}
+
+	res := Figure12Result{MeanOverhead: map[string]float64{}}
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.Name)
+	}
+	for _, w := range suite {
+		res.Workloads = append(res.Workloads, w.Name)
+	}
+	baseline := map[string]uint64{}
+	for _, c := range done {
+		if c.Scheme == "unsafe" {
+			baseline[c.Workload] = c.Cycles
+		}
+	}
+	for _, c := range done {
+		if b := baseline[c.Workload]; b > 0 {
+			c.Overhead = float64(c.Cycles)/float64(b) - 1
+		}
+		res.Cells = append(res.Cells, c)
+	}
+	for _, s := range schemes {
+		var sum float64
+		var n int
+		for _, c := range res.Cells {
+			// A workload whose unsafe baseline is a gap contributes no
+			// overhead sample — better a narrower mean than a poisoned
+			// one.
+			if c.Scheme == s.Name && baseline[c.Workload] > 0 {
+				sum += c.Overhead
+				n++
+			}
+		}
+		if n > 0 {
+			res.MeanOverhead[s.Name] = sum / float64(n)
+		}
+	}
+	return res, rep, nil
+}
+
+// MitigationStudyWith runs the mitigation comparison on the harness,
+// one cell per candidate scheme.
+func MitigationStudyWith(r *harness.Runner, seed int64, scale, rounds int) ([]MitigationPoint, *harness.Report, error) {
+	type mk struct {
+		name string
+		newS func() undo.Scheme
+	}
+	cands := []mk{
+		{"cleanupspec", func() undo.Scheme { return undo.NewCleanupSpec() }},
+		{"const-65-relaxed", func() undo.Scheme { return undo.NewConstantTime(65, undo.Relaxed) }},
+		{"fuzzy-40", func() undo.Scheme { return undo.NewFuzzyTime(40, uint64(seed)) }},
+	}
+	var cells []harness.Cell
+	for _, c := range cands {
+		c := c
+		cells = append(cells, harness.Cell{
+			ID:   c.name,
+			Seed: seed,
+			Run: func(t *harness.Trial) (any, error) {
+				// Residual channel width: mean over rounds of (secret1−secret0).
+				a, err := unxpec.New(unxpec.Options{Seed: t.Seed, Scheme: c.newS()})
+				if err != nil {
+					return nil, err
+				}
+				t.Observe(a.Core())
+				var s0, s1 float64
+				for rr := 0; rr < rounds; rr++ {
+					l0, err := a.MeasureOnceChecked(0)
+					if err != nil {
+						return nil, err
+					}
+					s0 += float64(l0)
+					l1, err := a.MeasureOnceChecked(1)
+					if err != nil {
+						return nil, err
+					}
+					s1 += float64(l1)
+				}
+				// Overhead versus unsafe.
+				suite := workload.Suite(scale, t.Seed)
+				var sum float64
+				for _, w := range suite {
+					base, err := workload.RunChecked(w, undo.NewUnsafe(), t.Seed)
+					if err != nil {
+						return nil, err
+					}
+					run, err := workload.RunChecked(w, c.newS(), t.Seed)
+					if err != nil {
+						return nil, err
+					}
+					sum += float64(run.Stats.Cycles)/float64(base.Stats.Cycles) - 1
+				}
+				return MitigationPoint{
+					Scheme:       c.name,
+					ResidualDiff: (s1 - s0) / float64(rounds),
+					MeanOverhead: sum / float64(len(suite)),
+				}, nil
+			},
+		})
+	}
+	return sweepCollect[MitigationPoint](r, "mitigation", cells)
+}

@@ -1,0 +1,141 @@
+// Package harness is the resilient trial-execution layer every sweep
+// routes through: it runs independent sweep cells on a bounded worker
+// pool, contains panics, escalates the simulator watchdog into typed
+// errors, retries transient failures with seed-perturbing backoff, and
+// journals completed cells so an interrupted campaign resumes instead
+// of restarting. One bad trial yields a recorded, classified gap —
+// never a lost campaign.
+//
+// See docs/HARNESS.md for the error taxonomy, retry policy, journal
+// format and resume semantics.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+)
+
+// Class partitions trial failures for retry policy, reporting and the
+// process exit code.
+type Class string
+
+const (
+	// ClassOK marks a successful journal record (never a TrialError).
+	ClassOK Class = "ok"
+	// ClassPanic is a contained panic inside the trial.
+	ClassPanic Class = "panic"
+	// ClassTimeout is the simulator's cycle-budget watchdog
+	// (cpu.ErrWatchdog) — the trial ran but never converged.
+	ClassTimeout Class = "timeout"
+	// ClassDeadline is the harness's wall-clock deadline — the trial
+	// goroutine was still running when its time budget lapsed.
+	ClassDeadline Class = "deadline"
+	// ClassTransient is an error explicitly marked retryable with
+	// Transient (noise, flaky calibration, eviction-set verification).
+	ClassTransient Class = "transient"
+	// ClassError is any other (deterministic) trial error.
+	ClassError Class = "error"
+)
+
+// Retryable reports whether a failure of this class is worth another
+// attempt under a perturbed seed. Deterministic errors are not: the
+// same inputs would fail the same way.
+func (c Class) Retryable() bool {
+	switch c {
+	case ClassPanic, ClassTimeout, ClassDeadline, ClassTransient:
+		return true
+	}
+	return false
+}
+
+// Exit-code taxonomy for campaign drivers: a failed campaign exits
+// with the code of its worst failure class so shell pipelines and CI
+// can tell a hang from a crash from a plain error.
+const (
+	ExitOK          = 0
+	ExitInfra       = 1 // I/O, journal, CSV — the harness itself failed
+	ExitUsage       = 2 // bad flags / configuration
+	ExitTimeout     = 3 // ≥1 cell exhausted retries on watchdog/deadline
+	ExitPanic       = 4 // ≥1 cell exhausted retries on a panic
+	ExitError       = 5 // ≥1 cell failed deterministically
+	ExitInterrupted = 6 // campaign stopped early (StopAfter); resumable
+)
+
+// TrialError is the structured failure of one sweep cell: which cell,
+// how it died, on which attempt, and — when the simulator was
+// reachable — a post-mortem snapshot of the core.
+type TrialError struct {
+	Cell    string `json:"cell"`
+	Class   Class  `json:"class"`
+	Attempt int    `json:"attempt"` // attempt the final failure occurred on (1-based)
+	Seed    int64  `json:"seed"`    // seed of that attempt
+
+	Err   error  `json:"-"`
+	Msg   string `json:"error"` // Err.Error(), for the journal
+	Stack string `json:"stack,omitempty"`
+
+	// Post is the simulator post-mortem: populated from the panicking
+	// goroutine's observed core, or from the *cpu.WatchdogError the
+	// trial returned. Nil when no core was observable (e.g. a
+	// wall-clock deadline with the trial goroutine still live —
+	// snapshotting a running core would race).
+	Post *cpu.PostMortem `json:"post,omitempty"`
+}
+
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("cell %s: %s (attempt %d): %s", e.Cell, e.Class, e.Attempt, e.Msg)
+}
+
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// transientError marks an error as retryable noise.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return "transient: " + t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient wraps err so the harness classifies it as retryable noise
+// rather than a deterministic failure.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is (or wraps) a Transient error.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Classify maps an arbitrary trial error onto the taxonomy.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return ClassOK
+	case IsTransient(err):
+		return ClassTransient
+	case errors.Is(err, cpu.ErrWatchdog):
+		return ClassTimeout
+	case errors.Is(err, context.DeadlineExceeded):
+		return ClassDeadline
+	}
+	return ClassError
+}
+
+// exitFor maps a failure class to its campaign exit code.
+func exitFor(c Class) int {
+	switch c {
+	case ClassOK:
+		return ExitOK
+	case ClassPanic:
+		return ExitPanic
+	case ClassTimeout, ClassDeadline:
+		return ExitTimeout
+	}
+	return ExitError
+}

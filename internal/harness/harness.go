@@ -1,0 +1,558 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/cpu"
+)
+
+// Config parameterizes a Runner. The zero value is a sensible default:
+// GOMAXPROCS workers, 3 attempts per cell, 10 ms base backoff, no
+// wall-clock deadline, no journal.
+type Config struct {
+	// Workers bounds concurrent trials. <=0 means GOMAXPROCS.
+	Workers int
+	// MaxAttempts is the per-cell attempt budget. <=0 means 3.
+	MaxAttempts int
+	// BackoffBase is the sleep before the first retry; it doubles per
+	// attempt with deterministic ±25% jitter. <=0 means 10 ms.
+	BackoffBase time.Duration
+	// BackoffMax caps a single backoff sleep. <=0 means 2 s.
+	BackoffMax time.Duration
+	// TrialTimeout is the wall-clock deadline per attempt. 0 disables
+	// it (the simulator's own MaxCycles watchdog still applies). A
+	// trial past its deadline is abandoned: its goroutine is leaked
+	// deliberately — the cycle watchdog bounds how long it can live.
+	TrialTimeout time.Duration
+	// JournalPath appends one JSONL record per completed cell. Empty
+	// disables journaling (and therefore resume).
+	JournalPath string
+	// Resume skips cells that already have a terminal journal record
+	// (ok or failed), replaying their recorded outcome.
+	Resume bool
+	// StopAfter aborts the campaign after N newly executed cells — a
+	// deterministic stand-in for a mid-campaign kill, used by tests
+	// and the CI resume check. 0 means run to completion.
+	StopAfter int
+	// Injections are fault injections matched against full cell IDs.
+	Injections []Injection
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 3
+	}
+	return c.MaxAttempts
+}
+
+func (c Config) backoffBase() time.Duration {
+	if c.BackoffBase <= 0 {
+		return 10 * time.Millisecond
+	}
+	return c.BackoffBase
+}
+
+func (c Config) backoffMax() time.Duration {
+	if c.BackoffMax <= 0 {
+		return 2 * time.Second
+	}
+	return c.BackoffMax
+}
+
+// Cell is one independent unit of a sweep. Run must derive every bit
+// of randomness from t.Seed (not shared state) — that is the
+// determinism contract that makes results identical regardless of
+// worker count, and lets a retry perturb the seed meaningfully. The
+// returned value must be JSON-marshalable; it becomes the journaled,
+// resumable result of the cell.
+type Cell struct {
+	ID   string
+	Seed int64
+	Run  func(t *Trial) (any, error)
+}
+
+// PostMortemer is anything that can snapshot itself when a trial dies.
+// *cpu.CPU implements it.
+type PostMortemer interface {
+	PostMortem() cpu.PostMortem
+}
+
+// Trial is the per-attempt context handed to a cell's Run.
+type Trial struct {
+	Cell    string // full (namespaced) cell ID
+	Attempt int    // 1-based
+	Seed    int64  // cell seed, perturbed on retries
+
+	mu sync.Mutex
+	pm PostMortemer
+}
+
+// Observe registers the core under test so that a contained panic can
+// capture its post-mortem snapshot. Re-observing replaces the previous
+// subject (observe the active core of multi-phase trials).
+func (t *Trial) Observe(p PostMortemer) {
+	t.mu.Lock()
+	t.pm = p
+	t.mu.Unlock()
+}
+
+// postMortem snapshots the observed core, containing any panic the
+// snapshot itself raises. Only called when the trial goroutine is no
+// longer running the simulator (post-panic or post-return), so the
+// read does not race.
+func (t *Trial) postMortem() (out *cpu.PostMortem) {
+	t.mu.Lock()
+	p := t.pm
+	t.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	defer func() { recover() }()
+	pm := p.PostMortem()
+	return &pm
+}
+
+// Outcome is the terminal result of one cell: a value, or a classified
+// TrialError, or a skip marker when the campaign was interrupted
+// before the cell started.
+type Outcome struct {
+	Index    int    // position in the input cell slice
+	Cell     string // full (namespaced) ID
+	Seed     int64
+	Attempts int
+	Class    Class
+	Value    json.RawMessage // non-nil iff Class == ClassOK
+	Err      *TrialError     // non-nil iff the cell failed
+	Resumed  bool            // replayed from the journal
+	Skipped  bool            // never started (campaign interrupted)
+	Elapsed  time.Duration
+}
+
+// OK reports whether the cell produced a value.
+func (o Outcome) OK() bool { return o.Class == ClassOK }
+
+// Decode unmarshals the cell's value.
+func (o Outcome) Decode(v any) error {
+	if !o.OK() {
+		if o.Err != nil {
+			return o.Err
+		}
+		return fmt.Errorf("harness: cell %s has no value (%s)", o.Cell, o.Class)
+	}
+	return json.Unmarshal(o.Value, v)
+}
+
+// Report summarizes one Sweep. Outcomes are in input order regardless
+// of scheduling, so result aggregation is deterministic across worker
+// counts.
+type Report struct {
+	Name     string
+	Outcomes []Outcome
+	// Interrupted is true when StopAfter tripped before every cell
+	// ran; the journal makes the campaign resumable.
+	Interrupted bool
+}
+
+// Failures returns the classified errors of failed cells, input order.
+func (r *Report) Failures() []*TrialError {
+	var out []*TrialError
+	for _, o := range r.Outcomes {
+		if o.Err != nil {
+			out = append(out, o.Err)
+		}
+	}
+	return out
+}
+
+// Completed counts cells with a terminal outcome (ok or failed).
+func (r *Report) Completed() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if !o.Skipped {
+			n++
+		}
+	}
+	return n
+}
+
+// ExitCode maps the report onto the exit-code taxonomy: interrupted
+// campaigns win (they are resumable, not failed), then the worst
+// failure class, then 0.
+func (r *Report) ExitCode() int {
+	if r.Interrupted {
+		return ExitInterrupted
+	}
+	rank := func(code int) int {
+		switch code {
+		case ExitPanic:
+			return 3
+		case ExitTimeout:
+			return 2
+		case ExitError:
+			return 1
+		}
+		return 0
+	}
+	code := ExitOK
+	for _, o := range r.Outcomes {
+		if o.Err == nil {
+			continue
+		}
+		if c := exitFor(o.Err.Class); rank(c) > rank(code) {
+			code = c
+		}
+	}
+	return code
+}
+
+// Err summarizes the sweep as a single error, or nil when every cell
+// produced a value.
+func (r *Report) Err() error {
+	fails := r.Failures()
+	if r.Interrupted {
+		return fmt.Errorf("harness: sweep %s interrupted after %d/%d cells (resumable)",
+			r.Name, r.Completed(), len(r.Outcomes))
+	}
+	if len(fails) == 0 {
+		return nil
+	}
+	return fmt.Errorf("harness: sweep %s: %d/%d cells failed (first: %v)",
+		r.Name, len(fails), len(r.Outcomes), fails[0])
+}
+
+// Collect decodes the values of successful cells in input order —
+// failed or skipped cells are recorded gaps, not list entries.
+func Collect[T any](rep *Report) ([]T, error) {
+	var out []T
+	for _, o := range rep.Outcomes {
+		if !o.OK() {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(o.Value, &v); err != nil {
+			return nil, fmt.Errorf("harness: decoding cell %s: %w", o.Cell, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Runner executes sweeps under one campaign configuration. A single
+// Runner may serve several Sweep calls (e.g. every figure of a
+// campaign) sharing one journal and one StopAfter budget.
+type Runner struct {
+	cfg Config
+
+	mu       sync.Mutex
+	executed int // newly executed cells, for StopAfter
+
+	loadOnce sync.Once
+	loadErr  error
+	journal  *journal
+	resumed  map[string]journalRecord
+}
+
+// New validates cfg and builds a Runner.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Resume && cfg.JournalPath == "" {
+		return nil, fmt.Errorf("harness: -resume needs a journal path")
+	}
+	for _, in := range cfg.Injections {
+		if in.Kind == InjectHang && cfg.TrialTimeout <= 0 {
+			return nil, fmt.Errorf("harness: hang injection %q requires a trial timeout", in.Pattern)
+		}
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Default returns a journal-less Runner with default pool and retry
+// settings — the drop-in engine for library callers that just want
+// containment and parallelism.
+func Default() *Runner {
+	r, _ := New(Config{})
+	return r
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// ensureLoaded opens the journal (append) and, for resume, indexes its
+// terminal records.
+func (r *Runner) ensureLoaded() error {
+	r.loadOnce.Do(func() {
+		if r.cfg.JournalPath == "" {
+			return
+		}
+		if r.cfg.Resume {
+			recs, err := readJournal(r.cfg.JournalPath)
+			if err != nil {
+				r.loadErr = err
+				return
+			}
+			r.resumed = recs
+		}
+		j, err := openJournal(r.cfg.JournalPath)
+		if err != nil {
+			r.loadErr = err
+			return
+		}
+		r.journal = j
+	})
+	return r.loadErr
+}
+
+// Close flushes and closes the journal, if any.
+func (r *Runner) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.journal == nil {
+		return nil
+	}
+	return r.journal.close()
+}
+
+// stopRequested reports whether the StopAfter budget is spent.
+func (r *Runner) stopRequested() bool {
+	if r.cfg.StopAfter <= 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed >= r.cfg.StopAfter
+}
+
+func (r *Runner) noteExecuted() {
+	r.mu.Lock()
+	r.executed++
+	r.mu.Unlock()
+}
+
+// Sweep runs every cell on the worker pool and returns the report.
+// Cell IDs are namespaced as "name/id" in the journal and injection
+// matching. The returned error is infrastructural (journal I/O,
+// duplicate IDs) — per-cell failures live in the report.
+func (r *Runner) Sweep(name string, cells []Cell) (*Report, error) {
+	if err := r.ensureLoaded(); err != nil {
+		return nil, err
+	}
+	full := func(c Cell) string {
+		if name == "" {
+			return c.ID
+		}
+		return name + "/" + c.ID
+	}
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if c.Run == nil {
+			return nil, fmt.Errorf("harness: cell %s has no Run", full(c))
+		}
+		if seen[full(c)] {
+			return nil, fmt.Errorf("harness: duplicate cell ID %s", full(c))
+		}
+		seen[full(c)] = true
+	}
+
+	rep := &Report{Name: name, Outcomes: make([]Outcome, len(cells))}
+	type job struct {
+		i int
+		c Cell
+	}
+	var jobs []job
+	for i, c := range cells {
+		id := full(c)
+		if rec, ok := r.resumed[id]; ok {
+			rep.Outcomes[i] = rec.outcome(i)
+			continue
+		}
+		rep.Outcomes[i] = Outcome{Index: i, Cell: id, Seed: c.Seed, Skipped: true}
+		jobs = append(jobs, job{i, c})
+	}
+
+	workers := r.cfg.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if r.stopRequested() {
+					continue // leave the Skipped marker in place
+				}
+				o := r.runCell(full(j.c), j.i, j.c)
+				rep.Outcomes[j.i] = o // distinct index per goroutine
+				r.noteExecuted()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	for _, o := range rep.Outcomes {
+		if o.Skipped {
+			rep.Interrupted = true
+			break
+		}
+	}
+	return rep, nil
+}
+
+// runCell drives one cell through its attempt budget.
+func (r *Runner) runCell(id string, index int, c Cell) Outcome {
+	start := time.Now()
+	maxA := r.cfg.maxAttempts()
+	var te *TrialError
+	for attempt := 1; attempt <= maxA; attempt++ {
+		seed := c.Seed
+		if attempt > 1 {
+			seed = perturbSeed(c.Seed, attempt)
+		}
+		t := &Trial{Cell: id, Attempt: attempt, Seed: seed}
+		v, err := r.attempt(c, t, id)
+		if err == nil {
+			raw, merr := json.Marshal(v)
+			if merr == nil {
+				o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: attempt,
+					Class: ClassOK, Value: raw, Elapsed: time.Since(start)}
+				r.record(o)
+				return o
+			}
+			err = fmt.Errorf("harness: marshaling cell value: %w", merr)
+		}
+		te = intoTrialError(err, t)
+		if !te.Class.Retryable() || attempt == maxA {
+			break
+		}
+		time.Sleep(backoff(r.cfg, c.Seed, attempt))
+	}
+	o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: te.Attempt,
+		Class: te.Class, Err: te, Elapsed: time.Since(start)}
+	r.record(o)
+	return o
+}
+
+// attempt executes one attempt with panic containment and, when
+// configured, a wall-clock deadline.
+func (r *Runner) attempt(c Cell, t *Trial, id string) (any, error) {
+	run := func() (v any, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = &TrialError{
+					Cell: t.Cell, Class: ClassPanic, Attempt: t.Attempt, Seed: t.Seed,
+					Err: fmt.Errorf("panic: %v", p), Msg: fmt.Sprintf("panic: %v", p),
+					Stack: string(debug.Stack()), Post: t.postMortem(),
+				}
+			}
+		}()
+		fireInjections(r.cfg.Injections, id, t)
+		return c.Run(t)
+	}
+	if r.cfg.TrialTimeout <= 0 {
+		return run()
+	}
+	type res struct {
+		v   any
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		v, err := run()
+		ch <- res{v, err}
+	}()
+	timer := time.NewTimer(r.cfg.TrialTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-timer.C:
+		// The trial goroutine is abandoned, still running: do NOT
+		// snapshot its core (that would race); the cycle watchdog
+		// bounds its remaining lifetime.
+		return nil, &TrialError{
+			Cell: t.Cell, Class: ClassDeadline, Attempt: t.Attempt, Seed: t.Seed,
+			Err: context.DeadlineExceeded,
+			Msg: fmt.Sprintf("wall-clock deadline %v exceeded (trial abandoned)", r.cfg.TrialTimeout),
+		}
+	}
+}
+
+// record journals a terminal outcome; journal I/O failures are sticky
+// on the runner but do not fail the cell.
+func (r *Runner) record(o Outcome) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.journal == nil {
+		return
+	}
+	if err := r.journal.append(o); err != nil && r.loadErr == nil {
+		r.loadErr = err
+	}
+}
+
+// intoTrialError normalizes an attempt error into a classified
+// TrialError, pulling the post-mortem out of a watchdog error when one
+// is attached.
+func intoTrialError(err error, t *Trial) *TrialError {
+	var te *TrialError
+	if errors.As(err, &te) {
+		return te
+	}
+	te = &TrialError{Cell: t.Cell, Class: Classify(err), Attempt: t.Attempt,
+		Seed: t.Seed, Err: err, Msg: err.Error()}
+	var we *cpu.WatchdogError
+	if errors.As(err, &we) {
+		te.Post = &we.Post
+	}
+	if te.Post == nil && te.Class == ClassTimeout {
+		// The attempt returned, so the trial goroutine is done and the
+		// observed core is quiescent.
+		te.Post = t.postMortem()
+	}
+	return te
+}
+
+// perturbSeed derives the retry seed for an attempt: a splitmix64-style
+// mix so consecutive attempts land in unrelated parts of seed space,
+// deterministically.
+func perturbSeed(seed int64, attempt int) int64 {
+	z := uint64(seed) + uint64(attempt)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// backoff returns the exponential, jittered sleep before retrying
+// attempt (1-based attempt that just failed).
+func backoff(cfg Config, seed int64, attempt int) time.Duration {
+	d := cfg.backoffBase() << uint(attempt-1)
+	if max := cfg.backoffMax(); d > max {
+		d = max
+	}
+	// Deterministic ±25% jitter so synchronized workers desynchronize.
+	j := perturbSeed(seed, attempt)
+	frac := float64(uint64(j)%1000)/1000*0.5 - 0.25
+	return d + time.Duration(float64(d)*frac)
+}

@@ -1,0 +1,492 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/branch"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/undo"
+)
+
+// val is the cell payload used throughout the tests.
+type val struct {
+	ID   string `json:"id"`
+	Seed int64  `json:"seed"`
+	N    int    `json:"n"`
+}
+
+// okCells builds n trivial deterministic cells.
+func okCells(n int) []Cell {
+	var cells []Cell
+	for i := 0; i < n; i++ {
+		i := i
+		cells = append(cells, Cell{
+			ID:   fmt.Sprintf("c%d", i),
+			Seed: int64(100 + i),
+			Run: func(t *Trial) (any, error) {
+				return val{ID: t.Cell, Seed: t.Seed, N: i * i}, nil
+			},
+		})
+	}
+	return cells
+}
+
+func mustRunner(t *testing.T, cfg Config) *Runner {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	collect := func(workers int) []val {
+		r := mustRunner(t, Config{Workers: workers})
+		vals, err := func() ([]val, error) {
+			rep, err := r.Sweep("det", okCells(16))
+			if err != nil {
+				return nil, err
+			}
+			return Collect[val](rep)
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	serial := collect(1)
+	parallel := collect(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("results differ across worker counts:\n 1: %+v\n 8: %+v", serial, parallel)
+	}
+	if len(serial) != 16 {
+		t.Fatalf("got %d values, want 16", len(serial))
+	}
+	for i, v := range serial {
+		// Input order, original seeds on the first attempt.
+		if v.ID != fmt.Sprintf("det/c%d", i) || v.Seed != int64(100+i) {
+			t.Fatalf("value %d out of order or reseeded: %+v", i, v)
+		}
+	}
+}
+
+// core builds a tiny real CPU so panic post-mortems snapshot something.
+func core(t *testing.T) *cpu.CPU {
+	t.Helper()
+	h := memsys.MustNew(memsys.DefaultConfig(7), mem.NewMemory())
+	return cpu.MustNew(cpu.DefaultConfig(), h, branch.New(branch.DefaultConfig()), undo.NewUnsafe(), noise.None{})
+}
+
+func TestPanicContainedWithPostMortem(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 2, MaxAttempts: 1})
+	prog := isa.NewBuilder().Const(1, 3).Halt().MustBuild()
+	cells := []Cell{
+		{ID: "boom", Seed: 1, Run: func(tr *Trial) (any, error) {
+			c := core(t)
+			if _, err := c.RunChecked(prog); err != nil {
+				return nil, err
+			}
+			tr.Observe(c)
+			panic("deliberate")
+		}},
+		{ID: "fine", Seed: 2, Run: func(tr *Trial) (any, error) {
+			return val{ID: tr.Cell}, nil
+		}},
+	}
+	rep, err := r.Sweep("pan", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("got %d failures, want 1", len(fails))
+	}
+	f := fails[0]
+	if f.Class != ClassPanic || f.Cell != "pan/boom" {
+		t.Fatalf("failure misclassified: %+v", f)
+	}
+	if f.Stack == "" {
+		t.Error("panic failure carries no stack")
+	}
+	if f.Post == nil {
+		t.Fatal("panic failure carries no post-mortem despite Observe")
+	}
+	if !f.Post.Halted || f.Post.Retired == 0 {
+		t.Errorf("post-mortem does not reflect the observed core: %+v", f.Post)
+	}
+	// The healthy sibling cell still completed.
+	vals, err := Collect[val](rep)
+	if err != nil || len(vals) != 1 || vals[0].ID != "pan/fine" {
+		t.Fatalf("sibling cell lost: vals=%v err=%v", vals, err)
+	}
+	if rep.ExitCode() != ExitPanic {
+		t.Errorf("exit code = %d, want %d", rep.ExitCode(), ExitPanic)
+	}
+}
+
+func TestTransientRetrySucceeds(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 3, BackoffBase: time.Microsecond})
+	attempts := 0
+	var seeds []int64
+	cells := []Cell{{ID: "flaky", Seed: 42, Run: func(tr *Trial) (any, error) {
+		attempts++
+		seeds = append(seeds, tr.Seed)
+		if tr.Attempt < 3 {
+			return nil, Transient(errors.New("noise"))
+		}
+		return val{Seed: tr.Seed}, nil
+	}}}
+	rep, err := r.Sweep("retry", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Fatalf("ran %d attempts, want 3", attempts)
+	}
+	o := rep.Outcomes[0]
+	if !o.OK() || o.Attempts != 3 {
+		t.Fatalf("outcome = %+v, want ok on attempt 3", o)
+	}
+	if seeds[0] != 42 {
+		t.Errorf("first attempt seed = %d, want the cell seed 42", seeds[0])
+	}
+	if seeds[1] == 42 || seeds[2] == 42 || seeds[1] == seeds[2] {
+		t.Errorf("retry seeds not perturbed: %v", seeds)
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 2, BackoffBase: time.Microsecond})
+	attempts := 0
+	cells := []Cell{{ID: "dead", Seed: 7, Run: func(tr *Trial) (any, error) {
+		attempts++
+		return nil, Transient(errors.New("always"))
+	}}}
+	rep, err := r.Sweep("exhaust", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("ran %d attempts, want 2", attempts)
+	}
+	f := rep.Outcomes[0].Err
+	if f == nil || f.Class != ClassTransient || f.Attempt != 2 {
+		t.Fatalf("failure = %+v, want transient on attempt 2", f)
+	}
+}
+
+func TestDeterministicErrorNotRetried(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 3})
+	attempts := 0
+	cells := []Cell{{ID: "det", Seed: 7, Run: func(tr *Trial) (any, error) {
+		attempts++
+		return nil, errors.New("same inputs, same failure")
+	}}}
+	rep, err := r.Sweep("noretry", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("deterministic error retried: %d attempts", attempts)
+	}
+	if f := rep.Outcomes[0].Err; f == nil || f.Class != ClassError {
+		t.Fatalf("failure = %+v, want ClassError", f)
+	}
+	if rep.ExitCode() != ExitError {
+		t.Errorf("exit code = %d, want %d", rep.ExitCode(), ExitError)
+	}
+}
+
+func TestWatchdogClassifiedTimeout(t *testing.T) {
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 300
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 2, BackoffBase: time.Microsecond})
+	loop := isa.NewBuilder().Label("spin").Jmp("spin").MustBuild()
+	cells := []Cell{{ID: "hang", Seed: 3, Run: func(tr *Trial) (any, error) {
+		h := memsys.MustNew(memsys.DefaultConfig(7), mem.NewMemory())
+		c := cpu.MustNew(cfg, h, branch.New(branch.DefaultConfig()), undo.NewUnsafe(), noise.None{})
+		tr.Observe(c)
+		_, err := c.RunChecked(loop)
+		return nil, err
+	}}}
+	rep, err := r.Sweep("wd", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Outcomes[0].Err
+	if f == nil || f.Class != ClassTimeout {
+		t.Fatalf("failure = %+v, want ClassTimeout", f)
+	}
+	if f.Attempt != 2 {
+		t.Errorf("watchdog trip should be retryable: final attempt %d, want 2", f.Attempt)
+	}
+	if f.Post == nil || !f.Post.TimedOut {
+		t.Fatalf("timeout failure has no usable post-mortem: %+v", f.Post)
+	}
+	if !errors.Is(f, cpu.ErrWatchdog) {
+		t.Error("TrialError does not unwrap to cpu.ErrWatchdog")
+	}
+	if rep.ExitCode() != ExitTimeout {
+		t.Errorf("exit code = %d, want %d", rep.ExitCode(), ExitTimeout)
+	}
+}
+
+func TestDeadlineClassified(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 1, TrialTimeout: 20 * time.Millisecond})
+	block := make(chan struct{})
+	defer close(block)
+	cells := []Cell{{ID: "stuck", Seed: 1, Run: func(tr *Trial) (any, error) {
+		<-block
+		return nil, nil
+	}}}
+	rep, err := r.Sweep("ddl", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.Outcomes[0].Err
+	if f == nil || f.Class != ClassDeadline {
+		t.Fatalf("failure = %+v, want ClassDeadline", f)
+	}
+	if f.Post != nil {
+		t.Error("deadline failure must not snapshot a live goroutine's core")
+	}
+	if !errors.Is(f, context.DeadlineExceeded) {
+		t.Error("deadline TrialError does not unwrap to context.DeadlineExceeded")
+	}
+}
+
+func TestJournalRoundTripAndResume(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "run.jsonl")
+
+	executed := 0
+	mk := func(fail bool) []Cell {
+		return []Cell{
+			{ID: "a", Seed: 1, Run: func(tr *Trial) (any, error) {
+				executed++
+				return val{ID: tr.Cell, N: 1}, nil
+			}},
+			{ID: "b", Seed: 2, Run: func(tr *Trial) (any, error) {
+				executed++
+				if fail {
+					return nil, errors.New("recorded gap")
+				}
+				return val{ID: tr.Cell, N: 2}, nil
+			}},
+		}
+	}
+
+	r1 := mustRunner(t, Config{Workers: 1, JournalPath: jpath})
+	rep1, err := r1.Sweep("j", mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if executed != 2 {
+		t.Fatalf("first campaign executed %d cells, want 2", executed)
+	}
+
+	// The journal holds both terminal records with their classes.
+	recs, err := readJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("journal has %d records, want 2", len(recs))
+	}
+	if recs["j/a"].Class != ClassOK || recs["j/b"].Class != ClassError {
+		t.Fatalf("journal classes: a=%s b=%s", recs["j/a"].Class, recs["j/b"].Class)
+	}
+	if recs["j/b"].Error == "" {
+		t.Error("failed record lost its error message")
+	}
+
+	// Resume skips both: ok cells replay their value, failed cells stay
+	// recorded gaps (never silently re-run).
+	executed = 0
+	r2 := mustRunner(t, Config{Workers: 1, JournalPath: jpath, Resume: true})
+	rep2, err := r2.Sweep("j", mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if executed != 0 {
+		t.Fatalf("resume re-executed %d cells, want 0", executed)
+	}
+	for i, o := range rep2.Outcomes {
+		if !o.Resumed {
+			t.Errorf("outcome %d not marked resumed", i)
+		}
+	}
+	v1, _ := Collect[val](rep1)
+	v2, _ := Collect[val](rep2)
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("resumed values differ: %v vs %v", v1, v2)
+	}
+	if f := rep2.Outcomes[1].Err; f == nil || f.Class != ClassError {
+		t.Fatalf("resumed gap lost its classification: %+v", f)
+	}
+}
+
+func TestStopAfterInterruptsAndResumeCompletes(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "run.jsonl")
+
+	r1 := mustRunner(t, Config{Workers: 1, JournalPath: jpath, StopAfter: 3})
+	rep1, err := r1.Sweep("s", okCells(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	if !rep1.Interrupted {
+		t.Fatal("StopAfter did not interrupt the campaign")
+	}
+	if rep1.ExitCode() != ExitInterrupted {
+		t.Fatalf("exit code = %d, want %d", rep1.ExitCode(), ExitInterrupted)
+	}
+	done := rep1.Completed()
+	if done >= 8 || done < 3 {
+		t.Fatalf("completed %d cells, want at least StopAfter but not all", done)
+	}
+
+	r2 := mustRunner(t, Config{Workers: 4, JournalPath: jpath, Resume: true})
+	rep2, err := r2.Sweep("s", okCells(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Close()
+	if rep2.Interrupted {
+		t.Fatal("resumed campaign still interrupted")
+	}
+	vals, err := Collect[val](rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full, in-order results identical to an uninterrupted campaign.
+	ref, _ := Collect[val](mustSweep(t, mustRunner(t, Config{Workers: 1}), "s", okCells(8)))
+	if !reflect.DeepEqual(vals, ref) {
+		t.Fatalf("resumed campaign differs from uninterrupted run:\n%v\n%v", vals, ref)
+	}
+}
+
+func mustSweep(t *testing.T, r *Runner, name string, cells []Cell) *Report {
+	t.Helper()
+	rep, err := r.Sweep(name, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestInjectionsParseAndFire(t *testing.T) {
+	if _, err := ParseInjections("panic"); err == nil {
+		t.Error("bare kind accepted")
+	}
+	if _, err := ParseInjections("explode:x"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ParseInjections("panic:x:0"); err == nil {
+		t.Error("attempt 0 accepted")
+	}
+	injs, err := ParseInjections(" panic:inj/a , hang:inj/b:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injs) != 2 || injs[0].Kind != InjectPanic || injs[1].Attempts != 2 {
+		t.Fatalf("parsed %+v", injs)
+	}
+
+	// Hang injections demand a wall-clock deadline.
+	if _, err := New(Config{Injections: []Injection{{Kind: InjectHang, Pattern: "*"}}}); err == nil {
+		t.Error("hang injection accepted without a trial timeout")
+	}
+
+	// A panic injection fires on attempt 1 only: the retry rescues the
+	// cell — the transient-crash model the CI smoke run relies on.
+	r := mustRunner(t, Config{
+		Workers: 1, MaxAttempts: 3, BackoffBase: time.Microsecond,
+		Injections: []Injection{{Kind: InjectPanic, Pattern: "inj/c0"}},
+	})
+	rep := mustSweep(t, r, "inj", okCells(1))
+	o := rep.Outcomes[0]
+	if !o.OK() || o.Attempts != 2 {
+		t.Fatalf("injected panic not rescued by retry: %+v (err %v)", o, o.Err)
+	}
+
+	// A hang injection fires on every attempt and exhausts into a
+	// classified deadline gap.
+	rh := mustRunner(t, Config{
+		Workers: 1, MaxAttempts: 2, BackoffBase: time.Microsecond,
+		TrialTimeout: 20 * time.Millisecond,
+		Injections:   []Injection{{Kind: InjectHang, Pattern: "inj/c0"}},
+	})
+	reph := mustSweep(t, rh, "inj", okCells(1))
+	f := reph.Outcomes[0].Err
+	if f == nil || f.Class != ClassDeadline || f.Attempt != 2 {
+		t.Fatalf("hang injection outcome = %+v, want deadline after 2 attempts", f)
+	}
+}
+
+func TestDuplicateCellIDsRejected(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 1})
+	cells := []Cell{
+		{ID: "x", Seed: 1, Run: func(*Trial) (any, error) { return 1, nil }},
+		{ID: "x", Seed: 2, Run: func(*Trial) (any, error) { return 2, nil }},
+	}
+	if _, err := r.Sweep("dup", cells); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestTornJournalLineIgnored(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "run.jsonl")
+	good, _ := json.Marshal(journalRecord{Kind: "cell", Cell: "t/a", Class: ClassOK, Value: json.RawMessage(`{"n":1}`), Attempts: 1})
+	if err := os.WriteFile(jpath, append(append(good, '\n'), []byte(`{"kind":"cell","cell":"t/b","cl`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs["t/a"].Class != ClassOK {
+		t.Fatalf("torn journal parsed as %+v", recs)
+	}
+}
+
+func TestBackoffBoundedAndJittered(t *testing.T) {
+	cfg := Config{BackoffBase: 10 * time.Millisecond, BackoffMax: 40 * time.Millisecond}
+	prev := time.Duration(-1)
+	same := true
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := backoff(cfg, 99, attempt)
+		if d <= 0 || d > 40*time.Millisecond+40*time.Millisecond/4 {
+			t.Fatalf("attempt %d backoff %v out of bounds", attempt, d)
+		}
+		if prev >= 0 && d != prev {
+			same = false
+		}
+		prev = d
+	}
+	if same {
+		t.Error("backoff never varied — jitter missing")
+	}
+	if backoff(cfg, 99, 2) != backoff(cfg, 99, 2) {
+		t.Error("backoff not deterministic for identical inputs")
+	}
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// Injection kinds. Panic injections fire on early attempts only (so a
+// healthy retry path rescues the cell — a transient-crash model); hang
+// injections fire on every attempt (a deterministic-hang model that
+// must exhaust the deadline and retries into a recorded gap).
+const (
+	InjectPanic = "panic"
+	InjectHang  = "hang"
+)
+
+// Injection is one scripted fault, matched against full (namespaced)
+// cell IDs with path.Match globs. Used by tests and the CI smoke sweep
+// to prove containment, classification, and resume without real bugs.
+type Injection struct {
+	Kind    string
+	Pattern string
+	// Attempts is the last attempt the fault fires on. 0 means the
+	// kind's default: 1 for panic (transient), all attempts for hang.
+	Attempts int
+}
+
+func (in Injection) lastAttempt() int {
+	if in.Attempts > 0 {
+		return in.Attempts
+	}
+	if in.Kind == InjectPanic {
+		return 1
+	}
+	return 1 << 30
+}
+
+func (in Injection) matches(id string) bool {
+	ok, err := path.Match(in.Pattern, id)
+	if err != nil {
+		return in.Pattern == id
+	}
+	return ok
+}
+
+// ParseInjections parses a comma-separated injection spec:
+//
+//	kind:glob[:attempts]  e.g. "panic:figure2/n1-*,hang:figure12/stream/unsafe"
+func ParseInjections(s string) ([]Injection, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Injection
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("harness: bad injection %q (want kind:glob[:attempts])", part)
+		}
+		in := Injection{Kind: fields[0], Pattern: fields[1]}
+		if in.Kind != InjectPanic && in.Kind != InjectHang {
+			return nil, fmt.Errorf("harness: unknown injection kind %q", in.Kind)
+		}
+		if _, err := path.Match(in.Pattern, "probe"); err != nil {
+			return nil, fmt.Errorf("harness: bad injection glob %q: %w", in.Pattern, err)
+		}
+		if len(fields) == 3 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("harness: bad injection attempt count %q", fields[2])
+			}
+			in.Attempts = n
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// fireInjections applies matching faults inside the trial goroutine,
+// before the cell's Run. A hang blocks forever — the wall-clock
+// deadline (required at config validation) abandons the goroutine.
+func fireInjections(injs []Injection, id string, t *Trial) {
+	for _, in := range injs {
+		if !in.matches(id) || t.Attempt > in.lastAttempt() {
+			continue
+		}
+		switch in.Kind {
+		case InjectPanic:
+			panic(fmt.Sprintf("injected fault: panic in %s (attempt %d)", id, t.Attempt))
+		case InjectHang:
+			select {}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cpu"
+)
+
+// journalRecord is one JSONL line: the terminal outcome of a cell.
+// Everything a resumed campaign needs to replay the cell without
+// re-executing it — including failures, which resume as recorded gaps
+// (delete the journal to re-attempt them).
+type journalRecord struct {
+	Kind     string          `json:"kind"` // "cell"
+	Cell     string          `json:"cell"`
+	Seed     int64           `json:"seed"`
+	Attempts int             `json:"attempts"`
+	Class    Class           `json:"class"`
+	Value    json.RawMessage `json:"value,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Stack    string          `json:"stack,omitempty"`
+	Post     *cpu.PostMortem `json:"post,omitempty"`
+	Elapsed  int64           `json:"elapsed_ms"`
+}
+
+// outcome reconstitutes the journaled record as a resumed Outcome.
+func (rec journalRecord) outcome(index int) Outcome {
+	o := Outcome{
+		Index:    index,
+		Cell:     rec.Cell,
+		Seed:     rec.Seed,
+		Attempts: rec.Attempts,
+		Class:    rec.Class,
+		Value:    rec.Value,
+		Resumed:  true,
+	}
+	if rec.Class != ClassOK {
+		o.Err = &TrialError{
+			Cell: rec.Cell, Class: rec.Class, Attempt: rec.Attempts, Seed: rec.Seed,
+			Err: fmt.Errorf("%s", rec.Error), Msg: rec.Error,
+			Stack: rec.Stack, Post: rec.Post,
+		}
+	}
+	return o
+}
+
+// journal appends records to a JSONL file, one flushed line per
+// completed cell so a kill -9 loses at most the in-flight record.
+type journal struct {
+	f *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: journal dir: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// append writes one cell record. Caller holds the runner lock.
+func (j *journal) append(o Outcome) error {
+	rec := journalRecord{
+		Kind:     "cell",
+		Cell:     o.Cell,
+		Seed:     o.Seed,
+		Attempts: o.Attempts,
+		Class:    o.Class,
+		Value:    o.Value,
+		Elapsed:  o.Elapsed.Milliseconds(),
+	}
+	if o.Err != nil {
+		rec.Error = o.Err.Msg
+		rec.Stack = o.Err.Stack
+		rec.Post = o.Err.Post
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("harness: marshaling journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("harness: writing journal: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// readJournal indexes a journal's terminal records by cell ID (last
+// record wins). A missing file is an empty campaign; a torn final line
+// (killed mid-write) is ignored.
+func readJournal(path string) (map[string]journalRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]journalRecord{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading journal: %w", err)
+	}
+	defer f.Close()
+	out := map[string]journalRecord{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn or foreign line
+		}
+		if rec.Kind != "cell" || rec.Cell == "" {
+			continue
+		}
+		out[rec.Cell] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("harness: scanning journal: %w", err)
+	}
+	return out, nil
+}

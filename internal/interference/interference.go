@@ -204,6 +204,14 @@ func (a *Attack) SetSecretBit(bit int) {
 
 // MeasureOnce runs one round and returns the observed latency.
 func (a *Attack) MeasureOnce(secret int) uint64 {
+	lat, _ := a.MeasureOnceChecked(secret)
+	return lat
+}
+
+// MeasureOnceChecked is MeasureOnce with watchdog trips surfaced as
+// *cpu.WatchdogError instead of folding a truncated latency into the
+// sample set.
+func (a *Attack) MeasureOnceChecked(secret int) (uint64, error) {
 	a.SetSecretBit(secret)
 	rounds := 2
 	if !a.trained {
@@ -211,11 +219,17 @@ func (a *Attack) MeasureOnce(secret int) uint64 {
 		a.trained = true
 	}
 	for i := 0; i < rounds; i++ {
-		a.core.Run(a.train)
+		if _, err := a.core.RunChecked(a.train); err != nil {
+			return 0, err
+		}
 	}
-	a.core.Run(a.prep)
-	a.core.Run(a.measure)
-	return a.core.Reg(regT2) - a.core.Reg(regT1)
+	if _, err := a.core.RunChecked(a.prep); err != nil {
+		return 0, err
+	}
+	if _, err := a.core.RunChecked(a.measure); err != nil {
+		return 0, err
+	}
+	return a.core.Reg(regT2) - a.core.Reg(regT1), nil
 }
 
 // Calibrate measures both classes and fits a threshold.

@@ -134,7 +134,7 @@ func (s *System) RunAll(progs []*isa.Program, maxCycles uint64) ([]cpu.Stats, er
 	}
 	for tick := uint64(0); ; tick++ {
 		if tick > maxCycles {
-			return nil, fmt.Errorf("multicore: exceeded %d lockstep cycles", maxCycles)
+			return nil, fmt.Errorf("multicore: exceeded %d lockstep cycles: %w", maxCycles, cpu.ErrWatchdog)
 		}
 		allDone := true
 		for _, c := range s.cores {
@@ -149,6 +149,14 @@ func (s *System) RunAll(progs []*isa.Program, maxCycles uint64) ([]cpu.Stats, er
 	out := make([]cpu.Stats, len(s.cores))
 	for i, c := range s.cores {
 		out[i] = c.RunStats()
+	}
+	// A core that trips its own MaxCycles halts quietly with
+	// Stats.TimedOut set; surface that as the typed watchdog error so
+	// lockstep experiments can't average a hung core's cycles.
+	for i, st := range out {
+		if st.TimedOut {
+			return out, fmt.Errorf("multicore: core %d tripped its watchdog: %w", i, cpu.ErrWatchdog)
+		}
 	}
 	return out, nil
 }

@@ -82,7 +82,7 @@ func (s *SMTSystem) RunAll(progs []*isa.Program, maxCycles uint64) ([]cpu.Stats,
 	}
 	for tick := uint64(0); ; tick++ {
 		if tick > maxCycles {
-			return nil, fmt.Errorf("multicore: SMT exceeded %d cycles", maxCycles)
+			return nil, fmt.Errorf("multicore: SMT exceeded %d cycles: %w", maxCycles, cpu.ErrWatchdog)
 		}
 		allDone := true
 		for _, c := range s.threads {
@@ -94,7 +94,13 @@ func (s *SMTSystem) RunAll(progs []*isa.Program, maxCycles uint64) ([]cpu.Stats,
 			break
 		}
 	}
-	return []cpu.Stats{s.threads[0].RunStats(), s.threads[1].RunStats()}, nil
+	out := []cpu.Stats{s.threads[0].RunStats(), s.threads[1].RunStats()}
+	for i, st := range out {
+		if st.TimedOut {
+			return out, fmt.Errorf("multicore: SMT thread %d tripped its watchdog: %w", i, cpu.ErrWatchdog)
+		}
+	}
+	return out, nil
 }
 
 // SMTPrimeProbe runs the §III-A scenario: thread 1 (attacker) primes an

@@ -242,6 +242,16 @@ func (a *Attack) SetSecretBit(bit int) {
 // priming; later rounds rely on rollback having restored the primed
 // state, re-priming nothing — the paper's "prime once" observation.
 func (a *Attack) MeasureOnce(secret int) uint64 {
+	lat, _ := a.MeasureOnceChecked(secret)
+	return lat
+}
+
+// MeasureOnceChecked is MeasureOnce with the core watchdog escalated to
+// a typed error: when any phase of the round (training, preparation,
+// measurement) exhausts its cycle budget, the observed latency is
+// garbage and the round reports a *cpu.WatchdogError instead of feeding
+// that garbage into a calibration or sweep average.
+func (a *Attack) MeasureOnceChecked(secret int) (uint64, error) {
 	a.SetSecretBit(secret)
 	start := a.core.Cycle()
 
@@ -250,19 +260,25 @@ func (a *Attack) MeasureOnce(secret int) uint64 {
 		trainRounds = a.opts.InitialTrainRounds
 	}
 	for i := 0; i < trainRounds; i++ {
-		a.core.Run(a.train)
+		if _, err := a.core.RunChecked(a.train); err != nil {
+			return 0, err
+		}
 	}
 	prep := a.prepHot
 	if !a.trained {
 		prep = a.prep
 	}
 	a.trained = true
-	a.core.Run(prep)
-	a.core.Run(a.measure)
+	if _, err := a.core.RunChecked(prep); err != nil {
+		return 0, err
+	}
+	if _, err := a.core.RunChecked(a.measure); err != nil {
+		return 0, err
+	}
 
 	a.rounds++
 	a.roundCycles += a.core.Cycle() - start
-	return a.core.Reg(RegT2) - a.core.Reg(RegT1)
+	return a.core.Reg(RegT2) - a.core.Reg(RegT1), nil
 }
 
 // LastSquashStats reports the most recent round's branch-resolution
@@ -286,18 +302,36 @@ type Calibration struct {
 }
 
 // Calibrate collects n samples per secret value and fits the decision
-// threshold (the paper's 178 / 183 step).
+// threshold (the paper's 178 / 183 step). Watchdog trips during
+// calibration are silently folded in; experiment drivers should use
+// CalibrateChecked.
 func (a *Attack) Calibrate(n int) Calibration {
+	c, _ := a.CalibrateChecked(n)
+	return c
+}
+
+// CalibrateChecked is Calibrate with the watchdog escalated: the first
+// timed-out round aborts calibration with a *cpu.WatchdogError instead
+// of training the threshold on garbage samples.
+func (a *Attack) CalibrateChecked(n int) (Calibration, error) {
 	var c Calibration
 	for i := 0; i < n; i++ {
-		c.Samples0 = append(c.Samples0, float64(a.MeasureOnce(0)))
-		c.Samples1 = append(c.Samples1, float64(a.MeasureOnce(1)))
+		l0, err := a.MeasureOnceChecked(0)
+		if err != nil {
+			return c, err
+		}
+		c.Samples0 = append(c.Samples0, float64(l0))
+		l1, err := a.MeasureOnceChecked(1)
+		if err != nil {
+			return c, err
+		}
+		c.Samples1 = append(c.Samples1, float64(l1))
 	}
 	c.Mean0 = stats.Mean(c.Samples0)
 	c.Mean1 = stats.Mean(c.Samples1)
 	c.Diff = c.Mean1 - c.Mean0
 	c.Threshold, c.TrainAcc = stats.BestThreshold(c.Samples0, c.Samples1)
-	return c
+	return c, nil
 }
 
 // LeakResult is the outcome of leaking a bit string.
@@ -313,6 +347,14 @@ type LeakResult struct {
 // LeakSecret steals the given bits, one round (or samplesPerBit rounds
 // with majority vote) each, deciding against the calibrated threshold.
 func (a *Attack) LeakSecret(bits []int, threshold float64, samplesPerBit int) LeakResult {
+	res, _ := a.LeakSecretChecked(bits, threshold, samplesPerBit)
+	return res
+}
+
+// LeakSecretChecked is LeakSecret with the watchdog escalated: a
+// timed-out round aborts the leak with a *cpu.WatchdogError instead of
+// decoding a garbage latency into a bit guess.
+func (a *Attack) LeakSecretChecked(bits []int, threshold float64, samplesPerBit int) (LeakResult, error) {
 	if samplesPerBit < 1 {
 		samplesPerBit = 1
 	}
@@ -321,7 +363,11 @@ func (a *Attack) LeakSecret(bits []int, threshold float64, samplesPerBit int) Le
 		ones := 0
 		var lat uint64
 		for s := 0; s < samplesPerBit; s++ {
-			lat = a.MeasureOnce(b)
+			var err error
+			lat, err = a.MeasureOnceChecked(b)
+			if err != nil {
+				return res, err
+			}
 			if float64(lat) >= threshold {
 				ones++
 			}
@@ -334,7 +380,7 @@ func (a *Attack) LeakSecret(bits []int, threshold float64, samplesPerBit int) Le
 		res.Latencies = append(res.Latencies, lat)
 	}
 	res.Accuracy = stats.Accuracy(res.Guesses, res.Truth)
-	return res
+	return res, nil
 }
 
 // RateReport summarizes attack speed (§VI-B).

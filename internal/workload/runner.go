@@ -19,13 +19,25 @@ type RunResult struct {
 // Run executes w on a fresh Table I machine under the given scheme and
 // returns the run statistics. Every run gets its own hierarchy and
 // predictor so measurements are independent.
+//
+// A watchdog trip is only visible as Stats.TimedOut here; overhead
+// studies that average Cycles must use RunChecked instead, or a hung
+// cell silently poisons the mean.
 func Run(w Workload, scheme undo.Scheme, seed int64) RunResult {
+	res, _ := RunChecked(w, scheme, seed)
+	return res
+}
+
+// RunChecked is Run with the watchdog escalated to a typed error: when
+// the core exhausts MaxCycles it returns the partial result plus a
+// *cpu.WatchdogError (errors.Is(err, cpu.ErrWatchdog)).
+func RunChecked(w Workload, scheme undo.Scheme, seed int64) (RunResult, error) {
 	backing := mem.NewMemory()
 	w.Init(backing)
 	hier := memsys.MustNew(memsys.DefaultConfig(seed), backing)
 	core := cpu.MustNew(cpu.DefaultConfig(), hier, branch.New(branch.DefaultConfig()), scheme, noise.None{})
-	st := core.Run(w.Program)
-	return RunResult{Workload: w.Name, Scheme: scheme.Name(), Stats: st}
+	st, err := core.RunChecked(w.Program)
+	return RunResult{Workload: w.Name, Scheme: scheme.Name(), Stats: st}, err
 }
 
 // SchemeFactory builds a fresh scheme per run (schemes carry stats, so

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Harness smoke test: drives a real figure sweep through cmd/figures to
+# prove, end to end, that
+#   1. injected faults become classified, journaled gaps — the campaign
+#      finishes and exits with the taxonomy code of its worst gap;
+#   2. a mid-campaign interruption (deterministic -stop-after stand-in
+#      for a kill) exits 6 and leaves a resumable journal;
+#   3. -resume completes the campaign and the final CSV is
+#      byte-identical to an uninterrupted reference run.
+# Used by `make harness-smoke` and CI. Optional $1 = scratch directory.
+set -euo pipefail
+
+out="${1:-$(mktemp -d)}"
+mkdir -p "$out/ref" "$out/faulty" "$out/run"
+
+# go run collapses every non-zero program exit to 1, so build the
+# binary to observe the real exit-code taxonomy.
+bin="$out/figures"
+go build -o "$bin" ./cmd/figures
+
+echo "== reference sweep (uninterrupted) =="
+"$bin" -fig 3 -out "$out/ref" -seed 42
+
+echo "== faulted sweep: injected panic (retry rescues) + hang (recorded gap) =="
+code=0
+"$bin" -fig 3 -out "$out/faulty" -seed 42 \
+    -journal "$out/faulty.jsonl" -retries 2 -trial-timeout 5s \
+    -inject 'panic:figure3/l1,hang:figure3/l5' || code=$?
+if [ "$code" -ne 3 ]; then
+    echo "FAIL: want exit 3 (timeout-class gap), got $code" >&2
+    exit 1
+fi
+grep -q '"class":"deadline"' "$out/faulty.jsonl" || {
+    echo "FAIL: hang gap not journaled as a deadline" >&2
+    exit 1
+}
+grep -q '"cell":"figure3/l1","seed":42,"attempts":2,"class":"ok"' "$out/faulty.jsonl" || {
+    echo "FAIL: injected panic was not rescued by the retry" >&2
+    exit 1
+}
+
+echo "== interrupted sweep (deterministic mid-campaign kill) =="
+code=0
+"$bin" -fig 3 -out "$out/run" -seed 42 \
+    -journal "$out/run.jsonl" -stop-after 3 || code=$?
+if [ "$code" -ne 6 ]; then
+    echo "FAIL: want exit 6 (interrupted, resumable), got $code" >&2
+    exit 1
+fi
+
+echo "== resumed sweep =="
+"$bin" -fig 3 -out "$out/run" -seed 42 \
+    -journal "$out/run.jsonl" -resume
+
+cmp "$out/ref/figure3.csv" "$out/run/figure3.csv"
+echo "harness smoke OK: resumed CSV byte-identical to the reference"
