@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test bench figures report attack examples fuzz fuzz-selftest harness-smoke regen-results clean
+.PHONY: all test bench figures report attack examples fuzz fuzz-selftest harness-smoke telemetry-smoke regen-results clean
 
 all: test
 
@@ -47,6 +47,13 @@ fuzz-selftest:
 # and -resume completes it with a byte-identical CSV.
 harness-smoke:
 	./scripts/harness_smoke.sh
+
+# End-to-end observability check (see docs/OBSERVABILITY.md): live
+# debug endpoint while a sweep runs, campaign metrics rollup, injected
+# panic with a flight-recorder post-mortem, and Chrome trace export —
+# all validated by scripts/telemetrycheck.
+telemetry-smoke:
+	./scripts/telemetry_smoke.sh
 
 # Regenerate the version-controlled golden CSVs under results/.
 regen-results:

@@ -16,6 +16,7 @@
 //	        [-bits N] [-scale N] [-plot]
 //	        [-jobs N] [-retries N] [-trial-timeout D]
 //	        [-journal FILE] [-resume] [-stop-after N] [-inject SPEC]
+//	        [-metrics FILE] [-debug-addr ADDR]
 //
 // Exit codes follow the harness taxonomy: 0 ok, 1 infrastructure,
 // 2 usage, 3 timeout gaps, 4 panic gaps, 5 other gaps, 6 interrupted
@@ -31,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/plot"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -50,6 +52,8 @@ func main() {
 		resume    = flag.Bool("resume", false, "skip cells with a terminal record in -journal")
 		stopAfter = flag.Int("stop-after", 0, "interrupt the campaign after N executed trials (deterministic kill, for CI)")
 		inject    = flag.String("inject", "", "fault injections: kind:glob[:attempts],... (kinds: panic, hang)")
+		metrics   = flag.String("metrics", "", "write the campaign telemetry rollup to this JSON file")
+		debugAddr = flag.String("debug-addr", "", "serve live progress/metrics/pprof on this address (e.g. 127.0.0.1:8070)")
 	)
 	flag.Parse()
 
@@ -57,6 +61,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(harness.ExitUsage)
+	}
+	var registry *telemetry.Registry
+	if *metrics != "" || *debugAddr != "" {
+		registry = telemetry.NewRegistry()
 	}
 	runner, err := harness.New(harness.Config{
 		Workers:      *jobs,
@@ -66,10 +74,20 @@ func main() {
 		Resume:       *resume,
 		StopAfter:    *stopAfter,
 		Injections:   injs,
+		Metrics:      registry,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(harness.ExitUsage)
+	}
+	if *debugAddr != "" {
+		dbg, err := runner.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(harness.ExitUsage)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint: %s (/progress /metrics /debug/vars /debug/pprof/)\n", dbg.URL())
 	}
 
 	var (
@@ -332,11 +350,32 @@ func main() {
 		}
 	}
 
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, registry); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			saveErr = true
+		} else {
+			fmt.Printf("  wrote %s (campaign telemetry rollup)\n", *metrics)
+		}
+	}
 	if err := runner.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "figures: closing journal:", err)
 		infraErr = true
 	}
 	os.Exit(campaignExit(reports, infraErr, saveErr))
+}
+
+// writeMetrics dumps the campaign registry rollup as indented JSON.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSON(f, reg.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // campaignExit folds every sweep report into one exit code: an

@@ -68,6 +68,19 @@ func main() {
 	os.Exit(runSweep(g, schemes, *seed, *n, *corpus, *minimize, injection))
 }
 
+// saveTelemetry replays a failing witness on instrumented machines and
+// writes the per-scheme telemetry snapshot next to the .prog file. Best
+// effort: the profile is diagnostic garnish, so a failed replay warns
+// instead of changing the exit code.
+func saveTelemetry(g *fuzz.Generator, corpus string, w *fuzz.Witness, opts fuzz.Options) {
+	path, err := fuzz.ReplayTelemetry(g, corpus, w, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz: witness telemetry:", err)
+		return
+	}
+	fmt.Printf("  telemetry saved to %s\n", path)
+}
+
 // checkContained runs both property checks with panic containment, so
 // one crashing program is a reported witness instead of a dead sweep.
 func checkContained(g *fuzz.Generator, prog *isa.Program, opts fuzz.Options) (divs []fuzz.Divergence, perr error) {
@@ -111,6 +124,7 @@ func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus str
 				} else {
 					fmt.Fprintln(os.Stderr, err)
 				}
+				saveTelemetry(g, corpus, w, opts)
 			}
 			continue
 		}
@@ -170,6 +184,7 @@ func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus str
 				return 2
 			}
 			fmt.Printf("  witness saved to %s\n", path)
+			saveTelemetry(g, corpus, w, opts)
 		}
 	}
 	fmt.Printf("checked %d programs across %d scheme(s): %d failing, %d panicking\n",

@@ -1,11 +1,14 @@
 // Command report reruns the paper's entire evaluation and scores every
 // headline quantity against its acceptance band — the repository's
 // one-shot artifact evaluation. Exit status is nonzero if any band
-// fails, so CI can gate on reproduction fidelity.
+// fails, so CI can gate on reproduction fidelity. The whole evaluation
+// runs with a campaign telemetry registry attached; the machine-level
+// rollup (squash counts, rollback-stall mode, cache traffic) is
+// rendered as a metrics table after the band table.
 //
 // Usage:
 //
-//	report [-quick] [-seed S] [-o FILE]
+//	report [-quick] [-seed S] [-o FILE] [-no-metrics]
 package main
 
 import (
@@ -15,18 +18,31 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced sample counts (~20 s instead of minutes)")
-		seed  = flag.Int64("seed", 42, "experiment seed")
-		out   = flag.String("o", "", "also write the markdown report to this file")
+		quick     = flag.Bool("quick", false, "reduced sample counts (~20 s instead of minutes)")
+		seed      = flag.Int64("seed", 42, "experiment seed")
+		out       = flag.String("o", "", "also write the markdown report to this file")
+		noMetrics = flag.Bool("no-metrics", false, "skip the campaign metrics table")
 	)
 	flag.Parse()
 
+	var reg *telemetry.Registry
+	if !*noMetrics {
+		reg = telemetry.NewRegistry()
+	}
+	runner, err := harness.New(harness.Config{Metrics: reg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+
 	fmt.Println("Rerunning the unXpec evaluation against the paper's bands...")
-	bands := experiments.ReproductionReport(*seed, *quick)
+	bands := experiments.ReproductionReportWith(runner, *seed, *quick)
 
 	var sinks []io.Writer = []io.Writer{os.Stdout}
 	if *out != "" {
@@ -41,6 +57,10 @@ func main() {
 	failures := 0
 	for _, w := range sinks {
 		failures = experiments.RenderReport(w, bands)
+		if reg != nil {
+			fmt.Fprintf(w, "\n## Campaign telemetry\n\n")
+			experiments.RenderMetricsTable(w, reg.Snapshot())
+		}
 	}
 	if failures > 0 {
 		fmt.Printf("\n%d/%d checks FAILED\n", failures, len(bands))

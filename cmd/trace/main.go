@@ -2,9 +2,13 @@
 // attached and renders the event log and timeline — the paper's
 // Figure 1 (T1 speculation start … T6 cleanup done), observable.
 //
+// With -chrome the same events are exported in Chrome trace-event JSON:
+// open the file in Perfetto (ui.perfetto.dev) or chrome://tracing to
+// scrub through the speculation window visually.
+//
 // Usage:
 //
-//	trace [-secret 0|1] [-evict] [-loads N] [-timeline]
+//	trace [-secret 0|1] [-evict] [-loads N] [-timeline] [-chrome FILE]
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cpu"
 	"repro/internal/trace"
 	"repro/internal/unxpec"
 )
@@ -22,6 +27,7 @@ func main() {
 		useEvict = flag.Bool("evict", false, "use eviction sets")
 		loads    = flag.Int("loads", 1, "transient loads in the branch")
 		timeline = flag.Bool("timeline", true, "render the per-instruction timeline")
+		chrome   = flag.String("chrome", "", "write the round as Chrome trace-event JSON (Perfetto / chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -49,17 +55,35 @@ func main() {
 
 	fmt.Println("pipeline events of the measurement round (squash & cleanup):")
 	sel := trace.NewBuffer(0)
+	sel.KindFilter = map[cpu.Kind]bool{
+		cpu.KindSquash: true, cpu.KindCleanup: true, cpu.KindResolve: true,
+	}
 	for _, ev := range buf.Events() {
-		switch ev.Kind {
-		case "squash", "cleanup", "resolve":
-			sel.Event(ev)
-		}
+		sel.Event(ev)
 	}
 	sel.Render(os.Stdout)
 
 	if *timeline {
 		fmt.Println("\ninstruction timeline (F=fetch I=issue R=retire), last attack kernel:")
 		fmt.Print(tail(buf))
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChrome(f, buf.Events()); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s — open in ui.perfetto.dev or chrome://tracing\n", *chrome)
 	}
 }
 
@@ -70,7 +94,7 @@ func tail(buf *trace.Buffer) string {
 	// Find the last fetch of PC 0 (program start) and keep from there.
 	start := 0
 	for i, ev := range evs {
-		if ev.Kind == "fetch" && ev.PC == 0 {
+		if ev.Kind == cpu.KindFetch && ev.PC == 0 {
 			start = i
 		}
 	}

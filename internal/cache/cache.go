@@ -145,6 +145,7 @@ type Cache struct {
 	mapper IndexMapper
 	sets   [][]Line
 	stats  Stats
+	met    cacheMetrics
 }
 
 // New builds a cache from cfg, panicking on invalid structural
@@ -223,9 +224,11 @@ func (c *Cache) Lookup(addr mem.Addr) (hit bool) {
 	set, way := c.find(addr.Line())
 	if way < 0 {
 		c.stats.Misses++
+		c.met.misses.Inc()
 		return false
 	}
 	c.stats.Hits++
+	c.met.hits.Inc()
 	c.policy.OnAccess(set, way)
 	return true
 }
@@ -285,8 +288,10 @@ func (c *Cache) Fill(addr mem.Addr, agent int, speculative bool, epoch uint64) (
 		}
 		evicted = true
 		c.stats.Evictions++
+		c.met.evictions.Inc()
 		if old.Dirty {
 			c.stats.DirtyEvicts++
+			c.met.dirtyEvicts.Inc()
 		}
 	}
 	c.sets[set][victim] = Line{
@@ -298,6 +303,7 @@ func (c *Cache) Fill(addr mem.Addr, agent int, speculative bool, epoch uint64) (
 	}
 	c.policy.OnFill(set, victim)
 	c.stats.Fills++
+	c.met.fills.Inc()
 	return ev, evicted
 }
 
@@ -312,6 +318,7 @@ func (c *Cache) Invalidate(addr mem.Addr) (present, dirty bool) {
 	c.sets[set][way] = Line{}
 	c.policy.OnInvalidate(set, way)
 	c.stats.Invalidations++
+	c.met.invalidations.Inc()
 	return true, dirty
 }
 
@@ -319,6 +326,7 @@ func (c *Cache) Invalidate(addr mem.Addr) (present, dirty bool) {
 func (c *Cache) Flush(addr mem.Addr) (present, dirty bool) {
 	present, dirty = c.Invalidate(addr)
 	c.stats.Flushes++
+	c.met.flushes.Inc()
 	return present, dirty
 }
 
@@ -372,7 +380,10 @@ func (c *Cache) SetState(addr mem.Addr, st CoherenceState) bool {
 
 // CountDummyMiss records a dummy miss served to another agent hitting a
 // speculatively installed line.
-func (c *Cache) CountDummyMiss() { c.stats.DummyMisses++ }
+func (c *Cache) CountDummyMiss() {
+	c.stats.DummyMisses++
+	c.met.dummyMisses.Inc()
+}
 
 // SpeculativeLines returns the addresses of all currently speculative
 // lines. Rollback verification in tests uses this; the rollback itself

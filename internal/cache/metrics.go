@@ -1,0 +1,38 @@
+package cache
+
+import "repro/internal/telemetry"
+
+// cacheMetrics holds the pre-resolved telemetry handles of one cache
+// level. All fields are nil when telemetry is disabled; handle methods
+// no-op on nil receivers, so each counter site costs one branch.
+type cacheMetrics struct {
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	fills         *telemetry.Counter
+	evictions     *telemetry.Counter
+	dirtyEvicts   *telemetry.Counter
+	invalidations *telemetry.Counter
+	flushes       *telemetry.Counter
+	dummyMisses   *telemetry.Counter
+}
+
+// SetMetrics binds this level to a telemetry registry under the names
+// cache_<level>_<counter>_total, using the configured level name (l1i,
+// l1d, l2). A nil registry detaches instrumentation.
+func (c *Cache) SetMetrics(r *telemetry.Registry) {
+	if r == nil {
+		c.met = cacheMetrics{}
+		return
+	}
+	p := "cache_" + c.cfg.Name + "_"
+	c.met = cacheMetrics{
+		hits:          r.Counter(p+"hits_total", c.cfg.Name+" demand hits"),
+		misses:        r.Counter(p+"misses_total", c.cfg.Name+" demand misses"),
+		fills:         r.Counter(p+"fills_total", c.cfg.Name+" line installs"),
+		evictions:     r.Counter(p+"evictions_total", c.cfg.Name+" capacity evictions"),
+		dirtyEvicts:   r.Counter(p+"dirty_evictions_total", c.cfg.Name+" evictions that wrote back"),
+		invalidations: r.Counter(p+"invalidations_total", c.cfg.Name+" line invalidations"),
+		flushes:       r.Counter(p+"flushes_total", c.cfg.Name+" clflush operations"),
+		dummyMisses:   r.Counter(p+"dummy_misses_total", c.cfg.Name+" dummy misses served on speculative lines"),
+	}
+}

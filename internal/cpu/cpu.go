@@ -172,6 +172,8 @@ type CPU struct {
 	halted        bool
 
 	tracer Tracer
+	flight *FlightRecorder
+	met    coreMetrics
 	stats  Stats
 
 	// Per-run bookkeeping for Step-based execution.
@@ -256,6 +258,7 @@ func (c *CPU) Step() (done bool) {
 	if c.cycle-c.runStartCycle > c.cfg.MaxCycles {
 		c.stats.TimedOut = true
 		c.halted = true
+		c.met.watchdog.Inc()
 		return true
 	}
 	c.stepNoise()
@@ -266,6 +269,11 @@ func (c *CPU) Step() (done bool) {
 	c.complete()
 	c.issue()
 	c.fetch()
+	// Explicit nil check: the argument conversion would otherwise be
+	// evaluated every cycle even with telemetry detached.
+	if c.met.robGauge != nil {
+		c.met.robGauge.Set(float64(len(c.rob)))
+	}
 	c.hier.TickMSHR(c.cycle)
 	c.cycle++
 	return c.halted
@@ -336,25 +344,28 @@ func (c *CPU) retire() {
 		case isa.OpFlush:
 			c.hier.Flush(e.addr)
 		case isa.OpHalt:
-			c.emit("retire", e, 0)
+			c.emit(KindRetire, e, 0)
 			c.halted = true
 			c.rob = c.rob[1:]
 			c.stats.Retired++
+			c.met.retired.Inc()
 			return
 		default:
 			if rd, ok := e.inst.DstReg(); ok {
 				c.regs[rd] = e.val
 			}
 		}
-		c.emit("retire", e, 0)
+		c.emit(KindRetire, e, 0)
 		if e.commitPenalty > 0 {
 			c.retireBlocked = c.cycle + uint64(e.commitPenalty)
 			c.rob = c.rob[1:]
 			c.stats.Retired++
+			c.met.retired.Inc()
 			return
 		}
 		c.rob = c.rob[1:]
 		c.stats.Retired++
+		c.met.retired.Inc()
 	}
 }
 
@@ -379,7 +390,7 @@ func (c *CPU) complete() {
 		e.resolved = true
 		actual := branchTaken(e.inst.Op, e.srcVals[0], e.srcVals[1])
 		mispred := actual != e.predTaken
-		c.emit("resolve", e, boolToDetail(mispred))
+		c.emit(KindResolve, e, boolToDetail(mispred))
 		c.pred.Update(e.idx, actual, e.inst.Target, mispred)
 		if mispred {
 			c.squash(i, actual)
@@ -451,13 +462,17 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	br := c.rob[i]
 	c.stats.Squashes++
 	c.stats.LastBranchResolution = c.cycle - br.fetchedAt
-	c.emit("squash", br, int64(len(c.rob)-i-1))
+	c.met.squashes.Inc()
+	c.met.resolution.ObserveInt(c.stats.LastBranchResolution)
+	c.met.robOcc.Observe(float64(len(c.rob)))
+	c.emit(KindSquash, br, int64(len(c.rob)-i-1))
 
 	var transients []undo.TransientLoad
 	inflightCleaned := 0
 	for _, e := range c.rob[i+1:] {
 		e.squashed = true
 		c.stats.SquashedInst++
+		c.met.squashedInst.Inc()
 		if e.inst.Op != isa.OpLoad || !e.issued || e.shadowed {
 			continue
 		}
@@ -494,7 +509,9 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	})
 
 	c.stats.LastCleanupStall = uint64(res.StallCycles)
-	c.emit("cleanup", br, int64(res.StallCycles))
+	c.met.cleanups.Inc()
+	c.met.cleanupStall.ObserveInt(uint64(res.StallCycles))
+	c.emit(KindCleanup, br, int64(res.StallCycles))
 	stallEnd := cleanupStart + uint64(res.StallCycles)
 	if stallEnd > c.stallUntil {
 		c.stats.CleanupStall += stallEnd - max64(c.stallUntil, c.cycle)
@@ -593,7 +610,8 @@ func (c *CPU) issue() {
 			e.issued = true
 			e.done = true
 			e.doneAt = c.cycle + uint64(lat)
-			c.emit("issue", e, int64(lat))
+			c.met.loadLatency.Observe(float64(lat))
+			c.emit(KindIssue, e, int64(lat))
 			issued++
 			loads++
 		case isa.OpStore, isa.OpFlush:
@@ -601,12 +619,12 @@ func (c *CPU) issue() {
 			e.addrResolved = true
 			e.issued, e.done = true, true
 			e.doneAt = c.cycle + 1
-			c.emit("issue", e, 1)
+			c.emit(KindIssue, e, 1)
 			issued++
 		case isa.OpBranchLT, isa.OpBranchGE, isa.OpBranchEQ, isa.OpBranchNE:
 			e.issued = true
 			e.doneAt = c.cycle + uint64(c.cfg.BranchLatency)
-			c.emit("issue", e, int64(c.cfg.BranchLatency))
+			c.emit(KindIssue, e, int64(c.cfg.BranchLatency))
 			issued++
 		default:
 			e.val = alu(e.inst, vals)
@@ -616,10 +634,11 @@ func (c *CPU) issue() {
 			}
 			e.issued, e.done = true, true
 			e.doneAt = c.cycle + uint64(lat)
-			c.emit("issue", e, int64(lat))
+			c.emit(KindIssue, e, int64(lat))
 			issued++
 		}
 	}
+	c.met.issued.Add(uint64(issued))
 }
 
 // blockedByFence reports whether an incomplete older fence precedes i.
@@ -711,8 +730,9 @@ func (c *CPU) fetch() {
 		e := &entry{seq: c.nextSeq, idx: idx, inst: inst, fetchedAt: c.cycle}
 		c.nextSeq++
 		c.stats.Fetched++
+		c.met.fetched.Inc()
 		c.rob = append(c.rob, e)
-		c.emit("fetch", e, 0)
+		c.emit(KindFetch, e, 0)
 
 		switch {
 		case inst.Op == isa.OpHalt:

@@ -53,6 +53,11 @@ type PostMortem struct {
 	Undo   undo.Stats   `json:"undo"`
 	Branch branch.Stats `json:"branch"`
 	Hier   memsys.Stats `json:"hier"`
+
+	// Events is the flight-recorder tail: the last pipeline events
+	// before death, present when the core had a recorder enabled.
+	Events        []TraceEvent `json:"events,omitempty"`
+	EventsDropped uint64       `json:"events_dropped,omitempty"`
 }
 
 // PostMortem captures the core's current state. It is safe to call at
@@ -86,6 +91,10 @@ func (c *CPU) PostMortem() PostMortem {
 	}
 	if c.hier != nil {
 		pm.Hier = c.hier.Stats()
+	}
+	if c.flight != nil {
+		pm.Events = c.flight.Events()
+		pm.EventsDropped = c.flight.Dropped()
 	}
 	return pm
 }

@@ -3,6 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 // Band is one reproduction check: a measured quantity, the paper's
@@ -25,6 +28,14 @@ func (b Band) Pass() bool { return b.Measured >= b.Lo && b.Measured <= b.Hi }
 // quantity against its acceptance band. quick reduces sample counts and
 // workload scale (≈20 s instead of minutes); the bands are identical.
 func ReproductionReport(seed int64, quick bool) []Band {
+	return ReproductionReportWith(nil, seed, quick)
+}
+
+// ReproductionReportWith is ReproductionReport on an explicit harness
+// runner, so the caller can attach a journal, a campaign metrics
+// registry or a debug endpoint to the whole evaluation. A nil runner
+// falls back to harness.Default().
+func ReproductionReportWith(r *harness.Runner, seed int64, quick bool) []Band {
 	samples, bits, scale := 1000, 1000, 10_000
 	if quick {
 		samples, bits, scale = 200, 300, 2_500
@@ -37,7 +48,7 @@ func ReproductionReport(seed int64, quick bool) []Band {
 	}
 
 	// Figure 2: resolution constant in loads/secret, linear in N.
-	f2 := Figure2(seed)
+	f2, _, _ := Figure2With(r, seed)
 	meanRes := func(pts []ResolutionPoint, n int) float64 {
 		var sum float64
 		var cnt int
@@ -53,30 +64,30 @@ func ReproductionReport(seed int64, quick bool) []Band {
 		meanRes(f2, 2)-meanRes(f2, 1), 100, 140, "cycles")
 
 	// Figures 3/6.
-	f3 := Figure3(seed)
+	f3, _, _ := Figure3With(r, seed)
 	add("fig3", "timing difference, 1 load, no eviction sets", "22",
 		f3[0].Diff, 20, 24, "cycles")
 	add("fig3b", "timing difference growth to 8 loads", "shallow (≈25)",
 		f3[7].Diff, f3[0].Diff, f3[0].Diff+8, "cycles")
-	f6 := Figure6(seed)
+	f6, _, _ := Figure6With(r, seed)
 	add("fig6", "timing difference, 1 load, eviction sets", "32",
 		f6[0].Diff, 30, 34, "cycles")
 	add("fig6b", "timing difference, 8 loads, eviction sets", "≈64",
 		f6[7].Diff, 55, 75, "cycles")
 
 	// Figures 7/8 under noise.
-	f7 := Figure7(seed, samples)
+	f7, _, _ := Figure7With(r, seed, samples)
 	add("fig7", "mean latency difference (noisy), no ES", "≈22",
 		f7.Diff, 18, 27, "cycles")
-	f8 := Figure8(seed, samples)
+	f8, _, _ := Figure8With(r, seed, samples)
 	add("fig8", "mean latency difference (noisy), ES", "≈32",
 		f8.Diff, 28, 37, "cycles")
 
 	// Figures 10/11.
-	f10 := Figure10(seed, bits)
+	f10, _, _ := Figure10With(r, seed, bits)
 	add("fig10", "single-sample accuracy, no ES", "86.7%",
 		100*f10.Accuracy, 80, 93, "%")
-	f11 := Figure11(seed, bits)
+	f11, _, _ := Figure11With(r, seed, bits)
 	add("fig11", "single-sample accuracy, ES", "91.6%",
 		100*f11.Accuracy, 87, 98, "%")
 	add("fig11>10", "ES accuracy advantage", ">0",
@@ -88,7 +99,7 @@ func ReproductionReport(seed int64, quick bool) []Band {
 		rate.SamplesPerSecond/1000, 100, 200, "Kbps")
 
 	// Figure 12.
-	f12 := Figure12(seed, scale)
+	f12, _, _ := Figure12With(r, seed, scale)
 	add("fig12a", "CleanupSpec overhead (no constant)", "≈5%",
 		100*f12.MeanOverhead["no-const"], 0, 12, "%")
 	add("fig12b", "const-25 mean overhead", "22.4%",
@@ -97,7 +108,7 @@ func ReproductionReport(seed int64, quick bool) []Band {
 		100*f12.MeanOverhead["const-65"], 50, 95, "%")
 
 	// Figure 13 host profile: still linear in N under noise.
-	f13 := Figure13(seed)
+	f13, _, _ := Figure13With(r, seed)
 	add("fig13", "host-profile resolution growth per access", "linear, noisy",
 		meanRes(f13, 2)-meanRes(f13, 1), 100, 300, "cycles")
 
@@ -119,4 +130,36 @@ func RenderReport(w io.Writer, bands []Band) (failures int) {
 			b.ID, b.Quantity, b.Paper, b.Measured, b.Unit, b.Lo, b.Hi, verdict)
 	}
 	return failures
+}
+
+// RenderMetricsTable writes a campaign telemetry snapshot as a markdown
+// table: counters and gauges with their values, histograms summarized
+// as count/mean/mode (the mode of undo_rollback_stall_cycles is the
+// paper's Rd — ≈69 cycles on the default machine).
+func RenderMetricsTable(w io.Writer, s telemetry.Snapshot) {
+	if s.Empty() {
+		fmt.Fprintln(w, "(no campaign metrics recorded)")
+		return
+	}
+	fmt.Fprintf(w, "| metric | value | help |\n")
+	fmt.Fprintf(w, "|---|---|---|\n")
+	for _, name := range s.Names() {
+		switch {
+		case hasKey(s.Counters, name):
+			fmt.Fprintf(w, "| %s | %d | %s |\n", name, s.Counters[name], s.Help[name])
+		case hasKey(s.Gauges, name):
+			fmt.Fprintf(w, "| %s | %.3g | %s |\n", name, s.Gauges[name], s.Help[name])
+		default:
+			h := s.Histograms[name]
+			fmt.Fprintf(w, "| %s | n=%d mean=%.1f mode≤%.0f | %s |\n",
+				name, h.Count, h.Mean(), h.Mode(), s.Help[name])
+		}
+	}
+}
+
+// hasKey avoids the zero-value ambiguity of map lookups in the
+// mixed-type dispatch above.
+func hasKey[V any](m map[string]V, k string) bool {
+	_, ok := m[k]
+	return ok
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cpu"
 	"repro/internal/harness"
 	"repro/internal/memsys"
 	"repro/internal/noise"
@@ -57,6 +58,7 @@ func resolutionSweepWith(r *harness.Runner, name string, seed int64, rounds int,
 							return nil, err
 						}
 						t.Observe(a.Core())
+						a.SetMetrics(t.Metrics)
 						var sum float64
 						for rr := 0; rr < rounds; rr++ {
 							if _, err := a.MeasureOnceChecked(secret); err != nil {
@@ -117,6 +119,7 @@ func diffSweepWith(r *harness.Runner, name string, seed int64, evictionSets bool
 					return nil, err
 				}
 				t.Observe(a.Core())
+				a.SetMetrics(t.Metrics)
 				var s0, s1 float64
 				for rr := 0; rr < rounds; rr++ {
 					l0, err := a.MeasureOnceChecked(0)
@@ -161,6 +164,7 @@ func pdfCell(name string, seed int64, evictionSets bool, n int) harness.Cell {
 				return nil, err
 			}
 			t.Observe(a.Core())
+			a.SetMetrics(t.Metrics)
 			cal, err := a.CalibrateChecked(n)
 			if err != nil {
 				return nil, err
@@ -218,6 +222,7 @@ func leakRunWith(r *harness.Runner, name string, seed int64, evictionSets bool, 
 				return nil, err
 			}
 			t.Observe(a.Core())
+			a.SetMetrics(t.Metrics)
 			cal, err := a.CalibrateChecked(calibration)
 			if err != nil {
 				return nil, err
@@ -266,7 +271,8 @@ func Figure12With(r *harness.Runner, seed int64, scale int) (Figure12Result, *ha
 				ID:   w.Name + "/" + sf.Name,
 				Seed: seed,
 				Run: func(t *harness.Trial) (any, error) {
-					res, err := workload.RunChecked(w, sf.New(), t.Seed)
+					res, err := workload.RunInstrumented(w, sf.New(), t.Seed, t.Metrics,
+						func(core *cpu.CPU) { t.Observe(core) })
 					if err != nil {
 						return nil, err
 					}
@@ -343,6 +349,7 @@ func MitigationStudyWith(r *harness.Runner, seed int64, scale, rounds int) ([]Mi
 					return nil, err
 				}
 				t.Observe(a.Core())
+				a.SetMetrics(t.Metrics)
 				var s0, s1 float64
 				for rr := 0; rr < rounds; rr++ {
 					l0, err := a.MeasureOnceChecked(0)

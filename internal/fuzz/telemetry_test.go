@@ -1,0 +1,49 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestWitnessTelemetryReplay(t *testing.T) {
+	g := MustNew(DefaultConfig())
+	prog := g.Program(7)
+	opts := Options{Schemes: []string{"unsafe", "cleanupspec"}, MemSeed: 1007, MachineSeed: 7}
+
+	snaps, err := g.Telemetry(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want one per scheme", len(snaps))
+	}
+	for spec, s := range snaps {
+		if s.Counters["cpu_retired_total"] == 0 {
+			t.Errorf("scheme %s: no retired instructions recorded", spec)
+		}
+	}
+
+	dir := t.TempDir()
+	w := &Witness{Name: "seed7", Seed: 7, MemSeed: 1007, MachineSeed: 7, Prog: prog}
+	path, err := SaveWitnessMetrics(dir, w, snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if _, ok := decoded["cleanupspec"]; !ok {
+		t.Fatal("metrics file missing the cleanupspec snapshot")
+	}
+
+	// ReplayTelemetry is the contained end-to-end path cmd/fuzz uses.
+	if _, err := ReplayTelemetry(g, dir, w, opts); err != nil {
+		t.Fatal(err)
+	}
+}

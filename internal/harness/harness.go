@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a Runner. The zero value is a sensible default:
@@ -43,6 +44,12 @@ type Config struct {
 	StopAfter int
 	// Injections are fault injections matched against full cell IDs.
 	Injections []Injection
+	// Metrics, when non-nil, is the campaign registry: every trial gets
+	// a fresh per-trial registry (Trial.Metrics), whose snapshot is
+	// attached to the outcome, journaled, and absorbed into this
+	// registry. Nil disables per-trial telemetry (Trial.Metrics is nil,
+	// which instrumented components treat as detached).
+	Metrics *telemetry.Registry
 }
 
 func (c Config) workers() int {
@@ -97,14 +104,50 @@ type Trial struct {
 	Attempt int    // 1-based
 	Seed    int64  // cell seed, perturbed on retries
 
+	// Metrics is the per-trial registry (nil when the campaign runs
+	// without telemetry). Cells bind their machines to it; the harness
+	// snapshots it into the outcome and the campaign rollup.
+	Metrics *telemetry.Registry
+
 	mu sync.Mutex
 	pm PostMortemer
+
+	// armedPanic holds a pending injected-panic message; it detonates
+	// after the cell's Run returns (see firePanic), so an Observed
+	// machine's post-mortem carries the attempt's final pipeline events
+	// instead of a pre-run blank.
+	armedPanic string
+}
+
+// firePanic detonates an armed panic injection; no-op when none is
+// armed. Called in the trial goroutine after the cell's Run, inside the
+// containment recover.
+func (t *Trial) firePanic() {
+	if t.armedPanic == "" {
+		return
+	}
+	msg := t.armedPanic
+	t.armedPanic = ""
+	panic(msg)
+}
+
+// flightEnabler is the optional interface Observe uses to switch on the
+// always-on flight recorder. *cpu.CPU implements it.
+type flightEnabler interface {
+	EnableFlightRecorder(n int) *cpu.FlightRecorder
 }
 
 // Observe registers the core under test so that a contained panic can
 // capture its post-mortem snapshot. Re-observing replaces the previous
 // subject (observe the active core of multi-phase trials).
 func (t *Trial) Observe(p PostMortemer) {
+	// Every observed core gets a bounded flight recorder so a panic,
+	// watchdog trip or deadline post-mortem carries the final pipeline
+	// events. Enabling is idempotent and the ring is a fixed-size store
+	// per event, cheap enough to leave on for every trial.
+	if fe, ok := p.(flightEnabler); ok {
+		fe.EnableFlightRecorder(0)
+	}
 	t.mu.Lock()
 	t.pm = p
 	t.mu.Unlock()
@@ -140,6 +183,9 @@ type Outcome struct {
 	Resumed  bool            // replayed from the journal
 	Skipped  bool            // never started (campaign interrupted)
 	Elapsed  time.Duration
+	// Metrics is the final attempt's telemetry snapshot (nil when the
+	// campaign runs without a Config.Metrics registry).
+	Metrics *telemetry.Snapshot
 }
 
 // OK reports whether the cell produced a value.
@@ -264,6 +310,8 @@ type Runner struct {
 	loadErr  error
 	journal  *journal
 	resumed  map[string]journalRecord
+
+	prog progressState
 }
 
 // New validates cfg and builds a Runner.
@@ -372,15 +420,18 @@ func (r *Runner) Sweep(name string, cells []Cell) (*Report, error) {
 		c Cell
 	}
 	var jobs []job
+	resumedN := 0
 	for i, c := range cells {
 		id := full(c)
 		if rec, ok := r.resumed[id]; ok {
 			rep.Outcomes[i] = rec.outcome(i)
+			resumedN++
 			continue
 		}
 		rep.Outcomes[i] = Outcome{Index: i, Cell: id, Seed: c.Seed, Skipped: true}
 		jobs = append(jobs, job{i, c})
 	}
+	r.prog.addSweep(len(jobs), resumedN)
 
 	workers := r.cfg.workers()
 	if workers > len(jobs) {
@@ -422,33 +473,62 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 	start := time.Now()
 	maxA := r.cfg.maxAttempts()
 	var te *TrialError
+	var lastSnap *telemetry.Snapshot
 	for attempt := 1; attempt <= maxA; attempt++ {
 		seed := c.Seed
 		if attempt > 1 {
 			seed = perturbSeed(c.Seed, attempt)
 		}
 		t := &Trial{Cell: id, Attempt: attempt, Seed: seed}
+		if r.cfg.Metrics != nil {
+			t.Metrics = telemetry.NewRegistry()
+		}
 		v, err := r.attempt(c, t, id)
+		snap := r.rollupTrial(t, attempt)
 		if err == nil {
 			raw, merr := json.Marshal(v)
 			if merr == nil {
 				o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: attempt,
-					Class: ClassOK, Value: raw, Elapsed: time.Since(start)}
+					Class: ClassOK, Value: raw, Elapsed: time.Since(start), Metrics: snap}
 				r.record(o)
+				r.prog.noteDone(o)
 				return o
 			}
 			err = fmt.Errorf("harness: marshaling cell value: %w", merr)
 		}
 		te = intoTrialError(err, t)
+		lastSnap = snap
 		if !te.Class.Retryable() || attempt == maxA {
 			break
 		}
 		time.Sleep(backoff(r.cfg, c.Seed, attempt))
 	}
 	o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: te.Attempt,
-		Class: te.Class, Err: te, Elapsed: time.Since(start)}
+		Class: te.Class, Err: te, Elapsed: time.Since(start), Metrics: lastSnap}
 	r.record(o)
+	r.prog.noteDone(o)
 	return o
+}
+
+// rollupTrial snapshots a trial's registry, absorbs it into the
+// campaign registry, and stamps the harness's own trial counters. The
+// snapshot reflects the work the attempt actually did, even when the
+// attempt failed — partial work is exactly what a post-mortem wants.
+func (r *Runner) rollupTrial(t *Trial, attempt int) *telemetry.Snapshot {
+	reg := r.cfg.Metrics
+	if reg == nil {
+		return nil
+	}
+	reg.Counter("harness_attempts_total", "trial attempts executed").Inc()
+	if attempt > 1 {
+		reg.Counter("harness_retries_total", "attempts beyond the first").Inc()
+	}
+	if t.Metrics == nil {
+		return nil
+	}
+	snap := t.Metrics.Snapshot()
+	reg.Absorb(snap)
+	return &snap
 }
 
 // attempt executes one attempt with panic containment and, when
@@ -465,7 +545,11 @@ func (r *Runner) attempt(c Cell, t *Trial, id string) (any, error) {
 			}
 		}()
 		fireInjections(r.cfg.Injections, id, t)
-		return c.Run(t)
+		v, err = c.Run(t)
+		// An armed panic injection detonates here, after the cell did its
+		// work, so the post-mortem of an Observed machine is meaningful.
+		t.firePanic()
+		return v, err
 	}
 	if r.cfg.TrialTimeout <= 0 {
 		return run()

@@ -83,7 +83,11 @@ func ParseInjections(s string) ([]Injection, error) {
 
 // fireInjections applies matching faults inside the trial goroutine,
 // before the cell's Run. A hang blocks forever — the wall-clock
-// deadline (required at config validation) abandons the goroutine.
+// deadline (required at config validation) abandons the goroutine. A
+// panic is only armed here: it detonates after the cell's Run returns
+// (Trial.firePanic), so a cell that Observed its machine yields a
+// post-mortem with the attempt's real flight-recorder events rather
+// than a pre-run blank.
 func fireInjections(injs []Injection, id string, t *Trial) {
 	for _, in := range injs {
 		if !in.matches(id) || t.Attempt > in.lastAttempt() {
@@ -91,7 +95,7 @@ func fireInjections(injs []Injection, id string, t *Trial) {
 		}
 		switch in.Kind {
 		case InjectPanic:
-			panic(fmt.Sprintf("injected fault: panic in %s (attempt %d)", id, t.Attempt))
+			t.armedPanic = fmt.Sprintf("injected fault: panic in %s (attempt %d)", id, t.Attempt)
 		case InjectHang:
 			select {}
 		}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/cpu"
+	"repro/internal/telemetry"
 )
 
 // journalRecord is one JSONL line: the terminal outcome of a cell.
@@ -25,6 +26,9 @@ type journalRecord struct {
 	Stack    string          `json:"stack,omitempty"`
 	Post     *cpu.PostMortem `json:"post,omitempty"`
 	Elapsed  int64           `json:"elapsed_ms"`
+	// Metrics is the final attempt's telemetry snapshot (omitted when
+	// the campaign ran without a metrics registry).
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // outcome reconstitutes the journaled record as a resumed Outcome.
@@ -37,6 +41,7 @@ func (rec journalRecord) outcome(index int) Outcome {
 		Class:    rec.Class,
 		Value:    rec.Value,
 		Resumed:  true,
+		Metrics:  rec.Metrics,
 	}
 	if rec.Class != ClassOK {
 		o.Err = &TrialError{
@@ -77,6 +82,7 @@ func (j *journal) append(o Outcome) error {
 		Class:    o.Class,
 		Value:    o.Value,
 		Elapsed:  o.Elapsed.Milliseconds(),
+		Metrics:  o.Metrics,
 	}
 	if o.Err != nil {
 		rec.Error = o.Err.Msg

@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
+
+func TestCampaignMetricsRollup(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := mustRunner(t, Config{Workers: 2, Metrics: reg})
+	cells := okCells(4)
+	// One cell records its own trial-local metric; the rollup must
+	// absorb it into the campaign registry.
+	cells = append(cells, Cell{
+		ID:   "instrumented",
+		Seed: 7,
+		Run: func(tr *Trial) (any, error) {
+			if tr.Metrics == nil {
+				t.Error("trial has no per-trial registry despite Config.Metrics")
+				return val{}, nil
+			}
+			tr.Metrics.Counter("trial_widgets_total", "widgets").Add(3)
+			return val{ID: tr.Cell}, nil
+		},
+	})
+	rep, err := r.Sweep("roll", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) != 0 {
+		t.Fatalf("unexpected failures: %+v", rep.Failures())
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["harness_attempts_total"]; got != 5 {
+		t.Errorf("harness_attempts_total = %d, want 5", got)
+	}
+	if got := snap.Counters["trial_widgets_total"]; got != 3 {
+		t.Errorf("trial_widgets_total = %d, want 3 (trial registry not absorbed)", got)
+	}
+
+	// Each successful outcome carries its own trial snapshot.
+	for _, o := range rep.Outcomes {
+		if o.Metrics == nil {
+			t.Fatalf("outcome %s has no metrics snapshot", o.Cell)
+		}
+	}
+}
+
+func TestRetriedAttemptsAllAbsorbed(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 3, BackoffBase: time.Microsecond, Metrics: reg})
+	tries := 0
+	cells := []Cell{{
+		ID:   "flaky",
+		Seed: 1,
+		Run: func(tr *Trial) (any, error) {
+			tr.Metrics.Counter("attempt_work_total", "work per attempt").Inc()
+			tries++
+			if tries < 3 {
+				return nil, Transient(fmt.Errorf("try again"))
+			}
+			return val{ID: tr.Cell}, nil
+		},
+	}}
+	rep, err := r.Sweep("retry", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) != 0 {
+		t.Fatalf("cell did not recover: %+v", rep.Failures())
+	}
+	snap := reg.Snapshot()
+	// Every attempt's partial work rolls up, not just the winner's.
+	if got := snap.Counters["attempt_work_total"]; got != 3 {
+		t.Errorf("attempt_work_total = %d, want 3", got)
+	}
+	if got := snap.Counters["harness_retries_total"]; got != 2 {
+		t.Errorf("harness_retries_total = %d, want 2", got)
+	}
+	// The outcome snapshot is the final attempt's only.
+	if got := rep.Outcomes[0].Metrics.Counters["attempt_work_total"]; got != 1 {
+		t.Errorf("outcome snapshot attempt_work_total = %d, want 1", got)
+	}
+}
+
+func TestJournalCarriesMetricsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	reg := telemetry.NewRegistry()
+	r := mustRunner(t, Config{Workers: 1, JournalPath: path, Metrics: reg})
+	cells := []Cell{{
+		ID:   "j",
+		Seed: 1,
+		Run: func(tr *Trial) (any, error) {
+			tr.Metrics.Counter("journaled_total", "x").Inc()
+			return val{ID: tr.Cell}, nil
+		},
+	}}
+	if _, err := r.Sweep("jm", cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from the journal: the replayed outcome must still carry the
+	// snapshot, and the campaign registry must re-absorb nothing new
+	// (replay is bookkeeping, not re-execution).
+	reg2 := telemetry.NewRegistry()
+	r2 := mustRunner(t, Config{Workers: 1, JournalPath: path, Resume: true, Metrics: reg2})
+	rep, err := r2.Sweep("jm", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if o.Metrics == nil {
+		t.Fatal("resumed outcome lost its metrics snapshot")
+	}
+	if got := o.Metrics.Counters["journaled_total"]; got != 1 {
+		t.Errorf("resumed snapshot journaled_total = %d, want 1", got)
+	}
+}
+
+func TestProgressCountsAndETA(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 2})
+	if p := r.Progress(); p.Done != 0 || p.ETAMS != -1 {
+		t.Fatalf("fresh runner progress = %+v", p)
+	}
+	if _, err := r.Sweep("prog", okCells(6)); err != nil {
+		t.Fatal(err)
+	}
+	p := r.Progress()
+	if p.Cells != 6 || p.Done != 6 || p.OK != 6 || p.Gapped != 0 {
+		t.Fatalf("progress after sweep = %+v", p)
+	}
+	if p.ETAMS != 0 {
+		t.Errorf("finished campaign ETA = %d, want 0", p.ETAMS)
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("campaign_total", "c").Add(9)
+	r := mustRunner(t, Config{Workers: 1, Metrics: reg})
+	if _, err := r.Sweep("dbg", okCells(3)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(d.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress: %d", code)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if p.Done != 3 || p.OK != 3 {
+		t.Errorf("/progress = %+v", p)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if !strings.Contains(body, "campaign_total 9") {
+		t.Errorf("/metrics missing campaign counter:\n%s", body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	if !strings.Contains(body, "harness_progress") {
+		t.Error("/debug/vars missing harness_progress")
+	}
+
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: %d", code)
+	}
+
+	// A second runner may rebind the expvar (no duplicate-publish panic)
+	// and a registry-less runner 404s on /metrics.
+	r2 := mustRunner(t, Config{Workers: 1})
+	d2, err := r2.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	resp, err := http.Get(d2.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("registry-less /metrics = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestInjectedPanicPostMortemHasEvents(t *testing.T) {
+	injs, err := ParseInjections("panic:inj/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 1, Injections: injs})
+	cells := []Cell{{
+		ID:   "boom",
+		Seed: 1,
+		Run: func(tr *Trial) (any, error) {
+			c := core(t)
+			tr.Observe(c)
+			c.Run(isa.NewBuilder().Const(1, 1).AddI(1, 1, 2).Halt().MustBuild())
+			return val{ID: tr.Cell}, nil
+		},
+	}}
+	rep, err := r.Sweep("inj", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 || fails[0].Class != ClassPanic {
+		t.Fatalf("expected one panic failure, got %+v", fails)
+	}
+	// The injected panic is deferred until after Run, so the observed
+	// machine's post-mortem carries the attempt's real pipeline events.
+	if fails[0].Post == nil || len(fails[0].Post.Events) == 0 {
+		t.Fatal("injected-panic post-mortem has no flight-recorder events")
+	}
+}
+
+func TestObserveEnablesFlightRecorder(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 1})
+	cells := []Cell{{
+		ID:   "boom",
+		Seed: 1,
+		Run: func(tr *Trial) (any, error) {
+			c := core(t)
+			// Observe first: it enables the flight recorder, so the run's
+			// events land in the ring before the panic.
+			tr.Observe(c)
+			c.Run(isa.NewBuilder().Const(1, 1).AddI(1, 1, 2).Halt().MustBuild())
+			panic("after observe")
+		},
+	}}
+	rep, err := r.Sweep("flight", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := rep.Failures()
+	if len(fails) != 1 || fails[0].Post == nil {
+		t.Fatalf("expected one post-mortem failure, got %+v", fails)
+	}
+	if len(fails[0].Post.Events) == 0 {
+		t.Fatal("post-mortem has no flight-recorder events: Observe did not enable the ring")
+	}
+}

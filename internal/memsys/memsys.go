@@ -156,6 +156,7 @@ type Hierarchy struct {
 
 	pending []pendingDowngrade
 	stats   Stats
+	met     hierMetrics
 }
 
 // AttachPeerL1 registers another core's private L1D for coherence-
@@ -167,8 +168,10 @@ func (h *Hierarchy) invalidatePeers(addr mem.Addr) {
 	for _, p := range h.peers {
 		if present, dirty := p.Invalidate(addr); present {
 			h.stats.BackInvalidations++
+			h.met.backInvalidations.Inc()
 			if dirty {
 				h.stats.Writebacks++
+				h.met.writebacks.Inc()
 			}
 		}
 	}
@@ -288,6 +291,7 @@ func (h *Hierarchy) Read(addr mem.Addr, spec bool, epoch uint64, now uint64) Acc
 	res.MSHRStall = h.mshr.Full()
 	stallPenalty := 0
 	if res.MSHRStall {
+		h.met.mshrStalls.Inc()
 		// Model the wait for a free entry as the residual latency of
 		// the oldest in-flight miss; a coarse but bounded penalty.
 		stallPenalty = h.cfg.L2.HitLatency
@@ -305,6 +309,7 @@ func (h *Hierarchy) Read(addr mem.Addr, spec bool, epoch uint64, now uint64) Acc
 		res.Dummy = true
 		h.l2.CountDummyMiss()
 		h.stats.DummyMisses++
+		h.met.dummyMisses.Inc()
 		lat += h.cfg.L2.HitLatency + h.cfg.MemLatency
 	case inL2:
 		h.l2.Lookup(addr) // refresh replacement state
@@ -316,15 +321,18 @@ func (h *Hierarchy) Read(addr mem.Addr, spec bool, epoch uint64, now uint64) Acc
 			if line.Speculative && h.cfg.DelayCoherenceDowngrade {
 				h.pending = append(h.pending, pendingDowngrade{addr: addr.Line(), epoch: line.Epoch})
 				h.stats.DelayedDowngrades++
+				h.met.delayedDowngrades.Inc()
 			} else {
 				h.l2.SetState(addr, cache.Shared)
 				h.stats.AppliedDowngrades++
+				h.met.appliedDowngrades.Inc()
 			}
 		}
 	default:
 		h.l2.Lookup(addr) // counts the L2 miss
 		res.MemAccess = true
 		h.stats.MemAccesses++
+		h.met.memAccesses.Inc()
 		lat += h.cfg.L2.HitLatency + h.cfg.MemLatency
 		ev2, evicted2 := h.l2.Fill(addr, h.agent, spec, epoch)
 		res.InstalledL2 = true
@@ -335,13 +343,16 @@ func (h *Hierarchy) Read(addr mem.Addr, spec bool, epoch uint64, now uint64) Acc
 			// every private L1.
 			if present, dirty := h.l1d.Invalidate(ev2.LineAddr); present {
 				h.stats.BackInvalidations++
+				h.met.backInvalidations.Inc()
 				if dirty {
 					h.stats.Writebacks++
+					h.met.writebacks.Inc()
 				}
 			}
 			h.invalidatePeers(ev2.LineAddr)
 			if ev2.Dirty {
 				h.stats.Writebacks++
+				h.met.writebacks.Inc()
 			}
 		}
 	}
@@ -357,6 +368,7 @@ func (h *Hierarchy) Read(addr mem.Addr, spec bool, epoch uint64, now uint64) Acc
 			// Write back into L2 (timing only; data is in memory).
 			h.l2.MarkDirty(ev1.LineAddr)
 			h.stats.Writebacks++
+			h.met.writebacks.Inc()
 		}
 	}
 
@@ -371,6 +383,7 @@ func (h *Hierarchy) Read(addr mem.Addr, spec bool, epoch uint64, now uint64) Acc
 		HasVictim:            res.HasL1Victim && !res.L1VictimSpec,
 		VictimWasSpeculative: res.L1VictimSpec,
 	})
+	h.met.mshrOccupancy.Observe(float64(h.mshr.Occupancy()))
 	return res
 }
 
@@ -391,6 +404,7 @@ func (h *Hierarchy) ReadShadow(addr mem.Addr, epoch uint64, now uint64) AccessRe
 	res.MSHRStall = h.mshr.Full()
 	stallPenalty := 0
 	if res.MSHRStall {
+		h.met.mshrStalls.Inc()
 		stallPenalty = h.cfg.L2.HitLatency
 		h.mshr.Complete(now + uint64(stallPenalty))
 	}
@@ -408,6 +422,7 @@ func (h *Hierarchy) ReadShadow(addr mem.Addr, epoch uint64, now uint64) AccessRe
 		IssueCycle:  now,
 		FillCycle:   now + uint64(res.Latency),
 	})
+	h.met.mshrOccupancy.Observe(float64(h.mshr.Occupancy()))
 	return res
 }
 
@@ -445,6 +460,7 @@ func (h *Hierarchy) FetchInst(addr mem.Addr, now uint64) int {
 	} else {
 		lat += h.cfg.L2.HitLatency + h.cfg.MemLatency
 		h.stats.MemAccesses++
+		h.met.memAccesses.Inc()
 		h.l2.Fill(addr, h.agent, false, 0)
 	}
 	h.l1i.Fill(addr, h.agent, false, 0)
@@ -458,11 +474,13 @@ func (h *Hierarchy) Flush(addr mem.Addr) int {
 	lat := h.cfg.L1D.HitLatency
 	if present, dirty := h.l1d.Flush(addr); present && dirty {
 		h.stats.Writebacks++
+		h.met.writebacks.Inc()
 	}
 	if present, dirty := h.l2.Flush(addr); present {
 		lat += h.cfg.L2.HitLatency
 		if dirty {
 			h.stats.Writebacks++
+			h.met.writebacks.Inc()
 		}
 	}
 	// clflush is coherence-global: sibling cores' L1 copies go too.
@@ -486,6 +504,7 @@ func (h *Hierarchy) CommitEpoch(epoch uint64) {
 		if p.epoch <= epoch {
 			if h.l2.SetState(p.addr, cache.Shared) {
 				h.stats.AppliedDowngrades++
+				h.met.appliedDowngrades.Inc()
 			}
 		} else {
 			kept = append(kept, p)
@@ -505,6 +524,7 @@ func (h *Hierarchy) CommitLine(addr mem.Addr) {
 		if p.addr.Line() == addr.Line() {
 			if h.l2.SetState(p.addr, cache.Shared) {
 				h.stats.AppliedDowngrades++
+				h.met.appliedDowngrades.Inc()
 			}
 			continue
 		}
@@ -551,13 +571,16 @@ func (h *Hierarchy) InvalidateTransientIn(addr mem.Addr, l1, l2 bool) (inL1, inL
 // It returns whether L2 had the line (the common, pipelined case).
 func (h *Hierarchy) RestoreL1(addr mem.Addr) (fromL2 bool) {
 	h.stats.Restorations++
+	h.met.restorations.Inc()
 	fromL2 = h.l2.Probe(addr)
 	if fromL2 {
 		h.stats.RestorationsFromL2++
+		h.met.restoredFromL2.Inc()
 	} else {
 		// Refetch into L2 first (inclusive hierarchy).
 		h.l2.Fill(addr, h.agent, false, 0)
 		h.stats.MemAccesses++
+		h.met.memAccesses.Inc()
 	}
 	h.l1d.Fill(addr, h.agent, false, 0)
 	return fromL2
@@ -576,6 +599,7 @@ func (h *Hierarchy) CrossRead(agent int, addr mem.Addr, now uint64) AccessResult
 		res.Latency = h.cfg.L2.HitLatency + h.cfg.MemLatency
 		h.l2.CountDummyMiss()
 		h.stats.DummyMisses++
+		h.met.dummyMisses.Inc()
 		return res
 	}
 	if present {
@@ -587,9 +611,11 @@ func (h *Hierarchy) CrossRead(agent int, addr mem.Addr, now uint64) AccessResult
 			if line.Speculative && h.cfg.DelayCoherenceDowngrade {
 				h.pending = append(h.pending, pendingDowngrade{addr: addr.Line(), epoch: line.Epoch})
 				h.stats.DelayedDowngrades++
+				h.met.delayedDowngrades.Inc()
 			} else {
 				h.l2.SetState(addr, cache.Shared)
 				h.stats.AppliedDowngrades++
+				h.met.appliedDowngrades.Inc()
 			}
 		}
 		return res
@@ -597,6 +623,7 @@ func (h *Hierarchy) CrossRead(agent int, addr mem.Addr, now uint64) AccessResult
 	res.MemAccess = true
 	res.Latency = h.cfg.L2.HitLatency + h.cfg.MemLatency
 	h.stats.MemAccesses++
+	h.met.memAccesses.Inc()
 	h.l2.Fill(addr, agent, false, 0)
 	h.l2.SetState(addr, cache.Shared)
 	return res

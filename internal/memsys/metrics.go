@@ -1,0 +1,49 @@
+package memsys
+
+import "repro/internal/telemetry"
+
+// hierMetrics holds the pre-resolved telemetry handles of one
+// hierarchy: the cross-level counters that no single cache level sees,
+// plus MSHR pressure. All fields are nil when telemetry is disabled.
+type hierMetrics struct {
+	memAccesses       *telemetry.Counter
+	writebacks        *telemetry.Counter
+	backInvalidations *telemetry.Counter
+	delayedDowngrades *telemetry.Counter
+	appliedDowngrades *telemetry.Counter
+	dummyMisses       *telemetry.Counter
+	restorations      *telemetry.Counter
+	restoredFromL2    *telemetry.Counter
+
+	mshrStalls    *telemetry.Counter
+	mshrOccupancy *telemetry.Histogram
+}
+
+// SetMetrics binds the hierarchy and its cache levels to a telemetry
+// registry. Each level registers cache_<name>_* counters; hierarchy-
+// wide counters live under hier_*, MSHR pressure under mshr_*. A nil
+// registry detaches everything.
+func (h *Hierarchy) SetMetrics(r *telemetry.Registry) {
+	h.l1i.SetMetrics(r)
+	h.l1d.SetMetrics(r)
+	h.l2.SetMetrics(r)
+	if r == nil {
+		h.met = hierMetrics{}
+		return
+	}
+	h.met = hierMetrics{
+		memAccesses:       r.Counter("hier_mem_accesses_total", "DRAM round trips"),
+		writebacks:        r.Counter("hier_writebacks_total", "dirty lines written back"),
+		backInvalidations: r.Counter("hier_back_invalidations_total", "inclusive back-invalidations of private L1 lines"),
+		delayedDowngrades: r.Counter("hier_delayed_downgrades_total", "coherence downgrades deferred on speculative lines (CleanupSpec in-window rule)"),
+		appliedDowngrades: r.Counter("hier_applied_downgrades_total", "coherence downgrades applied"),
+		dummyMisses:       r.Counter("hier_dummy_misses_total", "cross-agent accesses served as dummy misses"),
+		restorations:      r.Counter("hier_restorations_total", "victim lines restored into L1 during rollback"),
+		restoredFromL2:    r.Counter("hier_restorations_from_l2_total", "rollback restorations served by L2"),
+
+		mshrStalls: r.Counter("mshr_stalls_total", "misses stalled on a full MSHR file"),
+		mshrOccupancy: r.Histogram("mshr_occupancy",
+			"MSHR occupancy sampled at each miss allocation",
+			telemetry.OccupancyBuckets(h.mshr.Capacity())),
+	}
+}

@@ -43,9 +43,9 @@ func (k *Checker) fail(format string, args ...interface{}) {
 // Event implements cpu.Tracer.
 func (k *Checker) Event(ev cpu.TraceEvent) {
 	switch ev.Kind {
-	case "fetch":
+	case cpu.KindFetch:
 		k.fetchCycle[ev.Seq] = ev.Cycle
-	case "issue":
+	case cpu.KindIssue:
 		f, ok := k.fetchCycle[ev.Seq]
 		if !ok {
 			k.fail("seq %d issued without fetch", ev.Seq)
@@ -53,7 +53,7 @@ func (k *Checker) Event(ev cpu.TraceEvent) {
 			k.fail("seq %d issued at %d before fetch at %d", ev.Seq, ev.Cycle, f)
 		}
 		k.issueCycle[ev.Seq] = ev.Cycle
-	case "retire":
+	case cpu.KindRetire:
 		if k.dead[ev.Seq] {
 			k.fail("squashed seq %d retired at cycle %d (%s)", ev.Seq, ev.Cycle, ev.Inst)
 		}
@@ -69,7 +69,7 @@ func (k *Checker) Event(ev cpu.TraceEvent) {
 		k.lastRetire, k.haveRetire = ev.Seq, true
 		delete(k.fetchCycle, ev.Seq)
 		delete(k.issueCycle, ev.Seq)
-	case "squash":
+	case cpu.KindSquash:
 		// Every already-fetched instruction younger than the branch is
 		// now dead.
 		for seq := range k.fetchCycle {
@@ -81,7 +81,7 @@ func (k *Checker) Event(ev cpu.TraceEvent) {
 		}
 		evCopy := ev
 		k.lastSquash = &evCopy
-	case "cleanup":
+	case cpu.KindCleanup:
 		if k.lastSquash == nil {
 			k.fail("cleanup at cycle %d without a preceding squash", ev.Cycle)
 		} else if k.lastSquash.Seq != ev.Seq {

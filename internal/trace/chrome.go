@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cpu"
+)
+
+// chromeEvent is one entry in the Chrome trace-event format (the JSON
+// flavour chrome://tracing and Perfetto load). ts/dur are in
+// microseconds by convention; we map one simulated cycle to one
+// microsecond so the viewer's zoom levels stay usable.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the object form of the trace-event format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// instLife is the reconstructed lifetime of one fetched instruction.
+type instLife struct {
+	seq          uint64
+	pc           int
+	text         string
+	start, end   uint64
+	issued       bool
+	issueCycle   uint64
+	issueLatency int64
+	retired      bool
+	squashed     bool
+}
+
+// WriteChrome renders pipeline events as a Chrome trace-event JSON
+// document loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Each instruction becomes one complete ("X") slice from fetch to
+// retirement (or to the squash that killed it), packed onto
+// non-overlapping lanes; squashes, cleanups and mispredict resolutions
+// additionally appear as instant events so the T1–T6 window of Figure 1
+// is visible at a glance.
+func WriteChrome(w io.Writer, events []cpu.TraceEvent) error {
+	byseq := map[uint64]*instLife{}
+	var order []uint64
+	get := func(ev cpu.TraceEvent) *instLife {
+		l, ok := byseq[ev.Seq]
+		if !ok {
+			l = &instLife{seq: ev.Seq, pc: ev.PC, text: ev.Inst.String(), start: ev.Cycle, end: ev.Cycle}
+			byseq[ev.Seq] = l
+			order = append(order, ev.Seq)
+		}
+		if ev.Cycle > l.end {
+			l.end = ev.Cycle
+		}
+		return l
+	}
+
+	var instants []chromeEvent
+	for _, ev := range events {
+		switch ev.Kind {
+		case cpu.KindFetch:
+			l := get(ev)
+			l.start = ev.Cycle
+		case cpu.KindIssue:
+			l := get(ev)
+			l.issued = true
+			l.issueCycle = ev.Cycle
+			l.issueLatency = ev.Detail
+			if done := ev.Cycle + uint64(ev.Detail); done > l.end {
+				l.end = done
+			}
+		case cpu.KindRetire:
+			get(ev).retired = true
+		case cpu.KindSquash:
+			l := get(ev)
+			// Everything younger than the mispredicted branch dies here.
+			for _, other := range byseq {
+				if other.seq > l.seq && !other.retired {
+					other.squashed = true
+					if ev.Cycle > other.end {
+						other.end = ev.Cycle
+					}
+				}
+			}
+			instants = append(instants, chromeEvent{
+				Name: fmt.Sprintf("squash pc=%d", ev.PC), Phase: "i",
+				TS: ev.Cycle, PID: 0, TID: 0, Scope: "t",
+				Args: map[string]any{"seq": ev.Seq, "squashed_younger": ev.Detail},
+			})
+		case cpu.KindCleanup:
+			instants = append(instants, chromeEvent{
+				Name: fmt.Sprintf("cleanup stall=%d", ev.Detail), Phase: "i",
+				TS: ev.Cycle, PID: 0, TID: 0, Scope: "t",
+				Args: map[string]any{"seq": ev.Seq, "stall_cycles": ev.Detail},
+			})
+		case cpu.KindResolve:
+			if ev.Detail == 1 {
+				instants = append(instants, chromeEvent{
+					Name: fmt.Sprintf("mispredict pc=%d", ev.PC), Phase: "i",
+					TS: ev.Cycle, PID: 0, TID: 0, Scope: "t",
+					Args: map[string]any{"seq": ev.Seq},
+				})
+			}
+		}
+	}
+
+	// Pack instruction slices onto lanes so concurrent (out-of-order)
+	// lifetimes never overlap within a lane. Lane 0 is reserved for the
+	// instant markers.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := byseq[order[i]], byseq[order[j]]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		return a.seq < b.seq
+	})
+	var laneEnd []uint64
+	out := chromeFile{DisplayTimeUnit: "ms", TraceEvents: instants}
+	for _, seq := range order {
+		l := byseq[seq]
+		dur := l.end - l.start
+		if dur == 0 {
+			dur = 1
+		}
+		lane := -1
+		for i, end := range laneEnd {
+			if end <= l.start {
+				lane = i
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = l.start + dur
+		args := map[string]any{"seq": l.seq, "pc": l.pc}
+		name := l.text
+		if l.squashed && !l.retired {
+			args["squashed"] = true
+			name = "† " + name
+		}
+		if l.issued {
+			args["issue_cycle"] = l.issueCycle
+			args["issue_latency"] = l.issueLatency
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Phase: "X", TS: l.start, Dur: dur,
+			PID: 0, TID: lane + 1, Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -13,13 +13,20 @@ import (
 )
 
 // Buffer records events up to a capacity (0 = unbounded). When bounded
-// it keeps the most recent events (ring behaviour).
+// it is a true circular buffer: each insert past capacity overwrites
+// the oldest slot in place (one store + one index bump), not an
+// O(capacity) shift. Events() still returns the retained events oldest
+// first.
 type Buffer struct {
 	capacity int
 	events   []cpu.TraceEvent
+	head     int // next overwrite position once the ring is full
+	full     bool
 	dropped  uint64
-	// KindFilter, when non-empty, records only listed kinds.
-	KindFilter map[string]bool
+	// KindFilter, when non-empty, records only listed kinds. Keys are
+	// the cpu.Kind* constants, so a typo'd kind is a compile error
+	// rather than a filter that silently matches nothing.
+	KindFilter map[cpu.Kind]bool
 }
 
 // NewBuffer returns a recorder holding up to capacity events.
@@ -33,18 +40,38 @@ func (b *Buffer) Event(ev cpu.TraceEvent) {
 		return
 	}
 	if b.capacity > 0 && len(b.events) >= b.capacity {
-		copy(b.events, b.events[1:])
-		b.events[len(b.events)-1] = ev
+		b.events[b.head] = ev
+		b.head++
+		if b.head == len(b.events) {
+			b.head = 0
+		}
+		b.full = true
 		b.dropped++
 		return
 	}
 	b.events = append(b.events, ev)
 }
 
-// Events returns the recorded events in order.
+// each visits the retained events oldest first without allocating.
+func (b *Buffer) each(visit func(ev cpu.TraceEvent)) {
+	if !b.full {
+		for _, ev := range b.events {
+			visit(ev)
+		}
+		return
+	}
+	for _, ev := range b.events[b.head:] {
+		visit(ev)
+	}
+	for _, ev := range b.events[:b.head] {
+		visit(ev)
+	}
+}
+
+// Events returns the recorded events in order, oldest first.
 func (b *Buffer) Events() []cpu.TraceEvent {
-	out := make([]cpu.TraceEvent, len(b.events))
-	copy(out, b.events)
+	out := make([]cpu.TraceEvent, 0, len(b.events))
+	b.each(func(ev cpu.TraceEvent) { out = append(out, ev) })
 	return out
 }
 
@@ -54,58 +81,58 @@ func (b *Buffer) Dropped() uint64 { return b.dropped }
 // Reset clears the buffer.
 func (b *Buffer) Reset() {
 	b.events = b.events[:0]
+	b.head = 0
+	b.full = false
 	b.dropped = 0
 }
 
 // Len returns the number of retained events.
 func (b *Buffer) Len() int { return len(b.events) }
 
-// OfKind returns the retained events of one kind.
-func (b *Buffer) OfKind(kind string) []cpu.TraceEvent {
+// OfKind returns the retained events of one kind, oldest first.
+func (b *Buffer) OfKind(kind cpu.Kind) []cpu.TraceEvent {
 	var out []cpu.TraceEvent
-	for _, ev := range b.events {
+	b.each(func(ev cpu.TraceEvent) {
 		if ev.Kind == kind {
 			out = append(out, ev)
 		}
-	}
+	})
 	return out
 }
 
 // Render writes a human-readable event log.
 func (b *Buffer) Render(w io.Writer) {
-	for _, ev := range b.events {
+	if b.dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", b.dropped)
+	}
+	b.each(func(ev cpu.TraceEvent) {
 		switch ev.Kind {
-		case "squash":
+		case cpu.KindSquash:
 			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %-24s squashed %d younger\n",
 				ev.Cycle, ev.Kind, ev.PC, ev.Inst, ev.Detail)
-		case "cleanup":
+		case cpu.KindCleanup:
 			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %-24s stall %d cycles\n",
 				ev.Cycle, ev.Kind, ev.PC, ev.Inst, ev.Detail)
-		case "resolve":
+		case cpu.KindResolve:
 			verdict := "correct"
 			if ev.Detail == 1 {
 				verdict = "MISPREDICT"
 			}
 			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %-24s %s\n",
 				ev.Cycle, ev.Kind, ev.PC, ev.Inst, verdict)
-		case "issue":
+		case cpu.KindIssue:
 			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %-24s latency %d\n",
 				ev.Cycle, ev.Kind, ev.PC, ev.Inst, ev.Detail)
 		default:
 			fmt.Fprintf(w, "%8d  %-8s pc=%-4d %s\n", ev.Cycle, ev.Kind, ev.PC, ev.Inst)
 		}
-	}
-	if b.dropped > 0 {
-		fmt.Fprintf(w, "(%d earlier events dropped)\n", b.dropped)
-	}
+	})
 }
 
 // Summary aggregates a trace into per-kind counts.
-func (b *Buffer) Summary() map[string]int {
-	out := map[string]int{}
-	for _, ev := range b.events {
-		out[ev.Kind]++
-	}
+func (b *Buffer) Summary() map[cpu.Kind]int {
+	out := map[cpu.Kind]int{}
+	b.each(func(ev cpu.TraceEvent) { out[ev.Kind]++ })
 	return out
 }
 
@@ -131,28 +158,28 @@ func (b *Buffer) Timeline(n int) string {
 			maxCycle = c
 		}
 	}
-	for _, ev := range b.events {
+	b.each(func(ev cpu.TraceEvent) {
 		l, ok := byseq[ev.Seq]
 		if !ok {
-			if len(order) >= n && ev.Kind == "fetch" {
-				continue
+			if len(order) >= n && ev.Kind == cpu.KindFetch {
+				return
 			}
 			l = &life{seq: ev.Seq, pc: ev.PC, text: ev.Inst.String(), fetch: ^uint64(0), issue: ^uint64(0), ret: ^uint64(0)}
 			byseq[ev.Seq] = l
 			order = append(order, ev.Seq)
 		}
 		switch ev.Kind {
-		case "fetch":
+		case cpu.KindFetch:
 			l.fetch = ev.Cycle
 			note(ev.Cycle)
-		case "issue":
+		case cpu.KindIssue:
 			l.issue = ev.Cycle
 			note(ev.Cycle)
-		case "retire":
+		case cpu.KindRetire:
 			l.ret = ev.Cycle
 			note(ev.Cycle)
 		}
-	}
+	})
 	if len(order) == 0 || minCycle > maxCycle {
 		return ""
 	}

@@ -26,14 +26,14 @@ func TestBufferRecordsPipelineEvents(t *testing.T) {
 	core := tracedCPU(t, buf)
 	core.Run(isa.NewBuilder().Const(1, 5).AddI(2, 1, 1).Halt().MustBuild())
 	sum := buf.Summary()
-	if sum["fetch"] < 3 {
-		t.Fatalf("fetch events %d", sum["fetch"])
+	if sum[cpu.KindFetch] < 3 {
+		t.Fatalf("fetch events %d", sum[cpu.KindFetch])
 	}
-	if sum["issue"] < 2 {
-		t.Fatalf("issue events %d", sum["issue"])
+	if sum[cpu.KindIssue] < 2 {
+		t.Fatalf("issue events %d", sum[cpu.KindIssue])
 	}
-	if sum["retire"] < 3 {
-		t.Fatalf("retire events %d", sum["retire"])
+	if sum[cpu.KindRetire] < 3 {
+		t.Fatalf("retire events %d", sum[cpu.KindRetire])
 	}
 }
 
@@ -61,15 +61,15 @@ func TestBufferCapturesSquashAndCleanup(t *testing.T) {
 	buf.Reset()
 	core.Run(prog(999))
 
-	squashes := buf.OfKind("squash")
-	cleanups := buf.OfKind("cleanup")
+	squashes := buf.OfKind(cpu.KindSquash)
+	cleanups := buf.OfKind(cpu.KindCleanup)
 	if len(squashes) != 1 || len(cleanups) != 1 {
 		t.Fatalf("squash/cleanup events %d/%d", len(squashes), len(cleanups))
 	}
 	if cleanups[0].Detail != 22 {
 		t.Fatalf("cleanup stall %d, want 22", cleanups[0].Detail)
 	}
-	resolves := buf.OfKind("resolve")
+	resolves := buf.OfKind(cpu.KindResolve)
 	mispredicted := false
 	for _, ev := range resolves {
 		if ev.Detail == 1 {
@@ -94,18 +94,18 @@ func TestBoundedBufferDropsOldest(t *testing.T) {
 	// The retained events are the most recent ones.
 	evs := buf.Events()
 	last := evs[len(evs)-1]
-	if last.Kind != "retire" {
+	if last.Kind != cpu.KindRetire {
 		t.Fatalf("last retained event %q, expected the final retire", last.Kind)
 	}
 }
 
 func TestKindFilter(t *testing.T) {
 	buf := NewBuffer(0)
-	buf.KindFilter = map[string]bool{"retire": true}
+	buf.KindFilter = map[cpu.Kind]bool{cpu.KindRetire: true}
 	core := tracedCPU(t, buf)
 	core.Run(isa.NewBuilder().Const(1, 1).Halt().MustBuild())
 	for _, ev := range buf.Events() {
-		if ev.Kind != "retire" {
+		if ev.Kind != cpu.KindRetire {
 			t.Fatalf("filter leaked %q", ev.Kind)
 		}
 	}
@@ -164,9 +164,9 @@ func TestTracingDoesNotChangeTiming(t *testing.T) {
 
 func TestRenderAllEventKinds(t *testing.T) {
 	buf := NewBuffer(2)
-	buf.Event(cpu.TraceEvent{Kind: "squash", Cycle: 5, Seq: 1, Detail: 3})
-	buf.Event(cpu.TraceEvent{Kind: "cleanup", Cycle: 6, Seq: 1, Detail: 22})
-	buf.Event(cpu.TraceEvent{Kind: "resolve", Cycle: 7, Seq: 2, Detail: 1})
+	buf.Event(cpu.TraceEvent{Kind: cpu.KindSquash, Cycle: 5, Seq: 1, Detail: 3})
+	buf.Event(cpu.TraceEvent{Kind: cpu.KindCleanup, Cycle: 6, Seq: 1, Detail: 22})
+	buf.Event(cpu.TraceEvent{Kind: cpu.KindResolve, Cycle: 7, Seq: 2, Detail: 1})
 	var sb strings.Builder
 	buf.Render(&sb)
 	out := sb.String()
@@ -177,7 +177,7 @@ func TestRenderAllEventKinds(t *testing.T) {
 	}
 	// Correct resolves render as such.
 	buf2 := NewBuffer(0)
-	buf2.Event(cpu.TraceEvent{Kind: "resolve", Cycle: 1, Detail: 0})
+	buf2.Event(cpu.TraceEvent{Kind: cpu.KindResolve, Cycle: 1, Detail: 0})
 	sb.Reset()
 	buf2.Render(&sb)
 	if !strings.Contains(sb.String(), "correct") {

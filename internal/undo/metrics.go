@@ -1,0 +1,71 @@
+package undo
+
+import "repro/internal/telemetry"
+
+// schemeMetrics holds the shared telemetry handles of one undo scheme.
+// All schemes record the same quantities, so the handles and the
+// observe helper are shared; each scheme owns one value. All fields
+// are nil when telemetry is disabled.
+type schemeMetrics struct {
+	squashes    *telemetry.Counter
+	invalidated *telemetry.Counter
+	restored    *telemetry.Counter
+	restoredMem *telemetry.Counter
+	residual    *telemetry.Counter
+
+	stall   *telemetry.Histogram
+	tracked *telemetry.Histogram
+}
+
+// newSchemeMetrics resolves the undo_* handles against r (zero value
+// for a nil registry).
+func newSchemeMetrics(r *telemetry.Registry) schemeMetrics {
+	if r == nil {
+		return schemeMetrics{}
+	}
+	return schemeMetrics{
+		squashes:    r.Counter("undo_squashes_total", "rollbacks handed to the undo scheme"),
+		invalidated: r.Counter("undo_invalidated_total", "transient lines invalidated during rollback"),
+		restored:    r.Counter("undo_restored_total", "victim lines restored during rollback"),
+		restoredMem: r.Counter("undo_restored_from_mem_total", "restorations that had to go past L2"),
+		residual:    r.Counter("undo_residual_total", "transient lines left behind by a strict constant-time budget"),
+
+		stall: r.Histogram("undo_rollback_stall_cycles",
+			"per-squash rollback stall reported by the scheme",
+			telemetry.StallBuckets()),
+		tracked: r.Histogram("undo_tracked_lines",
+			"transiently installed lines tracked per squash (load-queue view)",
+			[]float64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 48, 64}),
+	}
+}
+
+// observe records one squash. tracked is the number of transient loads
+// the scheme saw (len(ctx.Transients)).
+func (m *schemeMetrics) observe(tracked int, res Result) {
+	m.squashes.Inc()
+	m.invalidated.Add(uint64(res.Invalidated))
+	m.restored.Add(uint64(res.Restored))
+	m.restoredMem.Add(uint64(res.RestoredFromMem))
+	m.residual.Add(uint64(res.Residual))
+	m.stall.ObserveInt(uint64(res.StallCycles))
+	m.tracked.Observe(float64(tracked))
+}
+
+// SetMetrics binds the scheme to a telemetry registry (nil detaches).
+// Every concrete scheme implements this; wiring sites reach it through
+// a type assertion so the Scheme interface stays unchanged.
+func (c *CleanupSpec) SetMetrics(r *telemetry.Registry) { c.met = newSchemeMetrics(r) }
+
+// SetMetrics binds the scheme to a telemetry registry (nil detaches).
+func (u *Unsafe) SetMetrics(r *telemetry.Registry) { u.met = newSchemeMetrics(r) }
+
+// SetMetrics binds the scheme to a telemetry registry (nil detaches).
+// Only the wrapper records; the inner CleanupSpec stays unbound so a
+// squash is not double-counted.
+func (c *ConstantTime) SetMetrics(r *telemetry.Registry) { c.met = newSchemeMetrics(r) }
+
+// SetMetrics binds the scheme to a telemetry registry (nil detaches).
+func (f *FuzzyTime) SetMetrics(r *telemetry.Registry) { f.met = newSchemeMetrics(r) }
+
+// SetMetrics binds the scheme to a telemetry registry (nil detaches).
+func (i *InvisibleLite) SetMetrics(r *telemetry.Registry) { i.met = newSchemeMetrics(r) }

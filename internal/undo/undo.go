@@ -204,6 +204,7 @@ type CleanupSpec struct {
 	// alone still forms a channel, per the paper.
 	RestoreEnabled bool
 	stats          Stats
+	met            schemeMetrics
 }
 
 // NewCleanupSpec returns the scheme with the calibrated latency model.
@@ -267,6 +268,7 @@ func (c *CleanupSpec) OnSquash(h *memsys.Hierarchy, ctx SquashContext) Result {
 	}
 	res.StallCycles = c.lat.stallFor(res.Invalidated, res.Restored, res.RestoredFromMem)
 	c.stats.absorb(res)
+	c.met.observe(len(ctx.Transients), res)
 	return res
 }
 
@@ -276,6 +278,7 @@ func (c *CleanupSpec) OnSquash(h *memsys.Hierarchy, ctx SquashContext) Result {
 // to demonstrate the attack the defenses are for.
 type Unsafe struct {
 	stats Stats
+	met   schemeMetrics
 }
 
 // NewUnsafe returns the baseline scheme.
@@ -301,6 +304,7 @@ func (u *Unsafe) OnSquash(h *memsys.Hierarchy, ctx SquashContext) Result {
 	}
 	res := Result{}
 	u.stats.absorb(res)
+	u.met.observe(len(ctx.Transients), res)
 	return res
 }
 
@@ -332,6 +336,7 @@ type ConstantTime struct {
 	Cycles int
 	Mode   ConstantTimeMode
 	stats  Stats
+	met    schemeMetrics
 }
 
 // NewConstantTime returns a constant-time rollback scheme over the
@@ -367,6 +372,7 @@ func (c *ConstantTime) OnSquash(h *memsys.Hierarchy, ctx SquashContext) Result {
 		res = c.strictSquash(h, ctx)
 	}
 	c.stats.absorb(res)
+	c.met.observe(len(ctx.Transients), res)
 	return res
 }
 
@@ -440,6 +446,7 @@ type FuzzyTime struct {
 	// rngState is a SplitMix64 stream; deterministic per seed.
 	rngState uint64
 	stats    Stats
+	met      schemeMetrics
 }
 
 // NewFuzzyTime returns the dummy-delay scheme.
@@ -476,6 +483,7 @@ func (f *FuzzyTime) OnSquash(h *memsys.Hierarchy, ctx SquashContext) Result {
 		res.StallCycles += int(f.next() % uint64(headroom))
 	}
 	f.stats.absorb(res)
+	f.met.observe(len(ctx.Transients), res)
 	return res
 }
 
@@ -489,6 +497,7 @@ type InvisibleLite struct {
 	// Penalty is the per-load commit cost in cycles.
 	Penalty int
 	stats   Stats
+	met     schemeMetrics
 }
 
 // NewInvisibleLite returns the scheme with an InvisiSpec-flavoured
@@ -511,5 +520,6 @@ func (i *InvisibleLite) Stats() Stats { return i.stats }
 func (i *InvisibleLite) OnSquash(h *memsys.Hierarchy, ctx SquashContext) Result {
 	res := Result{}
 	i.stats.absorb(res)
+	i.met.observe(len(ctx.Transients), res)
 	return res
 }

@@ -2,6 +2,7 @@ package unxpec
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/branch"
@@ -119,6 +120,7 @@ type Attack struct {
 	trained     bool
 	rounds      uint64
 	roundCycles uint64
+	met         attackMetrics
 }
 
 // New builds the simulated machine, generates the programs, and
@@ -278,7 +280,10 @@ func (a *Attack) MeasureOnceChecked(secret int) (uint64, error) {
 
 	a.rounds++
 	a.roundCycles += a.core.Cycle() - start
-	return a.core.Reg(RegT2) - a.core.Reg(RegT1), nil
+	lat := a.core.Reg(RegT2) - a.core.Reg(RegT1)
+	a.met.rounds.Inc()
+	a.met.roundLatency.ObserveInt(lat)
+	return lat, nil
 }
 
 // LastSquashStats reports the most recent round's branch-resolution
@@ -331,6 +336,9 @@ func (a *Attack) CalibrateChecked(n int) (Calibration, error) {
 	c.Mean1 = stats.Mean(c.Samples1)
 	c.Diff = c.Mean1 - c.Mean0
 	c.Threshold, c.TrainAcc = stats.BestThreshold(c.Samples0, c.Samples1)
+	a.met.calDiff.Set(c.Diff)
+	a.met.calThreshold.Set(c.Threshold)
+	a.met.calAccuracy.Set(c.TrainAcc)
 	return c, nil
 }
 
@@ -368,10 +376,12 @@ func (a *Attack) LeakSecretChecked(bits []int, threshold float64, samplesPerBit 
 			if err != nil {
 				return res, err
 			}
+			a.met.thresholdMargin.Observe(math.Abs(float64(lat) - threshold))
 			if float64(lat) >= threshold {
 				ones++
 			}
 		}
+		a.met.bitConfidence.Observe(math.Abs(2*float64(ones)-float64(samplesPerBit)) / float64(samplesPerBit))
 		guess := 0
 		if ones*2 > samplesPerBit {
 			guess = 1

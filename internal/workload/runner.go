@@ -6,6 +6,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/memsys"
 	"repro/internal/noise"
+	"repro/internal/telemetry"
 	"repro/internal/undo"
 )
 
@@ -32,10 +33,30 @@ func Run(w Workload, scheme undo.Scheme, seed int64) RunResult {
 // the core exhausts MaxCycles it returns the partial result plus a
 // *cpu.WatchdogError (errors.Is(err, cpu.ErrWatchdog)).
 func RunChecked(w Workload, scheme undo.Scheme, seed int64) (RunResult, error) {
+	return RunInstrumented(w, scheme, seed, nil, nil)
+}
+
+// RunInstrumented is RunChecked with the freshly built machine bound to
+// a telemetry registry and handed to an observer before execution (both
+// may be nil). The observer hook exists so harness cells can attach
+// their watchdog/flight-recorder post-mortem to a machine the cell
+// never otherwise sees.
+func RunInstrumented(w Workload, scheme undo.Scheme, seed int64,
+	reg *telemetry.Registry, observe func(core *cpu.CPU)) (RunResult, error) {
 	backing := mem.NewMemory()
 	w.Init(backing)
 	hier := memsys.MustNew(memsys.DefaultConfig(seed), backing)
 	core := cpu.MustNew(cpu.DefaultConfig(), hier, branch.New(branch.DefaultConfig()), scheme, noise.None{})
+	if reg != nil {
+		core.SetMetrics(reg)
+		hier.SetMetrics(reg)
+		if ms, ok := scheme.(interface{ SetMetrics(*telemetry.Registry) }); ok {
+			ms.SetMetrics(reg)
+		}
+	}
+	if observe != nil {
+		observe(core)
+	}
 	st, err := core.RunChecked(w.Program)
 	return RunResult{Workload: w.Name, Scheme: scheme.Name(), Stats: st}, err
 }
