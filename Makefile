@@ -1,11 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test bench figures report attack examples fuzz fuzz-selftest harness-smoke telemetry-smoke regen-results clean
+.PHONY: all test lint lint-smoke bench figures report attack examples fuzz fuzz-selftest harness-smoke telemetry-smoke regen-results clean
 
 all: test
 
 test:
 	go build ./... && go vet ./... && go test ./...
+
+# Static analysis gate (see docs/LINTING.md): go vet plus the simlint
+# suite of domain-invariant analyzers (determinism, exhaustive enum
+# switches, nil-safe telemetry handles, typed errors, seed discipline).
+# simlint lives in its own module so the root module stays
+# dependency-free.
+lint:
+	go vet ./...
+	cd tools/simlint && go vet ./... && go test ./...
+	cd tools/simlint && go run . -C ../..
+
+# Prove each analyzer still fires on known-bad fixture code — a guard
+# against an analyzer being silently disabled.
+lint-smoke:
+	./scripts/lint_smoke.sh
 
 test-output:
 	go test -count=1 ./... 2>&1 | tee test_output.txt

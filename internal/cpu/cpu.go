@@ -572,6 +572,9 @@ func (c *CPU) issue() {
 			e.val = c.cycle
 			issued++
 			continue
+		default:
+			// Loads, stores, flushes, branches and ALU ops issue through
+			// the operand path below.
 		}
 		vals, ready := c.operands(i)
 		if !ready {
@@ -667,6 +670,8 @@ func (c *CPU) blockedByOlderStore(i int, addr mem.Addr) bool {
 			if !e.addrResolved || e.addr.SameLine(addr) {
 				return true
 			}
+		default:
+			// Only stores and flushes impose memory ordering on loads.
 		}
 	}
 	return false
@@ -768,8 +773,10 @@ func branchTaken(op isa.Op, a, b uint64) bool {
 		return a == b
 	case isa.OpBranchNE:
 		return a != b
+	default:
+		// Unreachable: callers gate on Op.IsBranch.
+		return false
 	}
-	return false
 }
 
 // alu evaluates an ALU op.
@@ -797,6 +804,8 @@ func alu(inst isa.Inst, vals [2]uint64) uint64 {
 		return vals[0] << uint(inst.Imm)
 	case isa.OpShrI:
 		return vals[0] >> uint(inst.Imm)
+	default:
+		// Non-ALU ops never reach the ALU (issue dispatches them above).
 	}
 	return 0
 }

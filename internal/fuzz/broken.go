@@ -45,8 +45,9 @@ func (in Injection) Wrapper() func(undo.Scheme) undo.Scheme {
 		return func(s undo.Scheme) undo.Scheme { return &skipRollback{Scheme: s} }
 	case InjectGlobalStall:
 		return func(s undo.Scheme) undo.Scheme { return &globalStall{Scheme: s} }
+	default: // InjectNone (and only it: ParseInjection rejects the rest)
+		return nil
 	}
-	return nil
 }
 
 // skipRollback forwards every call to the wrapped scheme but silently

@@ -47,7 +47,7 @@ type progressState struct {
 func (p *progressState) addSweep(jobs, resumed int) {
 	p.mu.Lock()
 	if p.started.IsZero() {
-		p.started = time.Now()
+		p.started = time.Now() //simlint:wallclock progress/ETA is genuine wall time
 	}
 	p.cells += jobs
 	p.resumed += resumed
@@ -78,7 +78,7 @@ func (p *progressState) snapshot() Progress {
 		Retried: p.retried, Resumed: p.resumed, ETAMS: -1,
 	}
 	if !p.started.IsZero() {
-		elapsed := time.Since(p.started)
+		elapsed := time.Since(p.started) //simlint:wallclock progress/ETA is genuine wall time
 		out.ElapsedMS = elapsed.Milliseconds()
 		if p.done > 0 && p.cells > p.done {
 			perCell := elapsed / time.Duration(p.done)

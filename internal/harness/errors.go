@@ -47,8 +47,10 @@ func (c Class) Retryable() bool {
 	switch c {
 	case ClassPanic, ClassTimeout, ClassDeadline, ClassTransient:
 		return true
+	default:
+		// ClassOK never reaches retry; ClassError is deterministic.
+		return false
 	}
-	return false
 }
 
 // Exit-code taxonomy for campaign drivers: a failed campaign exits
@@ -136,6 +138,7 @@ func exitFor(c Class) int {
 		return ExitPanic
 	case ClassTimeout, ClassDeadline:
 		return ExitTimeout
+	default:
+		return ExitError
 	}
-	return ExitError
 }

@@ -470,7 +470,7 @@ func (r *Runner) Sweep(name string, cells []Cell) (*Report, error) {
 
 // runCell drives one cell through its attempt budget.
 func (r *Runner) runCell(id string, index int, c Cell) Outcome {
-	start := time.Now()
+	start := time.Now() //simlint:wallclock per-cell elapsed is genuine wall time
 	maxA := r.cfg.maxAttempts()
 	var te *TrialError
 	var lastSnap *telemetry.Snapshot
@@ -489,7 +489,9 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 			raw, merr := json.Marshal(v)
 			if merr == nil {
 				o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: attempt,
-					Class: ClassOK, Value: raw, Elapsed: time.Since(start), Metrics: snap}
+					Class: ClassOK, Value: raw,
+					Elapsed: time.Since(start), //simlint:wallclock per-cell elapsed is genuine wall time
+					Metrics: snap}
 				r.record(o)
 				r.prog.noteDone(o)
 				return o
@@ -504,7 +506,9 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 		time.Sleep(backoff(r.cfg, c.Seed, attempt))
 	}
 	o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: te.Attempt,
-		Class: te.Class, Err: te, Elapsed: time.Since(start), Metrics: lastSnap}
+		Class: te.Class, Err: te,
+		Elapsed: time.Since(start), //simlint:wallclock per-cell elapsed is genuine wall time
+		Metrics: lastSnap}
 	r.record(o)
 	r.prog.noteDone(o)
 	return o

@@ -94,8 +94,9 @@ func (o Op) IsBranch() bool {
 	switch o {
 	case OpBranchLT, OpBranchGE, OpBranchEQ, OpBranchNE:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // IsMemory reports whether the op touches the data-memory hierarchy.
@@ -103,8 +104,9 @@ func (o Op) IsMemory() bool {
 	switch o {
 	case OpLoad, OpStore, OpFlush:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Inst is one instruction.
@@ -127,8 +129,10 @@ func (i Inst) SrcRegs() []Reg {
 		return []Reg{i.Rs, i.Rt}
 	case OpStore:
 		return []Reg{i.Rs, i.Rt}
+	default:
+		// OpNop, OpFence, OpHalt, OpJmp, OpConst, OpRdTSC read nothing.
+		return nil
 	}
-	return nil
 }
 
 // DstReg returns the register the instruction writes, or (Zero, false).
@@ -140,8 +144,10 @@ func (i Inst) DstReg() (Reg, bool) {
 			return Zero, false
 		}
 		return i.Rd, true
+	default:
+		// Branches, stores, flushes and control ops write no register.
+		return Zero, false
 	}
-	return Zero, false
 }
 
 // String disassembles the instruction.

@@ -167,21 +167,25 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 // that was registered but never set, and a campaign rollup should not
 // let a trial that never measured (e.g. never calibrated) erase one
 // that did. This is how per-trial registries roll up into a campaign
-// registry. Nil-safe.
+// registry. Metrics the registry has not seen yet are registered in
+// sorted-name order, not map-iteration order, so a rolled-up registry
+// encodes identically across runs. Nil-safe.
 func (r *Registry) Absorb(s Snapshot) {
 	if r == nil {
 		return
 	}
-	for name, v := range s.Counters {
-		r.Counter(name, s.Help[name]).Add(v)
+	for _, name := range sortedKeys(s.Counters) {
+		r.Counter(name, s.Help[name]).Add(s.Counters[name])
 	}
-	for name, v := range s.Gauges {
+	for _, name := range sortedKeys(s.Gauges) {
+		v := s.Gauges[name]
 		if v == 0 {
 			continue
 		}
 		r.Gauge(name, s.Help[name]).Set(v)
 	}
-	for name, hs := range s.Histograms {
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
 		h := r.Histogram(name, s.Help[name], hs.Bounds)
 		if h == nil {
 			continue
@@ -230,4 +234,15 @@ func (s Snapshot) Names() []string {
 // Empty reports whether the snapshot holds no metrics at all.
 func (s Snapshot) Empty() bool {
 	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// sortedKeys returns a map's keys in sorted order, giving Absorb a
+// deterministic registration order regardless of map iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -87,6 +87,21 @@ func (k *Checker) Event(ev cpu.TraceEvent) {
 		} else if k.lastSquash.Seq != ev.Seq {
 			k.fail("cleanup for seq %d but last squash was seq %d", ev.Seq, k.lastSquash.Seq)
 		}
+	case cpu.KindResolve:
+		// A branch resolves strictly after its fetch; squashed branches
+		// never resolve (the squash removed anything younger, but the
+		// resolving branch itself must still be live).
+		if k.dead[ev.Seq] {
+			k.fail("squashed seq %d resolved at cycle %d", ev.Seq, ev.Cycle)
+		}
+		if f, ok := k.fetchCycle[ev.Seq]; ok && ev.Cycle < f {
+			k.fail("seq %d resolved at %d before fetch at %d", ev.Seq, ev.Cycle, f)
+		}
+	default:
+		// An event kind the checker does not know is itself an invariant
+		// violation: silently ignoring it would let a new pipeline stage
+		// bypass every check above.
+		k.fail("unknown event kind %q at cycle %d (seq %d)", ev.Kind, ev.Cycle, ev.Seq)
 	}
 }
 

@@ -112,6 +112,15 @@ func WriteChrome(w io.Writer, events []cpu.TraceEvent) error {
 					Args: map[string]any{"seq": ev.Seq},
 				})
 			}
+		default:
+			// An event kind this exporter does not know still shows up in
+			// the viewer as a generic instant marker rather than being
+			// silently dropped from the timeline.
+			instants = append(instants, chromeEvent{
+				Name: fmt.Sprintf("%s pc=%d", ev.Kind, ev.PC), Phase: "i",
+				TS: ev.Cycle, PID: 0, TID: 0, Scope: "t",
+				Args: map[string]any{"seq": ev.Seq, "detail": ev.Detail},
+			})
 		}
 	}
 

@@ -178,6 +178,9 @@ func (b *Buffer) Timeline(n int) string {
 		case cpu.KindRetire:
 			l.ret = ev.Cycle
 			note(ev.Cycle)
+		default:
+			// Resolve, squash and cleanup (and any future kind) carry no
+			// F/I/R gantt mark; Render shows them in full.
 		}
 	})
 	if len(order) == 0 || minCycle > maxCycle {

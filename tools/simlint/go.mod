@@ -1,0 +1,5 @@
+module repro/tools/simlint
+
+go 1.22
+
+toolchain go1.24.0

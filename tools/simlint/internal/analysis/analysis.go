@@ -1,0 +1,133 @@
+// Package analysis is a deliberately small, stdlib-only reimplementation
+// of the golang.org/x/tools/go/analysis surface this repository needs.
+//
+// The sandbox this repo builds in has no module proxy, so x/tools cannot
+// be a dependency; the Analyzer/Pass shapes below match the upstream
+// framework closely enough that the simlint analyzers could be ported to
+// real go/analysis Analyzers by swapping imports. Packages are loaded
+// with full type information by internal/loader (via `go list -export`
+// and the stdlib gc importer), so analyzers get the same types.Info an
+// x/tools pass would.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //simlint:<name> suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant protected.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	// Category is the suppression key: a //simlint:<category> (or
+	// //simlint:<analyzer>) comment on or immediately above the line
+	// silences the diagnostic.
+	Category string
+	Message  string
+}
+
+// String renders the go-vet-style file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s/%s] %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Category, d.Message)
+}
+
+// Reportf records a diagnostic at pos under the given suppression
+// category.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Target is the loaded-package interface the runner consumes; it is
+// satisfied by *loader.Package (kept as an interface so the analysis
+// package has no import cycle with the loader).
+type Target interface {
+	PackagePath() string
+	ASTFiles() []*ast.File
+	FileSet() *token.FileSet
+	TypesPackage() *types.Package
+	Info() *types.Info
+	// SuppressedAt reports whether a //simlint: directive for name is in
+	// force on the given line of the given file.
+	SuppressedAt(file string, line int, name string) bool
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// (non-suppressed) diagnostics sorted by position for deterministic
+// output. Analyzer runtime errors are returned after all packages have
+// been attempted.
+func Run(targets []Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var errs []string
+	for _, tgt := range targets {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      tgt.FileSet(),
+				Files:     tgt.ASTFiles(),
+				PkgPath:   tgt.PackagePath(),
+				Pkg:       tgt.TypesPackage(),
+				TypesInfo: tgt.Info(),
+			}
+			pass.report = func(d Diagnostic) {
+				if tgt.SuppressedAt(d.Pos.Filename, d.Pos.Line, d.Category) ||
+					tgt.SuppressedAt(d.Pos.Filename, d.Pos.Line, d.Analyzer) {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %s: %v", a.Name, tgt.PackagePath(), err))
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if len(errs) > 0 {
+		return diags, fmt.Errorf("analyzer errors:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return diags, nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleePkgFunc resolves a call of the form pkg.Fn(...) to the imported
+// package path and function name, following import renames through the
+// type checker (so `import r "math/rand"; r.Intn(5)` still resolves to
+// ("math/rand", "Intn")). It returns ok=false for method calls, locals,
+// conversions and anything else that is not a package-level function
+// selected off an import.
+func (p *Pass) CalleePkgFunc(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsErrorType reports whether t is the built-in error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ImplementsError reports whether t (or *t) implements the error
+// interface, i.e. it is a concrete or interface error type.
+func ImplementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// ReceiverObject returns the declared receiver variable of a method, or
+// nil for functions and anonymous receivers.
+func (p *Pass) ReceiverObject(fn *ast.FuncDecl) *types.Var {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	id := fn.Recv.List[0].Names[0]
+	if id.Name == "_" {
+		return nil
+	}
+	v, _ := p.TypesInfo.Defs[id].(*types.Var)
+	return v
+}
+
+// UsesObject reports whether expr is an identifier resolving to obj.
+func (p *Pass) UsesObject(expr ast.Expr, obj types.Object) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok || obj == nil {
+		return false
+	}
+	return p.TypesInfo.Uses[id] == obj
+}
+
+// TypeOf returns the type of expr, or nil when untyped.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	return p.TypesInfo.Types[expr].Type
+}
+
+// IsConstExpr reports whether expr has a compile-time constant value.
+func (p *Pass) IsConstExpr(expr ast.Expr) bool {
+	return p.TypesInfo.Types[expr].Value != nil
+}

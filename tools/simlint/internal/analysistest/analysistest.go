@@ -1,0 +1,172 @@
+// Package analysistest runs one analyzer over fixture packages and
+// compares its diagnostics against `// want "regexp"` comments, the
+// same convention as golang.org/x/tools/go/analysis/analysistest. A
+// line may carry several want strings; every diagnostic on a line must
+// match one want and every want must be matched by exactly one
+// diagnostic. Fixture packages live in a self-contained module (see
+// testdata/src/go.mod) so the loader can build real type information
+// for them.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/tools/simlint/internal/analysis"
+	"repro/tools/simlint/internal/loader"
+)
+
+var (
+	loadMu    sync.Mutex
+	loadCache = map[string][]*loader.Package{}
+)
+
+// DefaultModule locates the shared fixture module testdata/src relative
+// to the simlint module root (found from this source file's location).
+func DefaultModule() string {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		return filepath.Join("testdata", "src")
+	}
+	// .../tools/simlint/internal/analysistest/analysistest.go -> module root
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+	return filepath.Join(root, "testdata", "src")
+}
+
+// Run loads the fixture module at moduleDir, selects the packages whose
+// import paths match patterns (exact path or prefix/... wildcard), runs
+// the analyzer, and reports mismatches against want comments on t.
+func Run(t *testing.T, moduleDir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs := loadModule(t, moduleDir)
+	selected := selectPackages(pkgs, patterns)
+	if len(selected) == 0 {
+		t.Fatalf("no fixture packages match %v", patterns)
+	}
+	targets := make([]analysis.Target, len(selected))
+	for i, p := range selected {
+		targets[i] = p
+	}
+	diags, err := analysis.Run(targets, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, a, selected, diags)
+}
+
+func loadModule(t *testing.T, moduleDir string) []*loader.Package {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if pkgs, ok := loadCache[moduleDir]; ok {
+		return pkgs
+	}
+	pkgs, err := loader.Load(moduleDir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures in %s: %v", moduleDir, err)
+	}
+	loadCache[moduleDir] = pkgs
+	return pkgs
+}
+
+func selectPackages(pkgs []*loader.Package, patterns []string) []*loader.Package {
+	var out []*loader.Package
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			if matchPattern(p.PkgPath, pat) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(path, pattern string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return path == pattern || strings.HasSuffix(path, "/"+pattern)
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (("[^"]*"\s*)+)$`)
+
+func checkWants(t *testing.T, a *analysis.Analyzer, pkgs []*loader.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, p := range pkgs {
+		for _, f := range p.Syntax {
+			wants = append(wants, collectWants(t, p.Fset, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: [%s/%s] %s",
+				posKey(d.Pos.Filename, d.Pos.Line), d.Analyzer, d.Category, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no %s diagnostic matched want %q", posKey(w.file, w.line), a.Name, w.raw)
+		}
+	}
+}
+
+// collectWants scans a file's comments for want expectations.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, q := range regexp.MustCompile(`"[^"]*"`).FindAllString(m[1], -1) {
+				raw, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want string %s: %v", posKey(pos.Filename, pos.Line), q, err)
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", posKey(pos.Filename, pos.Line), raw, err)
+				}
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+			}
+		}
+	}
+	return out
+}
+
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+}

@@ -1,0 +1,22 @@
+// Package analyzers registers the simlint analyzer suite.
+package analyzers
+
+import (
+	"repro/tools/simlint/internal/analysis"
+	"repro/tools/simlint/internal/analyzers/determinism"
+	"repro/tools/simlint/internal/analyzers/exhaustive"
+	"repro/tools/simlint/internal/analyzers/nilmetrics"
+	"repro/tools/simlint/internal/analyzers/seedflow"
+	"repro/tools/simlint/internal/analyzers/typederr"
+)
+
+// All returns every simlint analyzer in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		exhaustive.Analyzer,
+		nilmetrics.Analyzer,
+		seedflow.Analyzer,
+		typederr.Analyzer,
+	}
+}

@@ -1,0 +1,19 @@
+package determinism
+
+import (
+	"testing"
+
+	"repro/tools/simlint/internal/analysistest"
+)
+
+func TestBadFixtureFires(t *testing.T) {
+	analysistest.Run(t, analysistest.DefaultModule(), Analyzer, "fixtures/determinism/bad")
+}
+
+func TestCleanFixtureSilent(t *testing.T) {
+	analysistest.Run(t, analysistest.DefaultModule(), Analyzer, "fixtures/determinism/clean")
+}
+
+func TestWallclockSuppression(t *testing.T) {
+	analysistest.Run(t, analysistest.DefaultModule(), Analyzer, "fixtures/determinism/allow")
+}

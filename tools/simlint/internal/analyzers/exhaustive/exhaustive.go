@@ -1,0 +1,124 @@
+// Package exhaustive requires switches over the repository's enum-like
+// constant sets — cpu.Kind*, undo cleanup/constant-time modes, cache
+// coherence states, isa.Op*, the harness outcome taxonomy — to either
+// cover every member or carry a deliberate default arm. A silently
+// missing arm is how a new event kind or failure class slips past the
+// covert-channel measurements unmeasured.
+//
+// An enum type is any defined (non-alias) named type with an integer or
+// string underlying type for which the defining package declares at
+// least two constants of exactly that type.
+package exhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/tools/simlint/internal/analysis"
+)
+
+// Analyzer is the exhaustive-switch check.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over enum-like constant sets must cover every member " +
+		"or carry a deliberate default arm",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok && sw.Tag != nil {
+				checkSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// member is one enum constant: its declared name and exact value.
+type member struct {
+	name  string
+	value string
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypeOf(sw.Tag)
+	members, typeName := enumMembers(tagType)
+	if len(members) < 2 {
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default arm: deliberate, accepted
+		}
+		for _, e := range cc.List {
+			tv := pass.TypesInfo.Types[e]
+			if tv.Value == nil {
+				return // dynamic case expression: cannot reason, skip
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	seen := map[string]bool{}
+	for _, m := range members {
+		if !covered[m.value] && !seen[m.value] {
+			missing = append(missing, m.name)
+			seen[m.value] = true
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "exhaustive",
+		"switch on %s is not exhaustive: missing %s (add the cases or a deliberate default arm)",
+		typeName, strings.Join(missing, ", "))
+}
+
+// enumMembers returns the constants of t's defining package whose type
+// is exactly t, when t qualifies as an enum type.
+func enumMembers(t types.Type) ([]member, string) {
+	if t == nil {
+		return nil, ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 || basic.Kind() == types.Bool {
+		return nil, ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil, ""
+	}
+	scope := obj.Pkg().Scope()
+	var members []member
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		members = append(members, member{name: name, value: c.Val().ExactString()})
+	}
+	typeName := obj.Name()
+	if obj.Pkg() != nil {
+		typeName = fmt.Sprintf("%s.%s", obj.Pkg().Name(), obj.Name())
+	}
+	return members, typeName
+}

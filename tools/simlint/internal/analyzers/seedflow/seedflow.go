@@ -1,0 +1,112 @@
+// Package seedflow catches double-seeding bugs: a function that already
+// receives its randomness — a `seed int64` parameter or a *rand.Rand —
+// must not construct a second generator from a literal seed. Such a
+// generator is deaf to the trial seed, so the run replays differently
+// from what the harness journal recorded, which breaks -resume and
+// makes fuzz witnesses unreproducible.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/tools/simlint/internal/analysis"
+)
+
+// Analyzer is the double-seeding check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "seeded functions (seed int64 / *rand.Rand parameters) must not " +
+		"construct a second RNG from a literal seed",
+	Run: run,
+}
+
+// rngConstructors are math/rand (v1 and v2) source constructors whose
+// all-literal arguments indicate a hard-coded seed.
+var rngConstructors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			if param := seededParam(pass, fn); param != "" {
+				checkBody(pass, fn, param)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seededParam returns the name of the parameter that makes fn a seeded
+// function: an integer parameter whose name contains "seed", or a
+// parameter of type *math/rand.Rand (v1 or v2).
+func seededParam(pass *analysis.Pass, fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if isRandRand(obj.Type()) {
+				return name.Name
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok &&
+				b.Info()&types.IsInteger != 0 &&
+				strings.Contains(strings.ToLower(name.Name), "seed") {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isRandRand(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	return (pkg == "math/rand" || pkg == "math/rand/v2") && named.Obj().Name() == "Rand"
+}
+
+// checkBody flags rand source constructors whose arguments are all
+// compile-time constants — a literal seed that ignores the one the
+// caller already threaded in.
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl, param string) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pass.CalleePkgFunc(call)
+		if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") || !rngConstructors[name] {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		for _, arg := range call.Args {
+			if !pass.IsConstExpr(arg) {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "seedflow",
+			"rand.%s with a literal seed inside a function already seeded via %q decouples replay from the journal; derive the source from %q",
+			name, param, param)
+		return true
+	})
+}

@@ -1,0 +1,15 @@
+package seedflow
+
+import (
+	"testing"
+
+	"repro/tools/simlint/internal/analysistest"
+)
+
+func TestBadFixtureFires(t *testing.T) {
+	analysistest.Run(t, analysistest.DefaultModule(), Analyzer, "fixtures/seedflow/bad")
+}
+
+func TestCleanFixtureSilent(t *testing.T) {
+	analysistest.Run(t, analysistest.DefaultModule(), Analyzer, "fixtures/seedflow/clean")
+}

@@ -1,0 +1,134 @@
+// Package typederr enforces that typed errors — *harness.WatchdogError,
+// cpu.ErrWatchdog, the trial-failure taxonomy — are matched through
+// errors.Is / errors.As, never by type assertion, type switch, sentinel
+// identity (==), or Error()-string matching. The harness wraps every
+// trial error with cell/attempt context, so anything but the errors
+// helpers silently stops matching the moment a wrap is added.
+package typederr
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/tools/simlint/internal/analysis"
+)
+
+// Analyzer is the typed-error-matching check.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "match typed errors with errors.Is/errors.As, not type " +
+		"assertions, type switches, == identity, or Error() strings",
+	Run: run,
+}
+
+// stringMatchFuncs are strings-package helpers that, applied to
+// err.Error(), amount to matching an error by message text.
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true, "EqualFold": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeAssertExpr:
+				checkAssert(pass, n)
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, n)
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssert flags err.(T) when err is the error interface. (Type
+// switches reach here with Type==nil and are handled separately.)
+func checkAssert(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return
+	}
+	if analysis.IsErrorType(pass.TypeOf(ta.X)) {
+		pass.Reportf(ta.Pos(), "typederr",
+			"type assertion on an error value misses wrapped errors; use errors.As")
+	}
+}
+
+func checkTypeSwitch(pass *analysis.Pass, ts *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	}
+	if x != nil && analysis.IsErrorType(pass.TypeOf(x)) {
+		pass.Reportf(ts.Pos(), "typederr",
+			"type switch on an error value misses wrapped errors; use errors.As")
+	}
+}
+
+// checkComparison flags two patterns: sentinel identity (err == ErrX,
+// where neither side is nil) and message matching
+// (err.Error() == "...").
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isErrorString(pass, be.X) || isErrorString(pass, be.Y) {
+		pass.Reportf(be.Pos(), "typederr",
+			"matching an error by its Error() string is fragile; use errors.Is against a sentinel")
+		return
+	}
+	xNil := pass.TypesInfo.Types[be.X].IsNil()
+	yNil := pass.TypesInfo.Types[be.Y].IsNil()
+	if xNil || yNil {
+		return // err == nil is the one legitimate identity check
+	}
+	if analysis.IsErrorType(pass.TypeOf(be.X)) && analysis.IsErrorType(pass.TypeOf(be.Y)) {
+		pass.Reportf(be.Pos(), "typederr",
+			"comparing errors with %s misses wrapped errors; use errors.Is", be.Op)
+	}
+}
+
+// checkStringMatch flags strings.Contains(err.Error(), ...) and
+// friends.
+func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name, ok := pass.CalleePkgFunc(call)
+	if !ok || pkg != "strings" || !stringMatchFuncs[name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorString(pass, arg) {
+			pass.Reportf(call.Pos(), "typederr",
+				"strings.%s on err.Error() matches by message text; use errors.Is/errors.As", name)
+			return
+		}
+	}
+}
+
+// isErrorString reports whether e is a call of the Error() method on a
+// value that is (or implements) error — interface or concrete typed
+// error alike.
+func isErrorString(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	return analysis.IsErrorType(t) || analysis.ImplementsError(t)
+}

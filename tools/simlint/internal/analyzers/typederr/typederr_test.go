@@ -1,0 +1,15 @@
+package typederr
+
+import (
+	"testing"
+
+	"repro/tools/simlint/internal/analysistest"
+)
+
+func TestBadFixtureFires(t *testing.T) {
+	analysistest.Run(t, analysistest.DefaultModule(), Analyzer, "fixtures/typederr/bad")
+}
+
+func TestCleanFixtureSilent(t *testing.T) {
+	analysistest.Run(t, analysistest.DefaultModule(), Analyzer, "fixtures/typederr/clean")
+}

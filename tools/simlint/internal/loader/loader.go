@@ -1,0 +1,231 @@
+// Package loader loads and type-checks Go packages without depending on
+// golang.org/x/tools. It shells out to `go list -deps -export -json`
+// for package metadata and compiled export data (reusing the Go build
+// cache), parses each target package's sources with comments, and
+// type-checks them with the stdlib gc importer reading the export data
+// of dependencies. The result carries everything an analysis pass
+// needs: syntax, full types.Info, and the //simlint: suppression
+// directives found in comments.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment: //simlint:<name>
+// silences diagnostics of that analyzer or category on the same line,
+// or — for a comment alone on its line — on the next line.
+const DirectivePrefix = "//simlint:"
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	GoFiles   []string // absolute paths, build-constraint filtered, no tests
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// directives maps filename -> line -> suppression names in force on
+	// that line (including names declared on the preceding comment-only
+	// line).
+	directives map[string]map[int][]string
+}
+
+// PackagePath implements analysis.Target.
+func (p *Package) PackagePath() string { return p.PkgPath }
+
+// ASTFiles implements analysis.Target.
+func (p *Package) ASTFiles() []*ast.File { return p.Syntax }
+
+// FileSet implements analysis.Target.
+func (p *Package) FileSet() *token.FileSet { return p.Fset }
+
+// TypesPackage implements analysis.Target.
+func (p *Package) TypesPackage() *types.Package { return p.Types }
+
+// Info implements analysis.Target.
+func (p *Package) Info() *types.Info { return p.TypesInfo }
+
+// SuppressedAt implements analysis.Target.
+func (p *Package) SuppressedAt(file string, line int, name string) bool {
+	for _, n := range p.directives[file][line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a module root or any directory inside
+// one), builds export data for the dependency graph, and type-checks
+// every matched package from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	conf := types.Config{Importer: imp}
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		p := &Package{
+			PkgPath:    lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			directives: map[string]map[int][]string{},
+		}
+		for _, f := range lp.GoFiles {
+			abs := filepath.Join(lp.Dir, f)
+			af, err := parser.ParseFile(fset, abs, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", abs, err)
+			}
+			p.GoFiles = append(p.GoFiles, abs)
+			p.Syntax = append(p.Syntax, af)
+			p.directives[abs] = scanDirectives(fset, af)
+		}
+		p.TypesInfo = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		tp, err := conf.Check(lp.ImportPath, fset, p.Syntax, p.TypesInfo)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		p.Types = tp
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// scanDirectives extracts //simlint:<name> suppressions from a file's
+// comments. A directive suppresses its own line; a comment group that
+// stands alone (its line holds no other tokens, which is how Go
+// attaches doc-style comments) also suppresses the line immediately
+// after the group.
+func scanDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, DirectivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, DirectivePrefix)
+			// Accept both "//simlint:wallclock reason..." and
+			// "//simlint:ignore wallclock reason..." spellings.
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			name := fields[0]
+			if name == "ignore" {
+				if len(fields) < 2 {
+					continue
+				}
+				name = fields[1]
+			}
+			pos := fset.Position(c.Pos())
+			out[pos.Line] = append(out[pos.Line], name)
+			if pos.Column == 1 || startsLine(fset, f, c.Pos()) {
+				out[pos.Line+1] = append(out[pos.Line+1], name)
+			}
+		}
+	}
+	return out
+}
+
+// startsLine reports whether the comment at pos is the first token on
+// its line, i.e. a standalone directive that should cover the next
+// line. Comments trailing code share the line with earlier tokens, so
+// any declaration or statement beginning on the same line disqualifies.
+func startsLine(fset *token.FileSet, f *ast.File, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if p := fset.Position(n.Pos()); p.Line == line && n.Pos() < pos {
+			if _, isFile := n.(*ast.File); !isFile {
+				first = false
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}

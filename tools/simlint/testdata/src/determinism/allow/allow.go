@@ -1,0 +1,17 @@
+// Package allow proves the //simlint:wallclock allowlist: these are
+// "genuine" wall-clock uses (harness-style deadlines), annotated, so
+// the analyzer must stay silent.
+package allow
+
+import "time"
+
+// Deadline is harness-style wall-clock timing, deliberately allowed.
+func Deadline() time.Time {
+	return time.Now().Add(time.Second) //simlint:wallclock trial deadline is real time
+}
+
+// Elapsed shows the standalone-comment form covering the next line.
+func Elapsed(t0 time.Time) time.Duration {
+	//simlint:wallclock progress reporting is real time
+	return time.Since(t0)
+}

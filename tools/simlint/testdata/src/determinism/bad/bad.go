@@ -1,0 +1,63 @@
+// Package bad is a deliberately nondeterministic fixture: every
+// construct here must trip the determinism analyzer.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+)
+
+// Stamp reads the wall clock mid-simulation.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "reads the wall clock"
+}
+
+// Elapsed also reads the wall clock, via Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "reads the wall clock"
+}
+
+// Jitter uses the global generator, decoupling the run from its seed.
+func Jitter() int {
+	return rand.Intn(8) // want "global generator"
+}
+
+// Reseed mutates the global generator.
+func Reseed() {
+	rand.Seed(42) // want "global generator"
+}
+
+// EmitCSV lets map iteration order reach the output stream.
+func EmitCSV(cells map[string]float64) {
+	for k, v := range cells { // want "escapes through fmt.Fprintf"
+		fmt.Fprintf(os.Stdout, "%s,%g\n", k, v)
+	}
+}
+
+// Collect appends map keys to a slice that is never sorted.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "escapes into .out."
+		out = append(out, k)
+	}
+	return out
+}
+
+// Build writes map entries into a string builder in iteration order.
+func Build(m map[int]string) string {
+	var sb strings.Builder
+	for _, v := range m { // want "escapes through WriteString"
+		sb.WriteString(v)
+	}
+	return sb.String()
+}
+
+// Stream sends map values down a channel in iteration order.
+func Stream(m map[int]int, ch chan<- int) {
+	for _, v := range m { // want "escapes through a channel send"
+		ch <- v
+	}
+}

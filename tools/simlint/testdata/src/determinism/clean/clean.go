@@ -1,0 +1,51 @@
+// Package clean exercises the legal counterparts of everything the
+// determinism analyzer forbids; it must produce zero diagnostics.
+package clean
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// Jitter threads a seeded generator instead of the global one.
+func Jitter(rng *rand.Rand) int {
+	return rng.Intn(8)
+}
+
+// NewRNG builds the generator from the caller's seed.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// EmitCSV iterates sorted keys, so output order is a pure function of
+// the data.
+func EmitCSV(cells map[string]float64) {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(os.Stdout, "%s,%g\n", k, cells[k])
+	}
+}
+
+// Total aggregates over a map; order cannot escape a commutative sum.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Invert copies a map into a map; no order-sensitive sink involved.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package bad holds switches that silently miss enum members; every
+// switch here must trip the exhaustive analyzer.
+package bad
+
+// Kind mirrors the cpu.Kind event taxonomy: a defined string type with
+// a package-level constant set.
+type Kind string
+
+// The event kinds.
+const (
+	KindFetch  Kind = "fetch"
+	KindIssue  Kind = "issue"
+	KindRetire Kind = "retire"
+	KindSquash Kind = "squash"
+)
+
+// Class mirrors the harness outcome taxonomy as an int enum.
+type Class int
+
+// The outcome classes.
+const (
+	ClassOK Class = iota
+	ClassPanic
+	ClassTimeout
+)
+
+// Describe misses KindSquash and has no default arm.
+func Describe(k Kind) string {
+	switch k { // want "missing KindSquash"
+	case KindFetch:
+		return "fetch"
+	case KindIssue:
+		return "issue"
+	case KindRetire:
+		return "retire"
+	}
+	return ""
+}
+
+// Retryable misses two members of the int enum.
+func Retryable(c Class) bool {
+	switch c { // want "missing ClassPanic, ClassTimeout"
+	case ClassOK:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+// Package clean holds switches the exhaustive analyzer must accept:
+// full coverage, deliberate defaults, and non-enum tags.
+package clean
+
+// State is a small coherence-style enum.
+type State int
+
+// The states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+// Name covers every member: exhaustive without a default.
+func Name(s State) string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Deliberate carries a default arm instead of full coverage.
+func Deliberate(s State) bool {
+	switch s {
+	case Modified:
+		return true
+	default:
+		return false
+	}
+}
+
+// NotEnum switches over a plain int; no constant set, no requirement.
+func NotEnum(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}
+
+// Dynamic has a non-constant case, so the analyzer cannot (and must
+// not) reason about coverage.
+func Dynamic(s, other State) bool {
+	switch s {
+	case other:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+// Package telemetry (fixture) breaks the nil-safe handle contract:
+// exported pointer-receiver methods touch fields before guarding the
+// receiver, so a detached handle would panic instead of no-opping.
+package telemetry
+
+// Counter is a handle type whose nil value must be a free no-op.
+type Counter struct {
+	v uint64
+}
+
+// Inc forgets the nil guard entirely.
+func (c *Counter) Inc() { // want "without a nil-receiver guard"
+	c.v++
+}
+
+// Add guards too late: the field access precedes the check.
+func (c *Counter) Add(n uint64) { // want "without a nil-receiver guard"
+	c.v += n
+	if c == nil {
+		return
+	}
+}
+
+// Value is correct and must not be flagged.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}

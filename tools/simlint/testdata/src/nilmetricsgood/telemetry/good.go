@@ -1,0 +1,43 @@
+// Package telemetry (fixture) keeps the nil-safe handle contract; the
+// nilmetrics analyzer must stay silent.
+package telemetry
+
+// Gauge is a handle type whose nil value is a free no-op.
+type Gauge struct {
+	bits uint64
+}
+
+// Set guards before the field store.
+func (g *Gauge) Set(v uint64) {
+	if g == nil {
+		return
+	}
+	g.bits = v
+}
+
+// Value uses the inverted guard form.
+func (g *Gauge) Value() uint64 {
+	if g != nil {
+		return g.bits
+	}
+	return 0
+}
+
+// Reset delegates to a guarded method; calling through the receiver
+// without touching fields is fine.
+func (g *Gauge) Reset() {
+	g.Set(0)
+}
+
+// observe is unexported: helpers behind the guard are exempt.
+func (g *Gauge) observe(v uint64) {
+	g.bits += v
+}
+
+// String has a value receiver; it cannot be called on nil.
+func (g Gauge) String() string {
+	if g.bits == 0 {
+		return "0"
+	}
+	return "nonzero"
+}

@@ -1,0 +1,25 @@
+// Package bad double-seeds: functions that already receive their
+// randomness construct second generators from literal seeds.
+package bad
+
+import "math/rand"
+
+// Run takes the trial seed but hard-codes another one, so replay from
+// the journal diverges.
+func Run(seed int64) int {
+	rng := rand.New(rand.NewSource(42)) // want "literal seed"
+	return rng.Intn(10)
+}
+
+// Perturb receives a seeded generator and builds a rival anyway.
+func Perturb(rng *rand.Rand) int {
+	other := rand.New(rand.NewSource(7)) // want "literal seed"
+	return rng.Intn(10) + other.Intn(10)
+}
+
+// Derive hides the literal behind arithmetic; still a compile-time
+// constant, still deaf to the trial seed.
+func Derive(seed int64) int64 {
+	src := rand.NewSource(1000 + 24) // want "literal seed"
+	return src.Int63()
+}

@@ -1,0 +1,24 @@
+// Package clean threads seeds correctly; the seedflow analyzer must
+// stay silent.
+package clean
+
+import "math/rand"
+
+// Run derives its generator from the trial seed.
+func Run(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Fork derives a sub-generator from the parent stream.
+func Fork(rng *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Int63()))
+}
+
+// Fixture has no seed parameter: a fixed generator in test scaffolding
+// or a default is out of seedflow's scope (determinism's rand check
+// still governs the global source).
+func Fixture() int {
+	rng := rand.New(rand.NewSource(99))
+	return rng.Intn(10)
+}

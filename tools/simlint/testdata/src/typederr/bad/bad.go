@@ -1,0 +1,52 @@
+// Package bad matches typed errors every way the typederr analyzer
+// forbids.
+package bad
+
+import (
+	"errors"
+	"strings"
+)
+
+// WatchdogError mirrors the harness's typed error.
+type WatchdogError struct {
+	Cycles int
+}
+
+// Error implements error.
+func (e *WatchdogError) Error() string { return "watchdog" }
+
+// ErrBudget is a sentinel.
+var ErrBudget = errors.New("budget exhausted")
+
+// Assert matches by type assertion instead of errors.As.
+func Assert(err error) int {
+	if we, ok := err.(*WatchdogError); ok { // want "use errors.As"
+		return we.Cycles
+	}
+	return 0
+}
+
+// Switch matches by type switch instead of errors.As.
+func Switch(err error) string {
+	switch err.(type) { // want "use errors.As"
+	case *WatchdogError:
+		return "watchdog"
+	default:
+		return "other"
+	}
+}
+
+// Identity compares sentinels with == instead of errors.Is.
+func Identity(err error) bool {
+	return err == ErrBudget // want "use errors.Is"
+}
+
+// Message matches by Error() string equality.
+func Message(err error) bool {
+	return err.Error() == "budget exhausted" // want "errors.Is"
+}
+
+// Contains matches by Error() substring.
+func Contains(err error) bool {
+	return strings.Contains(err.Error(), "watchdog") // want "errors.Is/errors.As"
+}

@@ -1,0 +1,41 @@
+// Package clean matches typed errors the sanctioned way; the typederr
+// analyzer must stay silent.
+package clean
+
+import "errors"
+
+// WatchdogError mirrors the harness's typed error.
+type WatchdogError struct {
+	Cycles int
+}
+
+// Error implements error.
+func (e *WatchdogError) Error() string { return "watchdog" }
+
+// ErrBudget is a sentinel.
+var ErrBudget = errors.New("budget exhausted")
+
+// As unwraps through the chain.
+func As(err error) int {
+	var we *WatchdogError
+	if errors.As(err, &we) {
+		return we.Cycles
+	}
+	return 0
+}
+
+// Is matches the sentinel through wraps.
+func Is(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+// NilCheck is the one legitimate identity comparison.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// NonError type assertions are out of scope.
+func NonError(v interface{}) (int, bool) {
+	n, ok := v.(int)
+	return n, ok
+}
