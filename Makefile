@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test lint lint-smoke bench figures report attack examples fuzz fuzz-selftest harness-smoke telemetry-smoke regen-results clean
+.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest harness-smoke telemetry-smoke regen-results clean
 
 all: test
 
@@ -27,6 +27,17 @@ test-output:
 
 bench:
 	go test -bench=. -benchmem -count=1 ./... 2>&1 | tee bench_output.txt
+
+# Benchmark-regression harness (docs/PERFORMANCE.md): snapshot the full
+# suite at a fixed -benchtime into a BENCH_*.json, and compare a fresh
+# snapshot against the committed baseline — failing on >10% regression
+# of sim-throughput metrics (sim-cycles/s, samples/s, raw-speed ops/s).
+bench-snapshot:
+	./scripts/bench_snapshot.sh
+
+bench-check:
+	./scripts/bench_snapshot.sh /tmp/bench-check.json
+	./scripts/bench_diff BENCH_5.json /tmp/bench-check.json
 
 figures:
 	go run ./cmd/figures -out results
@@ -77,4 +88,4 @@ regen-results:
 # Scratch outputs only: results/*.csv are version-controlled goldens
 # regenerated via `make regen-results`, never deleted here.
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_5.txt

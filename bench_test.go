@@ -257,7 +257,8 @@ func BenchmarkAblationFenceRemoval(b *testing.B) {
 	// With the fence (the real attack), back-to-back secret-0
 	// measurements are identical; the metric reports the spread.
 	a := unxpec.MustNew(unxpec.Options{Seed: 1})
-	var lats []float64
+	lats := make([]float64, 0, b.N)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lats = append(lats, float64(a.MeasureOnce(0)))
 	}

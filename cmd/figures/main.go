@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
@@ -66,6 +67,7 @@ func main() {
 	if *metrics != "" || *debugAddr != "" {
 		registry = telemetry.NewRegistry()
 	}
+	campaignStart := time.Now() //simlint:wallclock campaign throughput is genuine wall time
 	runner, err := harness.New(harness.Config{
 		Workers:      *jobs,
 		MaxAttempts:  *retries,
@@ -350,6 +352,21 @@ func main() {
 		}
 	}
 
+	// Wall-clock throughput: simulated cycles per second across the whole
+	// campaign, from the cpu_cycles_total rollup. Printed in the summary
+	// and recorded as a gauge in the -metrics file, so BENCH-style
+	// throughput trajectories are recoverable from campaign journals
+	// (docs/PERFORMANCE.md).
+	if registry != nil {
+		elapsed := time.Since(campaignStart).Seconds() //simlint:wallclock campaign throughput is genuine wall time
+		cycles := registry.Counter("cpu_cycles_total", "simulated cycles advanced, including fast-forwarded ones").Value()
+		if cycles > 0 && elapsed > 0 {
+			rate := float64(cycles) / elapsed
+			registry.Gauge("campaign_sim_cycles_per_s", "simulated cycles per wall-clock second over the campaign").Set(rate)
+			fmt.Printf("  campaign: %d simulated cycles in %.1fs wall — %.3g cycles/s\n",
+				cycles, elapsed, rate)
+		}
+	}
 	if *metrics != "" {
 		if err := writeMetrics(*metrics, registry); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)

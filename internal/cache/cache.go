@@ -146,6 +146,13 @@ type Cache struct {
 	sets   [][]Line
 	stats  Stats
 	met    cacheMetrics
+	// allWays lists every way once, the unpartitioned fill-candidate
+	// set; candBuf/validBuf are reused per Fill so the hot path does not
+	// allocate. Callers of fillCandidates treat the result as read-only
+	// and never retain it across fills.
+	allWays  []int
+	candBuf  []int
+	validBuf []int
 }
 
 // New builds a cache from cfg, panicking on invalid structural
@@ -170,6 +177,12 @@ func New(cfg Config) *Cache {
 	for s := range c.sets {
 		c.sets[s] = make([]Line, cfg.Ways)
 	}
+	c.allWays = make([]int, cfg.Ways)
+	for i := range c.allWays {
+		c.allWays[i] = i
+	}
+	c.candBuf = make([]int, 0, cfg.Ways)
+	c.validBuf = make([]int, 0, cfg.Ways)
 	return c
 }
 
@@ -181,6 +194,23 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters (state is untouched).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Reset returns the cache to its just-constructed state: every line
+// invalid, counters zeroed, and the replacement policy's metadata (and
+// seeded RNG stream, for random replacement) restarted. Existing
+// backing arrays are reused, so trial loops can recycle a cache without
+// reallocating it.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = Line{}
+		}
+	}
+	c.stats = Stats{}
+	if r, ok := c.policy.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
 
 // setIndex maps a line address through the configured index mapper.
 func (c *Cache) setIndex(line mem.Addr) uint64 {
@@ -236,11 +266,7 @@ func (c *Cache) Lookup(addr mem.Addr) (hit bool) {
 // fillCandidates returns the ways agent may fill under partitioning.
 func (c *Cache) fillCandidates(agent int) []int {
 	if c.cfg.PartitionWays == 0 {
-		all := make([]int, c.cfg.Ways)
-		for i := range all {
-			all[i] = i
-		}
-		return all
+		return c.allWays
 	}
 	lo := agent * c.cfg.PartitionWays
 	hi := lo + c.cfg.PartitionWays
@@ -248,10 +274,11 @@ func (c *Cache) fillCandidates(agent int) []int {
 		// Agents beyond the partition count share the last slice.
 		lo, hi = c.cfg.Ways-c.cfg.PartitionWays, c.cfg.Ways
 	}
-	cand := make([]int, 0, hi-lo)
+	cand := c.candBuf[:0]
 	for w := lo; w < hi; w++ {
 		cand = append(cand, w)
 	}
+	c.candBuf = cand
 	return cand
 }
 
@@ -273,7 +300,7 @@ func (c *Cache) Fill(addr mem.Addr, agent int, speculative bool, epoch uint64) (
 		}
 	}
 	if victim < 0 {
-		valid := make([]int, 0, len(cand))
+		valid := c.validBuf[:0]
 		for _, w := range cand {
 			if c.sets[set][w].Valid() {
 				valid = append(valid, w)

@@ -30,6 +30,9 @@ type MSHREntry struct {
 type MSHRFile struct {
 	capacity int
 	entries  []MSHREntry
+	// doneBuf backs Complete's return value; reused across calls so the
+	// per-cycle tick never allocates.
+	doneBuf []MSHREntry
 	// stats
 	allocs      uint64
 	stallEvents uint64
@@ -69,9 +72,11 @@ func (m *MSHRFile) Allocate(e MSHREntry) bool {
 }
 
 // Complete removes entries whose FillCycle is at or before now,
-// returning them. The hierarchy calls this each cycle boundary.
+// returning them. The hierarchy calls this each cycle boundary. The
+// returned slice is reused by the next Complete call; callers that
+// retain it must copy.
 func (m *MSHRFile) Complete(now uint64) []MSHREntry {
-	var done []MSHREntry
+	done := m.doneBuf[:0]
 	kept := m.entries[:0]
 	for _, e := range m.entries {
 		if e.FillCycle <= now {
@@ -81,7 +86,25 @@ func (m *MSHRFile) Complete(now uint64) []MSHREntry {
 		}
 	}
 	m.entries = kept
+	m.doneBuf = done
 	return done
+}
+
+// NextFill returns the earliest FillCycle strictly after now among the
+// in-flight entries, and whether any such entry exists. This is the
+// MSHR half of the idle-cycle fast-forward contract: between now and
+// the returned cycle, ticking the file is a no-op.
+func (m *MSHRFile) NextFill(now uint64) (uint64, bool) {
+	var best uint64
+	found := false
+	for i := range m.entries {
+		fc := m.entries[i].FillCycle
+		if fc > now && (!found || fc < best) {
+			best = fc
+			found = true
+		}
+	}
+	return best, found
 }
 
 // CleanSpeculative removes all speculative entries with epoch >= epoch

@@ -44,6 +44,13 @@ func NewLRU(sets, ways int) ReplacementPolicy {
 
 func (p *lruPolicy) Name() string { return "lru" }
 
+// Reset clears all recency metadata (Cache.Reset calls this).
+func (p *lruPolicy) Reset() {
+	for s := range p.order {
+		p.order[s] = p.order[s][:0]
+	}
+}
+
 func (p *lruPolicy) touch(set, way int) {
 	q := p.order[set]
 	for i, w := range q {
@@ -95,16 +102,21 @@ func (p *lruPolicy) Victim(set int, candidates []int) int {
 // randomPolicy picks a uniformly random victim using a seeded source, as
 // CleanupSpec requires for the protected L1.
 type randomPolicy struct {
-	rng *rand.Rand
+	seed int64
+	rng  *rand.Rand
 }
 
 // NewRandom returns a random-replacement policy seeded deterministically
 // so simulations are reproducible.
 func NewRandom(seed int64) ReplacementPolicy {
-	return &randomPolicy{rng: rand.New(rand.NewSource(seed))}
+	return &randomPolicy{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
-func (p *randomPolicy) Name() string              { return "random" }
+func (p *randomPolicy) Name() string { return "random" }
+
+// Reset restarts the victim stream from the original seed, so a reset
+// cache replays exactly the replacement decisions of a fresh one.
+func (p *randomPolicy) Reset() { p.rng = rand.New(rand.NewSource(p.seed)) }
 func (p *randomPolicy) OnAccess(set, way int)     {}
 func (p *randomPolicy) OnFill(set, way int)       {}
 func (p *randomPolicy) OnInvalidate(set, way int) {}
@@ -130,6 +142,15 @@ func NewTreePLRU(sets, ways int) ReplacementPolicy {
 }
 
 func (p *treePLRUPolicy) Name() string { return "tree-plru" }
+
+// Reset clears the tree bits (Cache.Reset calls this).
+func (p *treePLRUPolicy) Reset() {
+	for s := range p.bits {
+		for i := range p.bits[s] {
+			p.bits[s][i] = false
+		}
+	}
+}
 
 // promote flips tree bits so the path to way points away from it.
 func (p *treePLRUPolicy) promote(set, way int) {

@@ -125,6 +125,14 @@ type Stats struct {
 	NoiseStall   uint64
 	TimedOut     bool
 
+	// SkippedCycles counts idle cycles the fast-forward path jumped
+	// over instead of stepping (cumulative, like Squashes);
+	// FastForwards counts the jumps. Cycles already includes the
+	// skipped cycles — skipping changes how time is simulated, never
+	// how much.
+	SkippedCycles uint64
+	FastForwards  uint64
+
 	// LastBranchResolution is the T1–T2 interval of the most recent
 	// mispredicted branch: cycles from its fetch (speculation start)
 	// to its resolution. Figures 2 and 13 read this.
@@ -179,6 +187,23 @@ type CPU struct {
 	// Per-run bookkeeping for Step-based execution.
 	runStartCycle   uint64
 	runStartRetired uint64
+
+	// Fast-forward state. ff enables idle-cycle skipping inside Step;
+	// quiet records that the noise model is silent (position-
+	// independent), which is what makes skipping bit-identical.
+	// progressed is set by any pipeline stage that changed state in the
+	// current Step.
+	ff         bool
+	quiet      bool
+	progressed bool
+
+	// Allocation-free ROB machinery: rob is a live window into robBuf;
+	// entries are recycled through freeEntries from a fixed arena.
+	robBuf        []*entry
+	robHead       int
+	entryArena    []entry
+	freeEntries   []*entry
+	transientsBuf []undo.TransientLoad
 }
 
 // New builds a core. A nil noise model means noise.None.
@@ -192,8 +217,36 @@ func New(cfg Config, hier *memsys.Hierarchy, pred branch.Direction, scheme undo.
 	if nz == nil {
 		nz = noise.None{}
 	}
-	return &CPU{cfg: cfg, hier: hier, pred: pred, scheme: scheme, noise: nz}, nil
+	c := &CPU{cfg: cfg, hier: hier, pred: pred, scheme: scheme, noise: nz}
+	// The ROB window lives in a buffer twice the architectural size so
+	// head pops are O(1) and compaction on push is amortized; entries
+	// come from a fixed arena recycled at retire/squash, so the steady-
+	// state run loop performs zero heap allocations.
+	c.robBuf = make([]*entry, 2*cfg.ROBSize)
+	c.rob = c.robBuf[:0]
+	c.entryArena = make([]entry, cfg.ROBSize)
+	c.freeEntries = make([]*entry, 0, cfg.ROBSize)
+	for i := range c.entryArena {
+		c.freeEntries = append(c.freeEntries, &c.entryArena[i])
+	}
+	// Idle-cycle skipping is exact only when the noise model is
+	// consulted a position-independent number of times, i.e. never
+	// injects anything. Models advertise that via the Silent marker.
+	if s, ok := nz.(interface{ Silent() bool }); ok && s.Silent() {
+		c.quiet = true
+		c.ff = true
+	}
+	return c, nil
 }
+
+// SetFastForward forces idle-cycle skipping on or off. The default is
+// on iff the bound noise model is silent; tests comparing against a
+// cycle-by-cycle reference core turn it off, and lockstep multi-core
+// systems turn it off per core in favour of min-across-cores skipping.
+func (c *CPU) SetFastForward(on bool) { c.ff = on }
+
+// FastForward reports whether idle-cycle skipping is enabled.
+func (c *CPU) FastForward() bool { return c.ff }
 
 // MustNew is New for static construction sites.
 func MustNew(cfg Config, hier *memsys.Hierarchy, pred branch.Direction, scheme undo.Scheme, nz noise.Model) *CPU {
@@ -236,7 +289,11 @@ func (c *CPU) Cycle() uint64 { return c.cycle }
 // from earlier runs, exactly as for Run.
 func (c *CPU) BeginProgram(prog *isa.Program) {
 	c.prog = prog
-	c.rob = c.rob[:0]
+	for _, e := range c.rob {
+		c.recycle(e)
+	}
+	c.robHead = 0
+	c.rob = c.robBuf[:0]
 	c.fetchPC = 0
 	c.fetchStopped = false
 	c.fetchReady = c.cycle
@@ -261,6 +318,7 @@ func (c *CPU) Step() (done bool) {
 		c.met.watchdog.Inc()
 		return true
 	}
+	c.progressed = false
 	c.stepNoise()
 	c.retire()
 	if c.halted {
@@ -274,9 +332,119 @@ func (c *CPU) Step() (done bool) {
 	if c.met.robGauge != nil {
 		c.met.robGauge.Set(float64(len(c.rob)))
 	}
-	c.hier.TickMSHR(c.cycle)
-	c.cycle++
+	if c.ff && !c.progressed {
+		// Nothing changed this cycle, and every condition any stage
+		// waits on is a pure function of time (doneAt, fetchReady,
+		// stallUntil, retireBlocked, the watchdog deadline): jump to
+		// the earliest of those instants. Ticking the MSHR at W-1
+		// retires exactly the fills a cycle-by-cycle core would have
+		// retired before cycle W begins, so MSHR occupancy — and with
+		// it every stall penalty — stays bit-identical.
+		w := c.nextWakeup()
+		if d := w - c.cycle; d > 1 {
+			c.stats.SkippedCycles += d - 1
+			c.stats.FastForwards++
+			c.met.skippedCycles.Add(d - 1)
+			c.met.fastForwards.Inc()
+		}
+		c.met.cycles.Add(w - c.cycle)
+		c.hier.TickMSHR(w - 1)
+		c.cycle = w
+	} else {
+		c.met.cycles.Inc()
+		c.hier.TickMSHR(c.cycle)
+		c.cycle++
+	}
 	return c.halted
+}
+
+// nextWakeup computes the earliest future cycle at which any pipeline
+// stage could make progress, assuming nothing progressed in the current
+// cycle. Candidates: completion times of issued-but-unfinished work
+// (loads, ALU ops, branches — fences and dependents wake via those),
+// the frontend's fetchReady, stall expiry, retire unblocking, the next
+// MSHR fill, all clamped to the watchdog deadline.
+func (c *CPU) nextWakeup() uint64 {
+	// Inside Step the stages for the current cycle already ran, so only
+	// strictly future instants count.
+	return c.nextWakeupFrom(c.cycle + 1)
+}
+
+// nextWakeupFrom is nextWakeup with an explicit lower bound: the
+// earliest candidate ≥ from. NextEventIn passes from == c.cycle because
+// it is consulted after Step has advanced the cycle counter — an event
+// tagged with exactly the current cycle (fetchReady, stall expiry) means
+// the core can act on the very next Step and no cycles are skippable.
+func (c *CPU) nextWakeupFrom(from uint64) uint64 {
+	// First cycle at which the watchdog check trips.
+	w := c.runStartCycle + c.cfg.MaxCycles + 1
+	lower := func(t uint64) {
+		if t >= from && t < w {
+			w = t
+		}
+	}
+	for _, e := range c.rob {
+		if e.issued && e.doneAt >= from {
+			lower(e.doneAt)
+		}
+	}
+	if !c.fetchStopped {
+		lower(c.fetchReady)
+	}
+	lower(c.stallUntil)
+	lower(c.retireBlocked)
+	if t, ok := c.hier.NextWakeup(from - 1); ok {
+		lower(t)
+	}
+	if w < from {
+		// Defensive: never move backwards (the watchdog check at the
+		// top of Step makes this unreachable).
+		w = from
+	}
+	return w
+}
+
+// MadeProgress reports whether the most recent Step changed any
+// pipeline state. Halted cores and cores with non-silent noise (whose
+// next state change cannot be predicted) report conservatively.
+func (c *CPU) MadeProgress() bool {
+	if c.halted {
+		return false
+	}
+	return c.progressed || !c.quiet
+}
+
+// NextEventIn returns how many cycles from now the core's next possible
+// state change lies, or 0 when the core could progress immediately (or
+// its wakeup cannot be predicted). Lockstep multi-core drivers take the
+// minimum across cores and Advance them together.
+func (c *CPU) NextEventIn() uint64 {
+	if c.halted || !c.quiet {
+		return 0
+	}
+	w := c.nextWakeupFrom(c.cycle)
+	if w <= c.cycle {
+		return 0
+	}
+	return w - c.cycle
+}
+
+// Advance jumps the core n idle cycles forward without stepping any
+// pipeline stage, ticking the MSHR so fill completions land exactly
+// where a cycle-by-cycle core would have placed them. Callers must have
+// established (via MadeProgress/NextEventIn) that the core is quiescent
+// for all n cycles.
+func (c *CPU) Advance(n uint64) {
+	if n == 0 || c.halted {
+		return
+	}
+	c.stats.SkippedCycles += n
+	c.stats.FastForwards++
+	c.met.skippedCycles.Add(n)
+	c.met.fastForwards.Inc()
+	c.met.cycles.Add(n)
+	c.hier.TickMSHR(c.cycle + n - 1)
+	c.cycle += n
 }
 
 // Halted reports whether the current program has finished.
@@ -313,6 +481,37 @@ func (c *CPU) Snapshot() Stats {
 	return out
 }
 
+// Reset returns the core to its just-constructed state: architectural
+// registers cleared, cycle zero, statistics and run bookkeeping zeroed,
+// all ROB entries recycled. The bound hierarchy, predictor, scheme and
+// noise model are NOT reset — a caller owning the whole machine (e.g.
+// unxpec.Attack.Reset) resets each part. Pooled buffers are kept, so
+// resetting allocates nothing.
+func (c *CPU) Reset() {
+	for _, e := range c.rob {
+		c.recycle(e)
+	}
+	c.robHead = 0
+	c.rob = c.robBuf[:0]
+	c.regs = [isa.NumRegs]uint64{}
+	c.prog = nil
+	c.nextSeq = 0
+	c.cycle = 0
+	c.fetchPC = 0
+	c.fetchStopped = false
+	c.fetchReady = 0
+	c.stallUntil = 0
+	c.retireBlocked = 0
+	c.halted = false
+	c.stats = Stats{}
+	c.runStartCycle = 0
+	c.runStartRetired = 0
+	c.progressed = false
+	if c.flight != nil {
+		c.flight.Reset()
+	}
+}
+
 // stepNoise injects system-interference stalls.
 func (c *CPU) stepNoise() {
 	if d := c.noise.InterferenceStall(); d > 0 {
@@ -337,6 +536,7 @@ func (c *CPU) retire() {
 		if e.inst.Op.IsBranch() && !e.resolved {
 			return
 		}
+		c.progressed = true
 		// Apply architectural effects.
 		switch e.inst.Op {
 		case isa.OpStore:
@@ -346,7 +546,7 @@ func (c *CPU) retire() {
 		case isa.OpHalt:
 			c.emit(KindRetire, e, 0)
 			c.halted = true
-			c.rob = c.rob[1:]
+			c.popROB()
 			c.stats.Retired++
 			c.met.retired.Inc()
 			return
@@ -358,15 +558,57 @@ func (c *CPU) retire() {
 		c.emit(KindRetire, e, 0)
 		if e.commitPenalty > 0 {
 			c.retireBlocked = c.cycle + uint64(e.commitPenalty)
-			c.rob = c.rob[1:]
+			c.popROB()
 			c.stats.Retired++
 			c.met.retired.Inc()
 			return
 		}
-		c.rob = c.rob[1:]
+		c.popROB()
 		c.stats.Retired++
 		c.met.retired.Inc()
 	}
+}
+
+// popROB retires the head entry from the live window and recycles it.
+func (c *CPU) popROB() {
+	e := c.rob[0]
+	c.robHead++
+	c.rob = c.rob[1:]
+	c.recycle(e)
+}
+
+// recycle returns an entry to the free pool.
+func (c *CPU) recycle(e *entry) {
+	c.freeEntries = append(c.freeEntries, e)
+}
+
+// allocEntry takes an entry from the pool. fetch only allocates while
+// len(rob) < ROBSize, so the pool (sized ROBSize) never runs dry; the
+// heap fallback guards against invariant regressions rather than
+// serving any expected path.
+func (c *CPU) allocEntry() *entry {
+	n := len(c.freeEntries) - 1
+	if n < 0 {
+		return new(entry)
+	}
+	e := c.freeEntries[n]
+	c.freeEntries = c.freeEntries[:n]
+	return e
+}
+
+// pushROB appends e to the live window, compacting the window to the
+// front of the backing buffer when it reaches the end. The buffer is
+// 2×ROBSize, so each entry is copied at most once per window traversal
+// — amortized O(1).
+func (c *CPU) pushROB(e *entry) {
+	end := c.robHead + len(c.rob)
+	if end == len(c.robBuf) {
+		copy(c.robBuf, c.rob)
+		c.robHead = 0
+		end = len(c.rob)
+	}
+	c.robBuf[end] = e
+	c.rob = c.robBuf[c.robHead : end+1]
 }
 
 // complete marks finished executions and resolves branches (possibly
@@ -377,6 +619,7 @@ func (c *CPU) complete() {
 		if e.inst.Op == isa.OpFence && !e.done && c.allOlderDone(i) {
 			e.done = true
 			e.doneAt = c.cycle
+			c.progressed = true
 		}
 	}
 	// Resolve branches whose execution finished this cycle. Resolve
@@ -388,6 +631,7 @@ func (c *CPU) complete() {
 		}
 		e.done = true
 		e.resolved = true
+		c.progressed = true
 		actual := branchTaken(e.inst.Op, e.srcVals[0], e.srcVals[1])
 		mispred := actual != e.predTaken
 		c.emit(KindResolve, e, boolToDetail(mispred))
@@ -418,33 +662,27 @@ func (c *CPU) allOlderDone(i int) bool {
 	return true
 }
 
-// hasOlderUnresolvedBranch reports whether an unresolved branch precedes
-// position i.
-func (c *CPU) hasOlderUnresolvedBranch(i int) (uint64, bool) {
-	var youngest uint64
-	found := false
-	for j := 0; j < i; j++ {
-		e := c.rob[j]
-		if e.inst.Op.IsBranch() && !e.resolved {
-			youngest = e.seq
-			found = true
-		}
-	}
-	return youngest, found
-}
 
 // commitClearedLoads clears speculative marks for issued loads no longer
 // shadowed by any unresolved branch, and performs deferred installs for
 // invisible schemes.
 func (c *CPU) commitClearedLoads() {
-	for i, e := range c.rob {
+	// One pass in program order: shadowed latches once an unresolved
+	// branch is seen, replacing a per-load rescan of all older entries.
+	shadowed := false
+	for _, e := range c.rob {
+		isUnresolvedBranch := e.inst.Op.IsBranch() && !e.resolved
 		if e.inst.Op != isa.OpLoad || !e.issued || !e.specAtIssue || e.committedSpec {
+			if isUnresolvedBranch {
+				shadowed = true
+			}
 			continue
 		}
-		if _, shadowedStill := c.hasOlderUnresolvedBranch(i); shadowedStill {
+		if shadowed {
 			continue
 		}
 		e.committedSpec = true
+		c.progressed = true
 		if e.shadowed {
 			// Invisible scheme: install now that the load is safe.
 			c.hier.Read(e.addr, false, 0, c.cycle)
@@ -467,7 +705,10 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	c.met.robOcc.Observe(float64(len(c.rob)))
 	c.emit(KindSquash, br, int64(len(c.rob)-i-1))
 
-	var transients []undo.TransientLoad
+	// The transient-load list is rebuilt into a reused buffer: no
+	// scheme retains it past OnSquash (the slice contents are copied
+	// into whatever bookkeeping the scheme keeps).
+	transients := c.transientsBuf[:0]
 	inflightCleaned := 0
 	for _, e := range c.rob[i+1:] {
 		e.squashed = true
@@ -500,6 +741,7 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	}
 
 	c.hier.MSHR().CleanSpeculative(br.seq)
+	c.transientsBuf = transients
 	res := c.scheme.OnSquash(c.hier, undo.SquashContext{
 		Epoch:              br.seq,
 		Now:                c.cycle,
@@ -519,6 +761,9 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	}
 
 	// Discard the wrong path and redirect fetch.
+	for _, e := range c.rob[i+1:] {
+		c.recycle(e)
+	}
 	c.rob = c.rob[:i+1]
 	if actualTaken {
 		c.fetchPC = br.inst.Target
@@ -540,11 +785,34 @@ func (c *CPU) issue() {
 	}
 	issued, loads := 0, 0
 	scanned := 0
+	// Incremental dependency trackers, updated as the scan walks the ROB
+	// in program order (each tracker folds in entry i-1 at the top of
+	// iteration i, after that entry's own processing — exactly the state
+	// a per-position rescan would observe). They answer the "does any
+	// older entry ..." questions in O(1) that the rescans answered in
+	// O(ROB), turning the issue stage from quadratic to linear in ROB
+	// occupancy.
+	fenceBlocked := false              // incomplete fence among older entries
+	ubSeq, ubFound := uint64(0), false // youngest unresolved older branch
+	var lastWriter [isa.NumRegs]*entry // youngest older producer per register
+	var prev *entry
 	for i := 0; i < len(c.rob); i++ {
 		if issued >= c.cfg.IssueWidth {
 			break
 		}
 		e := c.rob[i]
+		if prev != nil {
+			if rd, ok := prev.inst.DstReg(); ok {
+				lastWriter[rd] = prev
+			}
+			if prev.inst.Op == isa.OpFence && !c.completedNow(prev) {
+				fenceBlocked = true
+			}
+			if prev.inst.Op.IsBranch() && !prev.resolved {
+				ubSeq, ubFound = prev.seq, true
+			}
+		}
+		prev = e
 		if e.issued {
 			continue
 		}
@@ -552,16 +820,18 @@ func (c *CPU) issue() {
 		if scanned > c.cfg.IssueWindow {
 			break
 		}
-		if c.blockedByFence(i) {
+		if fenceBlocked {
 			continue
 		}
 		switch e.inst.Op {
 		case isa.OpFence:
 			// Completes via complete(); takes no issue slot.
 			e.issued = true
+			c.progressed = true
 			continue
 		case isa.OpHalt, isa.OpNop, isa.OpJmp:
 			e.issued, e.done, e.doneAt = true, true, c.cycle
+			c.progressed = true
 			continue
 		case isa.OpRdTSC:
 			if !c.allOlderDone(i) {
@@ -576,7 +846,7 @@ func (c *CPU) issue() {
 			// Loads, stores, flushes, branches and ALU ops issue through
 			// the operand path below.
 		}
-		vals, ready := c.operands(i)
+		vals, ready := c.operandsVia(&lastWriter, e)
 		if !ready {
 			continue
 		}
@@ -591,7 +861,7 @@ func (c *CPU) issue() {
 			if c.blockedByOlderStore(i, e.addr) {
 				continue
 			}
-			epoch, spec := c.hasOlderUnresolvedBranch(i)
+			epoch, spec := ubSeq, ubFound
 			e.specAtIssue = spec
 			e.specEpoch = epoch
 			var lat int
@@ -641,19 +911,12 @@ func (c *CPU) issue() {
 			issued++
 		}
 	}
+	if issued > 0 {
+		c.progressed = true
+	}
 	c.met.issued.Add(uint64(issued))
 }
 
-// blockedByFence reports whether an incomplete older fence precedes i.
-func (c *CPU) blockedByFence(i int) bool {
-	for j := 0; j < i; j++ {
-		e := c.rob[j]
-		if e.inst.Op == isa.OpFence && !c.completedNow(e) {
-			return true
-		}
-	}
-	return false
-}
 
 // blockedByOlderStore enforces memory ordering: a load waits for older
 // stores/flushes with unresolved addresses, for older stores to the
@@ -677,38 +940,29 @@ func (c *CPU) blockedByOlderStore(i int, addr mem.Addr) bool {
 	return false
 }
 
-// operands gathers source values for ROB position i, reporting readiness.
-func (c *CPU) operands(i int) ([2]uint64, bool) {
+
+// operandsVia is operands for the issue scan: lastWriter already holds
+// each register's youngest older producer, so readiness costs O(1)
+// instead of a backward ROB walk. Readiness of the producer is judged
+// at call time (done && doneAt ≤ now), exactly as readReg does.
+func (c *CPU) operandsVia(lastWriter *[isa.NumRegs]*entry, e *entry) ([2]uint64, bool) {
 	var vals [2]uint64
-	e := c.rob[i]
-	srcs := e.inst.SrcRegs()
-	for k, r := range srcs {
-		v, ready := c.readReg(i, r)
-		if !ready {
-			return vals, false
+	for k, r := range e.inst.SrcRegs() {
+		if r == isa.Zero {
+			continue
 		}
-		vals[k] = v
+		if p := lastWriter[r]; p != nil {
+			if !p.done || p.doneAt > c.cycle {
+				return vals, false
+			}
+			vals[k] = p.val
+			continue
+		}
+		vals[k] = c.regs[r]
 	}
 	return vals, true
 }
 
-// readReg returns the value of r as seen by ROB position i: the youngest
-// older in-flight producer, or the architectural file.
-func (c *CPU) readReg(i int, r isa.Reg) (uint64, bool) {
-	if r == isa.Zero {
-		return 0, true
-	}
-	for j := i - 1; j >= 0; j-- {
-		e := c.rob[j]
-		if rd, ok := e.inst.DstReg(); ok && rd == r {
-			if e.done && e.doneAt <= c.cycle {
-				return e.val, true
-			}
-			return 0, false
-		}
-	}
-	return c.regs[r], true
-}
 
 // fetch pulls instructions along the predicted path.
 func (c *CPU) fetch() {
@@ -732,11 +986,13 @@ func (c *CPU) fetch() {
 				}
 			}
 		}
-		e := &entry{seq: c.nextSeq, idx: idx, inst: inst, fetchedAt: c.cycle}
+		e := c.allocEntry()
+		*e = entry{seq: c.nextSeq, idx: idx, inst: inst, fetchedAt: c.cycle}
 		c.nextSeq++
 		c.stats.Fetched++
 		c.met.fetched.Inc()
-		c.rob = append(c.rob, e)
+		c.pushROB(e)
+		c.progressed = true
 		c.emit(KindFetch, e, 0)
 
 		switch {

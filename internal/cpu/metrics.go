@@ -15,6 +15,10 @@ type coreMetrics struct {
 	cleanups     *telemetry.Counter
 	watchdog     *telemetry.Counter
 
+	cycles        *telemetry.Counter
+	skippedCycles *telemetry.Counter
+	fastForwards  *telemetry.Counter
+
 	cleanupStall *telemetry.Histogram
 	resolution   *telemetry.Histogram
 	loadLatency  *telemetry.Histogram
@@ -39,6 +43,10 @@ func (c *CPU) SetMetrics(r *telemetry.Registry) {
 		squashedInst: r.Counter("cpu_squashed_inst_total", "wrong-path instructions discarded"),
 		cleanups:     r.Counter("cpu_cleanups_total", "rollback cleanups handed to the undo scheme"),
 		watchdog:     r.Counter("cpu_watchdog_trips_total", "runs that exhausted the MaxCycles budget"),
+
+		cycles:        r.Counter("cpu_cycles_total", "simulated cycles advanced, including fast-forwarded ones"),
+		skippedCycles: r.Counter("cpu_skipped_cycles_total", "idle cycles jumped over by the fast-forward path"),
+		fastForwards:  r.Counter("cpu_fastforwards_total", "idle-cycle jumps taken by the fast-forward path"),
 
 		cleanupStall: r.Histogram("cpu_cleanup_stall_cycles",
 			"per-squash rollback stall (the secret-dependent T5 the attack measures)",

@@ -8,28 +8,105 @@ package mem
 // Storage is word-granular: each 8-byte aligned address maps to a uint64.
 // Unwritten words read as zero, matching a zero-initialized physical
 // memory.
+//
+// Internally words live in 4 KiB pages (512 words) indexed through a
+// single map keyed by page number, so the hot word accesses of a
+// simulation hash once per page-crossing instead of once per word and
+// then run on a flat array. Sparseness is preserved at page granularity:
+// pages materialise on first write, and a per-page bitmap keeps
+// Footprint exact at word granularity.
 type Memory struct {
-	words map[Addr]uint64
+	pages map[Addr]*page
+	// lastKey/lastPage memoise the most recently touched page; accesses
+	// cluster heavily (programs, eviction sets, probe logs), so most
+	// lookups skip the map entirely. lastPage is nil when unset.
+	lastKey  Addr
+	lastPage *page
+	// footprint counts distinct words ever written (bitmap bits set).
+	footprint int
 	// writes counts word stores, exposed for tests and statistics.
 	writes uint64
 	reads  uint64
 }
 
+const (
+	// pageShift selects 4 KiB pages: 512 words of 8 bytes.
+	pageShift = 12
+	pageWords = 1 << (pageShift - 3)
+)
+
+// page is one 4 KiB slab. written marks which words have ever been
+// stored to (including zero stores), so Footprint keeps the exact
+// distinct-words-written semantics of the former map design.
+type page struct {
+	words   [pageWords]uint64
+	written [pageWords / 64]uint64
+}
+
 // NewMemory returns an empty, zero-initialized memory.
 func NewMemory() *Memory {
-	return &Memory{words: make(map[Addr]uint64)}
+	return &Memory{pages: make(map[Addr]*page)}
+}
+
+// lookup returns the page containing the word-aligned addr, or nil if it
+// was never written.
+func (m *Memory) lookup(aligned Addr) *page {
+	key := aligned >> pageShift
+	if m.lastPage != nil && key == m.lastKey {
+		return m.lastPage
+	}
+	p := m.pages[key]
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
+	}
+	return p
+}
+
+// ensure returns the page containing the word-aligned addr, creating it
+// on first write.
+func (m *Memory) ensure(aligned Addr) *page {
+	key := aligned >> pageShift
+	if m.lastPage != nil && key == m.lastKey {
+		return m.lastPage
+	}
+	p := m.pages[key]
+	if p == nil {
+		p = &page{}
+		m.pages[key] = p
+	}
+	m.lastKey, m.lastPage = key, p
+	return p
+}
+
+// markWritten records a store to word index w of page p, keeping the
+// footprint counter exact.
+func (m *Memory) markWritten(p *page, w uint64) {
+	bit := uint64(1) << (w % 64)
+	if p.written[w/64]&bit == 0 {
+		p.written[w/64] |= bit
+		m.footprint++
+	}
 }
 
 // ReadWord returns the 8-byte word containing addr.
 func (m *Memory) ReadWord(addr Addr) uint64 {
 	m.reads++
-	return m.words[addr.WordAlign()]
+	aligned := addr.WordAlign()
+	p := m.lookup(aligned)
+	if p == nil {
+		return 0
+	}
+	return p.words[(uint64(aligned)>>3)%pageWords]
 }
 
 // WriteWord stores v into the 8-byte word containing addr.
 func (m *Memory) WriteWord(addr Addr, v uint64) {
 	m.writes++
-	m.words[addr.WordAlign()] = v
+	aligned := addr.WordAlign()
+	p := m.ensure(aligned)
+	w := (uint64(aligned) >> 3) % pageWords
+	p.words[w] = v
+	m.markWritten(p, w)
 }
 
 // LoadByte returns the byte at addr.
@@ -43,11 +120,14 @@ func (m *Memory) LoadByte(addr Addr) byte {
 func (m *Memory) StoreByte(addr Addr, b byte) {
 	aligned := addr.WordAlign()
 	shift := (uint64(addr) % WordSize) * 8
-	w := m.words[aligned]
-	w &^= 0xff << shift
-	w |= uint64(b) << shift
+	p := m.ensure(aligned)
+	w := (uint64(aligned) >> 3) % pageWords
+	v := p.words[w]
+	v &^= 0xff << shift
+	v |= uint64(b) << shift
 	m.writes++
-	m.words[aligned] = w
+	p.words[w] = v
+	m.markWritten(p, w)
 }
 
 // WriteWords stores consecutive words starting at addr.
@@ -73,14 +153,31 @@ func (m *Memory) Reads() uint64 { return m.reads }
 func (m *Memory) Writes() uint64 { return m.writes }
 
 // Footprint returns the number of distinct words ever written.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (m *Memory) Footprint() int { return m.footprint }
+
+// Reset returns the memory to the zero-initialized state without
+// releasing its pages: contents, footprint and access counters clear,
+// but the page slabs stay allocated for reuse, so a reset-and-replay
+// loop allocates nothing in steady state.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = page{}
+	}
+	m.footprint = 0
+	m.reads = 0
+	m.writes = 0
+}
 
 // Clone returns a deep copy of the memory, useful for re-running a
 // program from identical initial state.
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
-	for k, v := range m.words {
-		c.words[k] = v
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
 	}
+	// Access counters start fresh, as they always have; footprint
+	// describes contents and carries over.
+	c.footprint = m.footprint
 	return c
 }

@@ -1,0 +1,126 @@
+package multicore
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/undo"
+)
+
+// lockstepProgs builds an asymmetric pair: core 0 does a short
+// compute+load run and halts early, core 1 keeps missing the cache long
+// after — the shape that exercises collective skipping with one halted
+// core.
+func lockstepProgs() []*isa.Program {
+	b := isa.NewBuilder()
+	b.Const(1, 0x40000).Load(2, 1, 0).AddI(3, 2, 1).Halt()
+	short := b.MustBuild()
+
+	b = isa.NewBuilder()
+	for i := 0; i < 8; i++ {
+		b.Const(1, int64(0x500000+i*4096)).Load(2, 1, 0).Add(3, 3, 2)
+	}
+	b.Const(4, 3)
+	for i := 0; i < 50; i++ {
+		b.Mul(4, 4, 4).AddI(4, 4, 1)
+	}
+	b.Halt()
+	long := b.MustBuild()
+	return []*isa.Program{short, long}
+}
+
+// TestLockstepSkipMatchesNoSkip runs the same two-core workload with
+// collective fast-forwarding on and off and requires identical per-core
+// cycle counts, retirement counts and architectural state.
+func TestLockstepSkipMatchesNoSkip(t *testing.T) {
+	run := func(skip bool) (*System, []mem.Addr, []uint64) {
+		s := MustNew(DefaultConfig(7))
+		s.SetFastForward(skip)
+		stats, err := s.RunAll(lockstepProgs(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles := []uint64{stats[0].Cycles, stats[1].Cycles}
+		return s, nil, cycles
+	}
+
+	sSkip, _, cSkip := run(true)
+	sRef, _, cRef := run(false)
+	for i := range cSkip {
+		if cSkip[i] != cRef[i] {
+			t.Errorf("core %d: skip %d cycles, reference %d", i, cSkip[i], cRef[i])
+		}
+		for r := isa.Reg(1); r < 8; r++ {
+			if sSkip.Core(i).Reg(r) != sRef.Core(i).Reg(r) {
+				t.Errorf("core %d r%d: skip %d, reference %d", i, r,
+					sSkip.Core(i).Reg(r), sRef.Core(i).Reg(r))
+			}
+		}
+	}
+	// The skipping run must actually have skipped, and only via the
+	// collective path (per-core fast-forward stays off in lockstep).
+	skipped := sSkip.Core(0).RunStats().SkippedCycles + sSkip.Core(1).RunStats().SkippedCycles
+	if skipped == 0 {
+		t.Error("lockstep run never skipped despite idle miss latency")
+	}
+	if sSkip.Core(0).FastForward() || sSkip.Core(1).FastForward() {
+		t.Error("per-core fast-forward enabled inside a lockstep system")
+	}
+}
+
+// TestLockstepSkipPreservesCrossCoreProbe re-runs the cross-core attack
+// scenario with skipping disabled and checks the shared-cache
+// observations match the default (skipping) run — the property the
+// collective skip must never break: a quiescent core cannot be skipped
+// past a sibling's interaction with the shared L2.
+func TestLockstepSkipPreservesCrossCoreProbe(t *testing.T) {
+	type outcome struct {
+		lat  []uint64
+		mems []uint64
+	}
+	run := func(skip bool) outcome {
+		s := MustNew(DefaultConfig(3))
+		s.SetFastForward(skip)
+		stats, err := s.RunAll(lockstepProgs(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var o outcome
+		for i := range stats {
+			o.lat = append(o.lat, stats[i].Cycles)
+			o.mems = append(o.mems, stats[i].Hier.MemAccesses)
+		}
+		return o
+	}
+	a, b := run(true), run(false)
+	for i := range a.lat {
+		if a.lat[i] != b.lat[i] || a.mems[i] != b.mems[i] {
+			t.Errorf("core %d: skip {cycles %d, mem %d} != reference {cycles %d, mem %d}",
+				i, a.lat[i], a.mems[i], b.lat[i], b.mems[i])
+		}
+	}
+}
+
+// TestSMTSkipMatchesNoSkip is the SMT variant: shared L1D, NoMo off.
+func TestSMTSkipMatchesNoSkip(t *testing.T) {
+	run := func(skip bool) []uint64 {
+		s, err := NewSMT(5, 0, func(int) undo.Scheme { return undo.NewCleanupSpec() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetFastForward(skip)
+		stats, err := s.RunAll(lockstepProgs(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []uint64{stats[0].Cycles, stats[1].Cycles,
+			stats[0].Hier.MemAccesses, stats[1].Hier.MemAccesses}
+	}
+	a, b := run(true), run(false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("observation %d: skip %d, reference %d", i, a[i], b[i])
+		}
+	}
+}

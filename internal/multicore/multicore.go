@@ -53,7 +53,16 @@ type System struct {
 	l2      *cache.Cache
 	cores   []*cpu.CPU
 	hiers   []*memsys.Hierarchy
+	noSkip  bool
 }
+
+// SetFastForward toggles lockstep idle skipping (on by default): when
+// every non-halted core reports no progress, RunAll advances all of
+// them together by the minimum next-event distance. Per-core skipping
+// stays off regardless — cores must share one notion of "now" or a
+// skipping core could jump past a sibling's interaction with the
+// shared L2.
+func (s *System) SetFastForward(on bool) { s.noSkip = !on }
 
 // New builds the system: one shared L2 + backing memory, per-core
 // private L1s, predictors and schemes.
@@ -82,6 +91,8 @@ func New(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Lockstep systems skip collectively in RunAll, never per core.
+		core.SetFastForward(false)
 		s.hiers = append(s.hiers, hier)
 		s.cores = append(s.cores, core)
 	}
@@ -132,7 +143,7 @@ func (s *System) RunAll(progs []*isa.Program, maxCycles uint64) ([]cpu.Stats, er
 	if maxCycles == 0 {
 		maxCycles = 10_000_000
 	}
-	for tick := uint64(0); ; tick++ {
+	for tick := uint64(0); ; {
 		if tick > maxCycles {
 			return nil, fmt.Errorf("multicore: exceeded %d lockstep cycles: %w", maxCycles, cpu.ErrWatchdog)
 		}
@@ -145,18 +156,69 @@ func (s *System) RunAll(progs []*isa.Program, maxCycles uint64) ([]cpu.Stats, er
 		if allDone {
 			break
 		}
+		tick++
+		// Min-across-cores fast-forward: when no core changed state this
+		// tick, every core is idle-waiting on a time-based event (fill
+		// completion, stall expiry, its watchdog deadline). A quiescent
+		// core cannot touch the shared L2, so jumping all of them by the
+		// smallest next-event distance preserves cycle accuracy.
+		if s.noSkip {
+			continue
+		}
+		skip := lockstepSkip(s.cores, tick, maxCycles)
+		if skip > 0 {
+			for _, c := range s.cores {
+				c.Advance(skip)
+			}
+			tick += skip
+		}
 	}
 	out := make([]cpu.Stats, len(s.cores))
 	for i, c := range s.cores {
 		out[i] = c.RunStats()
 	}
-	// A core that trips its own MaxCycles halts quietly with
-	// Stats.TimedOut set; surface that as the typed watchdog error so
-	// lockstep experiments can't average a hung core's cycles.
-	for i, st := range out {
-		if st.TimedOut {
-			return out, fmt.Errorf("multicore: core %d tripped its watchdog: %w", i, cpu.ErrWatchdog)
+	return out, watchdogVerdict(out)
+}
+
+// lockstepSkip returns how many cycles a lockstep system may jump after
+// a tick in which no core made progress: the minimum NextEventIn across
+// non-halted cores, clamped so tick never overshoots the lockstep
+// watchdog bound. It returns 0 when any live core progressed (or its
+// wakeup is unknown), or when every core has halted.
+func lockstepSkip(cores []*cpu.CPU, tick, maxCycles uint64) uint64 {
+	skip := uint64(0)
+	for _, c := range cores {
+		if c.Halted() {
+			continue
+		}
+		if c.MadeProgress() {
+			return 0
+		}
+		d := c.NextEventIn()
+		if d == 0 {
+			return 0
+		}
+		if skip == 0 || d < skip {
+			skip = d
 		}
 	}
-	return out, nil
+	if skip > 0 && tick+skip > maxCycles+1 {
+		if tick > maxCycles+1 {
+			return 0
+		}
+		skip = maxCycles + 1 - tick
+	}
+	return skip
+}
+
+// watchdogVerdict surfaces a core that tripped its own MaxCycles as the
+// typed watchdog error, so lockstep experiments can't average a hung
+// core's cycles.
+func watchdogVerdict(out []cpu.Stats) error {
+	for i, st := range out {
+		if st.TimedOut {
+			return fmt.Errorf("multicore: core %d tripped its watchdog: %w", i, cpu.ErrWatchdog)
+		}
+	}
+	return nil
 }

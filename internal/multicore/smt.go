@@ -25,7 +25,12 @@ type SMTSystem struct {
 	l2      *cache.Cache
 	threads []*cpu.CPU
 	hiers   []*memsys.Hierarchy
+	noSkip  bool
 }
+
+// SetFastForward toggles lockstep idle skipping, exactly as on System:
+// per-thread skipping stays off because both threads share the L1D.
+func (s *SMTSystem) SetFastForward(on bool) { s.noSkip = !on }
 
 // NewSMT builds a two-thread SMT core. partitionWays > 0 reserves that
 // many L1 ways per thread (NoMo); zero shares all ways — the
@@ -51,6 +56,8 @@ func NewSMT(seed int64, partitionWays int, schemeFor func(int) undo.Scheme) (*SM
 		if err != nil {
 			return nil, err
 		}
+		// Lockstep skipping only, as in New: threads share one "now".
+		core.SetFastForward(false)
 		s.hiers = append(s.hiers, hier)
 		s.threads = append(s.threads, core)
 	}
@@ -80,7 +87,7 @@ func (s *SMTSystem) RunAll(progs []*isa.Program, maxCycles uint64) ([]cpu.Stats,
 	if maxCycles == 0 {
 		maxCycles = 10_000_000
 	}
-	for tick := uint64(0); ; tick++ {
+	for tick := uint64(0); ; {
 		if tick > maxCycles {
 			return nil, fmt.Errorf("multicore: SMT exceeded %d cycles: %w", maxCycles, cpu.ErrWatchdog)
 		}
@@ -93,12 +100,21 @@ func (s *SMTSystem) RunAll(progs []*isa.Program, maxCycles uint64) ([]cpu.Stats,
 		if allDone {
 			break
 		}
+		tick++
+		if s.noSkip {
+			continue
+		}
+		skip := lockstepSkip(s.threads, tick, maxCycles)
+		if skip > 0 {
+			for _, c := range s.threads {
+				c.Advance(skip)
+			}
+			tick += skip
+		}
 	}
 	out := []cpu.Stats{s.threads[0].RunStats(), s.threads[1].RunStats()}
-	for i, st := range out {
-		if st.TimedOut {
-			return out, fmt.Errorf("multicore: SMT thread %d tripped its watchdog: %w", i, cpu.ErrWatchdog)
-		}
+	if err := watchdogVerdict(out); err != nil {
+		return out, err
 	}
 	return out, nil
 }

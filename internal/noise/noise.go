@@ -28,6 +28,12 @@ type None struct{}
 // Name implements Model.
 func (None) Name() string { return "none" }
 
+// Silent reports that this model never injects jitter or stalls, so
+// the CPU may fast-forward over idle cycles without changing how many
+// times the model is consulted. Stateful models (whose RNG stream is
+// position-dependent) must not implement this marker.
+func (None) Silent() bool { return true }
+
 // LoadJitter implements Model.
 func (None) LoadJitter() int { return 0 }
 

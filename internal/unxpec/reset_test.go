@@ -1,0 +1,94 @@
+package unxpec
+
+import (
+	"testing"
+
+	"repro/internal/undo"
+)
+
+// resetTestOptions covers the interesting machinery: eviction sets with
+// timing verification (so Reset must replay the verification sweeps)
+// and the default CleanupSpec scheme.
+func resetTestOptions(seed int64) Options {
+	return Options{
+		UseEvictionSets:         true,
+		TimingBasedEvictionSets: true,
+		Seed:                    seed,
+	}
+}
+
+// TestResetMatchesFreshAttack drives a fresh attack and a reset one
+// through the same secret sequence and requires bit-identical latencies
+// — the contract that lets benchmark loops reuse one instance.
+func TestResetMatchesFreshAttack(t *testing.T) {
+	secrets := []int{0, 1, 1, 0, 1, 0, 0, 1}
+
+	run := func(a *Attack) []uint64 {
+		out := make([]uint64, 0, len(secrets))
+		for _, s := range secrets {
+			lat, err := a.MeasureOnceChecked(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, lat)
+		}
+		return out
+	}
+
+	a := MustNew(resetTestOptions(7))
+	first := run(a)
+	// Dirty the machine some more before resetting.
+	a.Calibrate(4)
+	if err := a.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	second := run(a)
+
+	fresh := MustNew(resetTestOptions(7))
+	reference := run(fresh)
+
+	for i := range secrets {
+		if first[i] != reference[i] {
+			t.Fatalf("round %d: fresh attack A %d != fresh attack B %d", i, first[i], reference[i])
+		}
+		if second[i] != reference[i] {
+			t.Fatalf("round %d: reset attack %d != fresh attack %d", i, second[i], reference[i])
+		}
+	}
+}
+
+// TestResetMatchesFreshFuzzyTime pins the RNG-rewind part of the
+// contract: FuzzyTime's dummy-delay stream restarts from its seed.
+func TestResetMatchesFreshFuzzyTime(t *testing.T) {
+	opts := func() Options {
+		return Options{Scheme: undo.NewFuzzyTime(64, 99), Seed: 3}
+	}
+	a := MustNew(opts())
+	first := []uint64{a.MeasureOnce(1), a.MeasureOnce(1), a.MeasureOnce(0)}
+	if err := a.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	second := []uint64{a.MeasureOnce(1), a.MeasureOnce(1), a.MeasureOnce(0)}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("round %d: pre-reset %d != post-reset %d", i, first[i], second[i])
+		}
+	}
+}
+
+// TestSteadyStateMeasureOnceAllocatesNothing is the zero-alloc
+// regression gate for the hot loop: once the attack reaches steady
+// state (trained predictor, warm programs), a full measurement round
+// must not allocate.
+func TestSteadyStateMeasureOnceAllocatesNothing(t *testing.T) {
+	a := MustNew(resetTestOptions(11))
+	for i := 0; i < 8; i++ {
+		a.MeasureOnce(i & 1) // reach steady state
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		a.MeasureOnce(1)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state MeasureOnce allocates %.1f times per round, want 0", avg)
+	}
+}

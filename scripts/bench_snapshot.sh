@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Bench snapshot: runs the full paper benchmark suite (bench_test.go)
+# at a fixed -benchtime and emits a BENCH_*.json snapshot via
+# tools/benchjson — ns/op, B/op, allocs/op, every custom metric
+# (sim-cycles/op, samples/s, diff-cycles, ...) and the derived
+# sim-cycles/s throughput that scripts/bench_diff gates on.
+#
+# Usage: scripts/bench_snapshot.sh [OUT.json]
+#   OUT.json    snapshot destination (default BENCH_5.json)
+#   BENCHTIME   per-bench budget passed to go test (default 1s)
+#   PRIOR       optional older snapshot to embed as pre_change, with
+#               per-bench speedups (used when refreshing a committed
+#               baseline so the before/after record travels with it)
+# The raw `go test -bench` output is kept next to OUT as OUT.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+benchtime="${BENCHTIME:-1s}"
+raw="${out%.json}.txt"
+
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count 1 . | tee "$raw"
+
+prior_args=()
+if [ -n "${PRIOR:-}" ]; then
+    prior_args=(-prior "$PRIOR")
+fi
+go run ./tools/benchjson -benchtime "$benchtime" "${prior_args[@]}" "$raw" > "$out"
+echo "bench_snapshot: wrote $out (raw output in $raw)"

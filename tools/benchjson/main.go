@@ -1,0 +1,312 @@
+// Command benchjson turns `go test -bench` output into a stable JSON
+// snapshot and compares two snapshots for throughput regressions. It is
+// the engine behind scripts/bench_snapshot.sh (which commits the
+// BENCH_*.json baselines) and scripts/bench_diff (which fails CI-style
+// when simulator throughput drops by more than the tolerance).
+//
+// Snapshot mode (default):
+//
+//	go test -bench . -benchmem . | go run ./tools/benchjson -benchtime 1s > BENCH_5.json
+//
+// Every benchmark line becomes an entry with ns/op, B/op, allocs/op and
+// all custom metrics (sim-cycles/op, samples/s, diff-cycles, ...). For
+// benches reporting sim-cycles/op the derived sim-cycles/s throughput is
+// recorded too — that is the number the paper's "as fast as the hardware
+// allows" goal is judged by, and the one the diff mode gates.
+//
+// With -prior OLD.json the previous snapshot is embedded under
+// "pre_change" along with per-bench wall-clock speedups, so a committed
+// baseline carries its own before/after record.
+//
+// Diff mode:
+//
+//	go run ./tools/benchjson -diff OLD.json NEW.json
+//
+// compares throughput metrics (sim-cycles/s, samples/s, and raw ops/s
+// for benches named by -gate) and exits 1 if any regressed by more than
+// -tolerance (default 0.10). Wall-clock-only metrics such as diff-cycles
+// or accuracy are informational: they are captured in the snapshot but
+// never gated, because they measure the channel, not the simulator.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	// SimCyclesPerS is derived from the sim-cycles/op metric and ns/op:
+	// simulated cycles per wall-clock second, the headline throughput.
+	SimCyclesPerS float64 `json:"sim_cycles_per_s,omitempty"`
+}
+
+// Snapshot is the top-level BENCH_*.json document.
+type Snapshot struct {
+	Schema     int               `json:"schema"`
+	Benchtime  string            `json:"benchtime,omitempty"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+
+	// PreChange holds the snapshot this one was measured against (via
+	// -prior), preserving the before/after record inside the baseline.
+	PreChange map[string]*Bench `json:"pre_change,omitempty"`
+	// Speedup is new-vs-pre-change wall-clock ratio per benchmark
+	// (old ns/op divided by new ns/op; >1 means faster).
+	Speedup map[string]float64 `json:"speedup_vs_pre_change,omitempty"`
+}
+
+func main() {
+	var (
+		diff      = flag.Bool("diff", false, "compare two snapshots: benchjson -diff OLD.json NEW.json")
+		tolerance = flag.Float64("tolerance", 0.10, "max fractional throughput regression allowed by -diff")
+		gate      = flag.String("gate", "BenchmarkSimulatorRawSpeed", "comma-separated benches whose raw ops/s is also gated by -diff")
+		benchtime = flag.String("benchtime", "", "benchtime the run used; recorded in the snapshot")
+		prior     = flag.String("prior", "", "previous snapshot to embed as pre_change")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatalf("usage: benchjson -diff OLD.json NEW.json")
+		}
+		old, err := load(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cur, err := load(flag.Arg(1))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		gated := map[string]bool{}
+		for _, g := range strings.Split(*gate, ",") {
+			if g = strings.TrimSpace(g); g != "" {
+				gated[g] = true
+			}
+		}
+		if !compare(old, cur, *tolerance, gated, os.Stdout) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatalf("usage: benchjson [-benchtime D] [-prior OLD.json] [raw-bench-output-file]")
+	}
+
+	snap, err := parse(in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	snap.Benchtime = *benchtime
+	if *prior != "" {
+		old, err := load(*prior)
+		if err != nil {
+			fatalf("-prior: %v", err)
+		}
+		snap.PreChange = old.Benchmarks
+		snap.Speedup = map[string]float64{}
+		for name, b := range snap.Benchmarks {
+			if o, ok := old.Benchmarks[name]; ok && b.NsPerOp > 0 {
+				snap.Speedup[name] = o.NsPerOp / b.NsPerOp
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: no benchmarks section", path)
+	}
+	return &s, nil
+}
+
+// parse reads raw `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkName-8   24   8671878 ns/op   8149 sim-cycles/op   1561508 B/op   4466 allocs/op
+//
+// i.e. an iteration count followed by value/unit pairs; anything that is
+// not ns/op, B/op or allocs/op is a custom metric.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Schema: 1, Benchmarks: map[string]*Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the -GOMAXPROCS suffix so snapshots from machines
+			// with different core counts stay comparable.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := &Bench{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q on line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		if c, ok := b.Metrics["sim-cycles/op"]; ok && b.NsPerOp > 0 {
+			b.SimCyclesPerS = c / b.NsPerOp * 1e9
+		}
+		snap.Benchmarks[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return snap, nil
+}
+
+// throughputs returns the gated higher-is-better metrics of one bench.
+func throughputs(name string, b *Bench, gated map[string]bool) map[string]float64 {
+	t := map[string]float64{}
+	if b.SimCyclesPerS > 0 {
+		t["sim-cycles/s"] = b.SimCyclesPerS
+	}
+	if v, ok := b.Metrics["samples/s"]; ok {
+		t["samples/s"] = v
+	}
+	if gated[name] && b.NsPerOp > 0 {
+		t["ops/s"] = 1e9 / b.NsPerOp
+	}
+	return t
+}
+
+// compare reports throughput deltas of cur against old and returns false
+// if any gated metric regressed beyond the tolerance, or if a bench that
+// carried gated metrics disappeared (silent loss of coverage).
+func compare(old, cur *Snapshot, tolerance float64, gated map[string]bool, w io.Writer) bool {
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	ok := true
+	for _, name := range names {
+		oldT := throughputs(name, old.Benchmarks[name], gated)
+		if len(oldT) == 0 {
+			continue
+		}
+		nb, present := cur.Benchmarks[name]
+		if !present {
+			fmt.Fprintf(w, "FAIL %s: missing from new snapshot\n", name)
+			ok = false
+			continue
+		}
+		newT := throughputs(name, nb, gated)
+		metrics := make([]string, 0, len(oldT))
+		for m := range oldT {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ov := oldT[m]
+			nv, has := newT[m]
+			if !has {
+				fmt.Fprintf(w, "FAIL %s %s: metric missing from new snapshot\n", name, m)
+				ok = false
+				continue
+			}
+			delta := (nv - ov) / ov
+			verdict := "ok  "
+			if delta < -tolerance {
+				verdict = "FAIL"
+				ok = false
+			}
+			fmt.Fprintf(w, "%s %s %s: %.4g -> %.4g (%+.1f%%)\n", verdict, name, m, ov, nv, 100*delta)
+		}
+	}
+	if ok {
+		fmt.Fprintf(w, "bench_diff: no sim-throughput regression beyond %.0f%%\n", 100*tolerance)
+	} else {
+		fmt.Fprintf(w, "bench_diff: sim-throughput regressed beyond %.0f%% tolerance\n", 100*tolerance)
+	}
+	return ok
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableIConfig-8         	      24	   8671878 ns/op	      8149 sim-cycles/op	 1561508 B/op	    4466 allocs/op
+BenchmarkLeakageRate-8          	     236	    941309 ns/op	    140093 samples/s	 1543046 B/op	    4497 allocs/op
+BenchmarkSimulatorRawSpeed-8    	   39249	      6175 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFigure3TimingDifference-8	   18399	     12573 ns/op	        22.00 diff-cycles	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	7.681s
+`
+
+func parseSample(t *testing.T, s string) *Snapshot {
+	t.Helper()
+	snap, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestParse(t *testing.T) {
+	snap := parseSample(t, sample)
+	if snap.Goos != "linux" || snap.Pkg != "repro" {
+		t.Errorf("header parsed wrong: goos=%q pkg=%q", snap.Goos, snap.Pkg)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks["BenchmarkTableIConfig"]
+	if b == nil {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if b.NsPerOp != 8671878 || b.AllocsPerOp != 4466 {
+		t.Errorf("ns/op=%v allocs/op=%v", b.NsPerOp, b.AllocsPerOp)
+	}
+	if b.Metrics["sim-cycles/op"] != 8149 {
+		t.Errorf("sim-cycles/op = %v", b.Metrics["sim-cycles/op"])
+	}
+	want := 8149.0 / 8671878 * 1e9
+	if diff := b.SimCyclesPerS - want; diff > 1 || diff < -1 {
+		t.Errorf("sim_cycles_per_s = %v, want %v", b.SimCyclesPerS, want)
+	}
+	if snap.Benchmarks["BenchmarkSimulatorRawSpeed"].SimCyclesPerS != 0 {
+		t.Error("derived throughput invented for a bench without sim-cycles/op")
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	gated := map[string]bool{"BenchmarkSimulatorRawSpeed": true}
+	old := parseSample(t, sample)
+
+	// 3x slower TableIConfig: sim-cycles/s collapses, must fail.
+	slow := strings.Replace(sample, "8671878 ns/op", "26015634 ns/op", 1)
+	var out strings.Builder
+	if compare(old, parseSample(t, slow), 0.10, gated, &out) {
+		t.Errorf("3x slowdown not flagged:\n%s", out.String())
+	}
+
+	// Within tolerance: 5% slower everywhere passes at 10%.
+	okRun := sample
+	for _, r := range [][2]string{
+		{"8671878 ns/op", "9105471 ns/op"},
+		{"140093 samples/s", "133088 samples/s"},
+		{"6175 ns/op", "6483 ns/op"},
+	} {
+		okRun = strings.Replace(okRun, r[0], r[1], 1)
+	}
+	out.Reset()
+	if !compare(old, parseSample(t, okRun), 0.10, gated, &out) {
+		t.Errorf("5%% noise flagged as regression:\n%s", out.String())
+	}
+
+	// samples/s is gated even though ns/op there barely moved.
+	bad := strings.Replace(sample, "140093 samples/s", "98065 samples/s", 1)
+	out.Reset()
+	if compare(old, parseSample(t, bad), 0.10, gated, &out) {
+		t.Errorf("samples/s collapse not flagged:\n%s", out.String())
+	}
+
+	// A gated bench vanishing is a failure, not a silent pass.
+	gone := strings.Replace(sample,
+		"BenchmarkSimulatorRawSpeed-8    	   39249	      6175 ns/op	       0 B/op	       0 allocs/op\n", "", 1)
+	out.Reset()
+	if compare(old, parseSample(t, gone), 0.10, gated, &out) {
+		t.Errorf("missing gated bench not flagged:\n%s", out.String())
+	}
+
+	// Ungated wall-clock-only benches never gate: diff-cycles bench 10x
+	// slower is informational.
+	slowDiff := strings.Replace(sample, "12573 ns/op", "125730 ns/op", 1)
+	out.Reset()
+	if !compare(old, parseSample(t, slowDiff), 0.10, gated, &out) {
+		t.Errorf("ungated bench slowdown gated:\n%s", out.String())
+	}
+}

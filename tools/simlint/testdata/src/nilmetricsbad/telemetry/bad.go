@@ -28,3 +28,19 @@ func (c *Counter) Value() uint64 {
 	}
 	return c.v
 }
+
+// SkipCounter mirrors the fast-forward skip counters but records the
+// jump before guarding — a detached core would panic on its first skip.
+type SkipCounter struct {
+	skipped uint64
+	jumps   uint64
+}
+
+// AddSkip touches fields before the guard.
+func (c *SkipCounter) AddSkip(n uint64) { // want "without a nil-receiver guard"
+	c.skipped += n
+	if c == nil {
+		return
+	}
+	c.jumps++
+}

@@ -41,3 +41,20 @@ func (g Gauge) String() string {
 	}
 	return "nonzero"
 }
+
+// SkipCounter mirrors the fast-forward skip counters
+// (cpu_skipped_cycles_total / cpu_fastforwards_total): one call folds
+// in a whole idle-cycle jump, and a nil handle stays a free no-op.
+type SkipCounter struct {
+	skipped uint64
+	jumps   uint64
+}
+
+// AddSkip records one fast-forward of n idle cycles.
+func (c *SkipCounter) AddSkip(n uint64) {
+	if c == nil {
+		return
+	}
+	c.skipped += n
+	c.jumps++
+}
