@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest harness-smoke telemetry-smoke regen-results clean
+.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest harness-smoke snapshot-smoke telemetry-smoke regen-results clean
 
 all: test
 
@@ -37,7 +37,7 @@ bench-snapshot:
 
 bench-check:
 	./scripts/bench_snapshot.sh /tmp/bench-check.json
-	./scripts/bench_diff BENCH_5.json /tmp/bench-check.json
+	./scripts/bench_diff BENCH_6.json /tmp/bench-check.json
 
 figures:
 	go run ./cmd/figures -out results
@@ -74,6 +74,12 @@ fuzz-selftest:
 harness-smoke:
 	./scripts/harness_smoke.sh
 
+# Snapshot-equivalence check under the race detector (docs/SNAPSHOTS.md):
+# fork-then-run must be bit-identical to fresh-run, COW pages must never
+# bleed between siblings, and a warm fork must allocate only dirty pages.
+snapshot-smoke:
+	./scripts/snapshot_smoke.sh
+
 # End-to-end observability check (see docs/OBSERVABILITY.md): live
 # debug endpoint while a sweep runs, campaign metrics rollup, injected
 # panic with a flight-recorder post-mortem, and Chrome trace export —
@@ -88,4 +94,4 @@ regen-results:
 # Scratch outputs only: results/*.csv are version-controlled goldens
 # regenerated via `make regen-results`, never deleted here.
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_5.txt
+	rm -f test_output.txt bench_output.txt BENCH_5.txt BENCH_6.txt

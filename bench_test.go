@@ -276,6 +276,92 @@ func BenchmarkSimulatorRawSpeed(b *testing.B) {
 	}
 }
 
+// trialRounds is the fixed measurement batch of the fork-vs-fresh
+// setup-cost pair below; both benches run it so the only difference is
+// how each trial obtains its warm machine.
+const trialRounds = 8
+
+// BenchmarkFreshTrial is the pre-snapshot trial shape: every trial
+// rebuilds the attack from scratch — machine construction,
+// eviction-set search, training — before its measurement batch.
+func BenchmarkFreshTrial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := unxpec.MustNew(unxpec.Options{Seed: 1, UseEvictionSets: true})
+		for r := 0; r < trialRounds; r++ {
+			a.MeasureOnce(r & 1)
+		}
+	}
+}
+
+// BenchmarkForkTrial runs the identical trial forked from one warm
+// checkpointed state (docs/SNAPSHOTS.md): setup collapses to an
+// O(dirty pages) copy-on-write restore. Compare against
+// BenchmarkFreshTrial in the same snapshot for the setup-cost ratio.
+func BenchmarkForkTrial(b *testing.B) {
+	a := unxpec.MustNew(unxpec.Options{Seed: 1, UseEvictionSets: true})
+	for r := 0; r < trialRounds; r++ {
+		a.MeasureOnce(r & 1) // reach the warm steady state once
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cp.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Restore(cp); err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < trialRounds; r++ {
+			a.MeasureOnce(r & 1)
+		}
+	}
+}
+
+// BenchmarkFreshSetup isolates what a fresh trial pays before its
+// first measurement: machine construction, eviction-set search,
+// program generation.
+func BenchmarkFreshSetup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		unxpec.MustNew(unxpec.Options{Seed: 1, UseEvictionSets: true})
+	}
+}
+
+// BenchmarkForkSetup isolates what a forked trial pays instead: one
+// whole-machine restore. Restore cost scales with how much the run
+// diverged — dirty COW pages and dirty-stamped cache sets are copied
+// back, clean ones are skipped — so the machine is dirtied with a full
+// trial's rounds after the checkpoint. Because a restore re-stamps the
+// sets it copies, every iteration of the tight loop then pays for that
+// same diverged working set: the steady state of a fork-trial loop,
+// without StopTimer/StartTimer churn inside the loop. The
+// FreshSetup/ForkSetup ratio is the setup-cost reduction the snapshot
+// subsystem exists for.
+func BenchmarkForkSetup(b *testing.B) {
+	a := unxpec.MustNew(unxpec.Options{Seed: 1, UseEvictionSets: true})
+	for r := 0; r < trialRounds; r++ {
+		a.MeasureOnce(r & 1)
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cp.Release()
+	for r := 0; r < trialRounds; r++ {
+		a.MeasureOnce(r & 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Restore(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkECCChannel measures the Hamming-protected covert channel:
 // effective data bits per second after the 7/4 code-rate cost.
 func BenchmarkECCChannel(b *testing.B) {

@@ -10,6 +10,7 @@
 //
 //	go run ./cmd/fuzz -n 500 -seed 1              # nightly-style sweep
 //	go run ./cmd/fuzz -n 50 -inject skip-rollback # prove the properties have teeth
+//	go run ./cmd/fuzz -n 50 -snapshot             # add fork/restore bit-identity to the matrix
 //	go run ./cmd/fuzz -containment                # leak-gadget verdict per scheme
 //
 // Exit status is 0 when every program passes and non-zero when any
@@ -40,6 +41,8 @@ func main() {
 		inject      = flag.String("inject", "", `fault injection: "skip-rollback" or "global-stall" (self-test; a healthy run must then FAIL)`)
 		containment = flag.Bool("containment", false, "run the squash-containment leak gadget per scheme instead of random programs")
 		trials      = flag.Int("trials", 20, "trials per secret value for -containment")
+		snapshot    = flag.Bool("snapshot", false, "also check snapshot invariance: fork-then-run must be bit-identical to fresh-run at fuzzed fork cycles")
+		forks       = flag.Int("forks", 3, "fork cycles per scheme for -snapshot")
 	)
 	flag.Parse()
 
@@ -65,7 +68,11 @@ func main() {
 	if *containment {
 		os.Exit(runContainment(g, schemes, *trials))
 	}
-	os.Exit(runSweep(g, schemes, *seed, *n, *corpus, *minimize, injection))
+	snapForks := 0
+	if *snapshot {
+		snapForks = *forks
+	}
+	os.Exit(runSweep(g, schemes, *seed, *n, *corpus, *minimize, injection, snapForks))
 }
 
 // saveTelemetry replays a failing witness on instrumented machines and
@@ -81,8 +88,9 @@ func saveTelemetry(g *fuzz.Generator, corpus string, w *fuzz.Witness, opts fuzz.
 	fmt.Printf("  telemetry saved to %s\n", path)
 }
 
-// checkContained runs both property checks with panic containment, so
+// checkContained runs the property checks with panic containment, so
 // one crashing program is a reported witness instead of a dead sweep.
+// Snapshot invariance joins the matrix when opts.SnapshotForks > 0.
 func checkContained(g *fuzz.Generator, prog *isa.Program, opts fuzz.Options) (divs []fuzz.Divergence, perr error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -91,19 +99,23 @@ func checkContained(g *fuzz.Generator, prog *isa.Program, opts fuzz.Options) (di
 	}()
 	divs = g.CheckProgram(prog, opts)
 	divs = append(divs, g.CheckDeterminism(prog, opts)...)
+	if opts.SnapshotForks > 0 {
+		divs = append(divs, g.CheckSnapshotInvariance(prog, opts)...)
+	}
 	return divs, nil
 }
 
 // runSweep checks n seeded random programs and returns the exit code.
-func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus string, minimize bool, injection fuzz.Injection) int {
+func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus string, minimize bool, injection fuzz.Injection, snapForks int) int {
 	failures, panics := 0, 0
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
 		opts := fuzz.Options{
-			Schemes:     schemes,
-			MemSeed:     s + 1000,
-			MachineSeed: s,
-			Wrap:        injection.Wrapper(),
+			Schemes:       schemes,
+			MemSeed:       s + 1000,
+			MachineSeed:   s,
+			Wrap:          injection.Wrapper(),
+			SnapshotForks: snapForks,
 		}
 		prog := g.Program(s)
 		divs, perr := checkContained(g, prog, opts)
@@ -155,6 +167,9 @@ func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus str
 				// determinism is what originally broke.
 				if origProps["determinism"] {
 					all = append(all, g.CheckDeterminism(p, opts)...)
+				}
+				if origProps["snapshot"] {
+					all = append(all, g.CheckSnapshotInvariance(p, opts)...)
 				}
 				for _, d := range all {
 					if origProps[d.Property] {

@@ -1,0 +1,81 @@
+package branch
+
+// This file implements predictor state capture for the machine-level
+// Snapshot/Fork primitive (docs/SNAPSHOTS.md). States are opaque `any`
+// values so heterogeneous predictors plug into the same structural
+// interface{ SaveState() any; RestoreState(any) } the rest of the
+// machine uses.
+
+// predictorState is a frozen copy of a bimodal predictor.
+type predictorState struct {
+	table []counter
+	btb   map[int]int
+	stats Stats
+}
+
+// SaveState captures the pattern table, BTB and counters.
+func (p *Predictor) SaveState() any {
+	st := &predictorState{
+		table: append([]counter(nil), p.table...),
+		btb:   make(map[int]int, len(p.btb)),
+		stats: p.stats,
+	}
+	for k, v := range p.btb {
+		st.btb[k] = v
+	}
+	return st
+}
+
+// RestoreState rewinds the predictor to a saved state. The table and
+// BTB storage are reused (map buckets survive delete), so a warm
+// restore does not allocate.
+func (p *Predictor) RestoreState(v any) {
+	st := v.(*predictorState)
+	copy(p.table, st.table)
+	restoreBTB(p.btb, st.btb)
+	p.stats = st.stats
+}
+
+// gshareState is a frozen copy of a gshare predictor.
+type gshareState struct {
+	history uint64
+	table   []counter
+	btb     map[int]int
+	stats   Stats
+}
+
+// SaveState captures the history register, pattern table, BTB and
+// counters.
+func (g *Gshare) SaveState() any {
+	st := &gshareState{
+		history: g.history,
+		table:   append([]counter(nil), g.table...),
+		btb:     make(map[int]int, len(g.btb)),
+		stats:   g.stats,
+	}
+	for k, v := range g.btb {
+		st.btb[k] = v
+	}
+	return st
+}
+
+// RestoreState rewinds the predictor to a saved state.
+func (g *Gshare) RestoreState(v any) {
+	st := v.(*gshareState)
+	g.history = st.history
+	copy(g.table, st.table)
+	restoreBTB(g.btb, st.btb)
+	g.stats = st.stats
+}
+
+// restoreBTB makes dst equal to src in place.
+func restoreBTB(dst, src map[int]int) {
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+		}
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}

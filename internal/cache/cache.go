@@ -153,6 +153,21 @@ type Cache struct {
 	allWays  []int
 	candBuf  []int
 	validBuf []int
+	// version counts line mutations and stamp[s] records the version of
+	// set s's last mutation. Snapshot records the version at capture
+	// time; Restore copies back only sets stamped after it, so a warm
+	// restore costs O(sets touched since the snapshot), not O(sets)
+	// (docs/SNAPSHOTS.md). Every method that mutates line data MUST call
+	// touch(set) — a missed call breaks snapshot bit-identity, which the
+	// differential equivalence suite exists to catch.
+	version uint64
+	stamp   []uint64
+}
+
+// touch records a line mutation in set.
+func (c *Cache) touch(set int) {
+	c.version++
+	c.stamp[set] = c.version
 }
 
 // New builds a cache from cfg, panicking on invalid structural
@@ -183,6 +198,7 @@ func New(cfg Config) *Cache {
 	}
 	c.candBuf = make([]int, 0, cfg.Ways)
 	c.validBuf = make([]int, 0, cfg.Ways)
+	c.stamp = make([]uint64, cfg.Sets)
 	return c
 }
 
@@ -205,6 +221,7 @@ func (c *Cache) Reset() {
 		for w := range c.sets[s] {
 			c.sets[s][w] = Line{}
 		}
+		c.touch(s)
 	}
 	c.stats = Stats{}
 	if r, ok := c.policy.(interface{ Reset() }); ok {
@@ -328,6 +345,7 @@ func (c *Cache) Fill(addr mem.Addr, agent int, speculative bool, epoch uint64) (
 		Epoch:       epoch,
 		Owner:       agent,
 	}
+	c.touch(set)
 	c.policy.OnFill(set, victim)
 	c.stats.Fills++
 	c.met.fills.Inc()
@@ -343,6 +361,7 @@ func (c *Cache) Invalidate(addr mem.Addr) (present, dirty bool) {
 	}
 	dirty = c.sets[set][way].Dirty
 	c.sets[set][way] = Line{}
+	c.touch(set)
 	c.policy.OnInvalidate(set, way)
 	c.stats.Invalidations++
 	c.met.invalidations.Inc()
@@ -366,6 +385,7 @@ func (c *Cache) MarkDirty(addr mem.Addr) bool {
 	}
 	c.sets[set][way].Dirty = true
 	c.sets[set][way].State = Modified
+	c.touch(set)
 	return true
 }
 
@@ -375,6 +395,7 @@ func (c *Cache) Commit(addr mem.Addr) {
 	set, way := c.find(addr.Line())
 	if way >= 0 {
 		c.sets[set][way].Speculative = false
+		c.touch(set)
 	}
 }
 
@@ -383,12 +404,17 @@ func (c *Cache) Commit(addr mem.Addr) {
 func (c *Cache) CommitEpoch(epoch uint64) int {
 	n := 0
 	for s := range c.sets {
+		touched := false
 		for w := range c.sets[s] {
 			l := &c.sets[s][w]
 			if l.Valid() && l.Speculative && l.Epoch <= epoch {
 				l.Speculative = false
+				touched = true
 				n++
 			}
+		}
+		if touched {
+			c.touch(s)
 		}
 	}
 	return n
@@ -402,6 +428,7 @@ func (c *Cache) SetState(addr mem.Addr, st CoherenceState) bool {
 		return false
 	}
 	c.sets[set][way].State = st
+	c.touch(set)
 	return true
 }
 

@@ -8,7 +8,11 @@
 // the unsafe baseline and for ablation experiments.
 package cache
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/detrand"
+)
 
 // ReplacementPolicy decides which way of a set to evict. Implementations
 // keep any per-set metadata themselves, keyed by set index.
@@ -31,11 +35,15 @@ type ReplacementPolicy interface {
 type lruPolicy struct {
 	// order[set] lists ways from MRU (front) to LRU (back).
 	order [][]int
+	// version/stamp mirror Cache's dirty-set tracking: RestoreState
+	// copies back only stacks mutated since the snapshot.
+	version uint64
+	stamp   []uint64
 }
 
 // NewLRU returns a least-recently-used policy for sets×ways.
 func NewLRU(sets, ways int) ReplacementPolicy {
-	p := &lruPolicy{order: make([][]int, sets)}
+	p := &lruPolicy{order: make([][]int, sets), stamp: make([]uint64, sets)}
 	for s := range p.order {
 		p.order[s] = make([]int, 0, ways)
 	}
@@ -44,14 +52,51 @@ func NewLRU(sets, ways int) ReplacementPolicy {
 
 func (p *lruPolicy) Name() string { return "lru" }
 
+// mark records a mutation of set's recency stack.
+func (p *lruPolicy) mark(set int) {
+	p.version++
+	p.stamp[set] = p.version
+}
+
 // Reset clears all recency metadata (Cache.Reset calls this).
 func (p *lruPolicy) Reset() {
 	for s := range p.order {
 		p.order[s] = p.order[s][:0]
+		p.mark(s)
+	}
+}
+
+// lruState is a frozen copy of every recency stack.
+type lruState struct {
+	order [][]int
+	asOf  uint64
+}
+
+// SaveState captures every set's recency stack.
+func (p *lruPolicy) SaveState() any {
+	s := lruState{order: make([][]int, len(p.order)), asOf: p.version}
+	for i, q := range p.order {
+		s.order[i] = append([]int(nil), q...)
+	}
+	return s
+}
+
+// RestoreState rewinds the recency stacks to a saved snapshot; the
+// per-set backing arrays are reused (capacity is fixed at ways) and
+// stacks untouched since the snapshot are skipped.
+func (p *lruPolicy) RestoreState(v any) {
+	s := v.(lruState)
+	for i := range p.order {
+		if p.stamp[i] <= s.asOf {
+			continue
+		}
+		p.order[i] = append(p.order[i][:0], s.order[i]...)
+		p.mark(i)
 	}
 }
 
 func (p *lruPolicy) touch(set, way int) {
+	p.mark(set)
 	q := p.order[set]
 	for i, w := range q {
 		if w == way {
@@ -74,6 +119,7 @@ func (p *lruPolicy) OnInvalidate(set, way int) {
 	for i, w := range q {
 		if w == way {
 			p.order[set] = append(q[:i], q[i+1:]...)
+			p.mark(set)
 			return
 		}
 	}
@@ -100,23 +146,34 @@ func (p *lruPolicy) Victim(set int, candidates []int) int {
 }
 
 // randomPolicy picks a uniformly random victim using a seeded source, as
-// CleanupSpec requires for the protected L1.
+// CleanupSpec requires for the protected L1. The source is wrapped in a
+// detrand.CountingSource so the victim stream's exact position can be
+// snapshotted as one integer and restored by reseed-and-replay.
 type randomPolicy struct {
 	seed int64
+	src  *detrand.CountingSource
 	rng  *rand.Rand
 }
 
 // NewRandom returns a random-replacement policy seeded deterministically
 // so simulations are reproducible.
 func NewRandom(seed int64) ReplacementPolicy {
-	return &randomPolicy{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	src := detrand.NewCountingSource(seed)
+	return &randomPolicy{seed: seed, src: src, rng: rand.New(src)}
 }
 
 func (p *randomPolicy) Name() string { return "random" }
 
 // Reset restarts the victim stream from the original seed, so a reset
 // cache replays exactly the replacement decisions of a fresh one.
-func (p *randomPolicy) Reset() { p.rng = rand.New(rand.NewSource(p.seed)) }
+func (p *randomPolicy) Reset() { p.src.Seed(p.seed) }
+
+// SaveState captures the victim stream position.
+func (p *randomPolicy) SaveState() any { return p.src.Draws() }
+
+// RestoreState rewinds or fast-forwards the victim stream to a saved
+// position without reallocating the generator.
+func (p *randomPolicy) RestoreState(v any) { p.src.SeekTo(v.(uint64)) }
 func (p *randomPolicy) OnAccess(set, way int)     {}
 func (p *randomPolicy) OnFill(set, way int)       {}
 func (p *randomPolicy) OnInvalidate(set, way int) {}
@@ -149,6 +206,23 @@ func (p *treePLRUPolicy) Reset() {
 		for i := range p.bits[s] {
 			p.bits[s][i] = false
 		}
+	}
+}
+
+// SaveState captures every set's tree bits.
+func (p *treePLRUPolicy) SaveState() any {
+	s := make([][]bool, len(p.bits))
+	for i, b := range p.bits {
+		s[i] = append([]bool(nil), b...)
+	}
+	return s
+}
+
+// RestoreState copies saved tree bits back in place.
+func (p *treePLRUPolicy) RestoreState(v any) {
+	s := v.([][]bool)
+	for i := range p.bits {
+		copy(p.bits[i], s[i])
 	}
 }
 

@@ -1,0 +1,88 @@
+package cache
+
+// This file implements whole-cache state capture for the machine-level
+// Snapshot/Fork primitive (docs/SNAPSHOTS.md). A Snapshot is a frozen
+// value: taking one copies line metadata, counters and replacement
+// state; restoring copies them back into the cache's existing backing
+// arrays, so a warm snapshot/restore loop does not allocate. Telemetry
+// (cacheMetrics) is deliberately NOT captured — metrics registries are
+// observers of work performed, including replays.
+
+// statefulPolicy is the optional capture interface replacement policies
+// implement; all built-in policies do.
+type statefulPolicy interface {
+	SaveState() any
+	RestoreState(any)
+}
+
+// Snapshot is a frozen copy of one cache level's simulation state.
+type Snapshot struct {
+	sets   [][]Line
+	stats  Stats
+	policy any
+	// asOf is the cache's mutation version at capture time. Restore
+	// skips sets whose stamp has not advanced past it.
+	asOf uint64
+}
+
+// Snapshot captures the cache's lines, counters and replacement-policy
+// state. Cost is O(sets × ways).
+func (c *Cache) Snapshot() *Snapshot {
+	s := &Snapshot{stats: c.stats, sets: make([][]Line, len(c.sets)), asOf: c.version}
+	for i, set := range c.sets {
+		s.sets[i] = append([]Line(nil), set...)
+	}
+	if sp, ok := c.policy.(statefulPolicy); ok {
+		s.policy = sp.SaveState()
+	}
+	return s
+}
+
+// Restore rewinds the cache to a snapshot taken from the same cache
+// (same geometry and policy). Backing arrays are reused, and only sets
+// mutated since the snapshot are copied back: a set whose stamp is at
+// most the snapshot's version still holds exactly the captured lines.
+// Copied sets are re-stamped with fresh versions, which is conservative
+// under interleaved snapshots — a later Restore against an older
+// snapshot may recopy an already-clean set, never the reverse.
+func (c *Cache) Restore(s *Snapshot) {
+	for i := range c.sets {
+		if c.stamp[i] <= s.asOf {
+			continue
+		}
+		copy(c.sets[i], s.sets[i])
+		c.touch(i)
+	}
+	c.stats = s.stats
+	if sp, ok := c.policy.(statefulPolicy); ok && s.policy != nil {
+		sp.RestoreState(s.policy)
+	}
+}
+
+// MSHRSnapshot is a frozen copy of an MSHR file's in-flight misses and
+// counters.
+type MSHRSnapshot struct {
+	entries     []MSHREntry
+	allocs      uint64
+	stallEvents uint64
+	peak        int
+}
+
+// Snapshot captures the in-flight misses and counters.
+func (m *MSHRFile) Snapshot() *MSHRSnapshot {
+	return &MSHRSnapshot{
+		entries:     append([]MSHREntry(nil), m.entries...),
+		allocs:      m.allocs,
+		stallEvents: m.stallEvents,
+		peak:        m.peak,
+	}
+}
+
+// Restore rewinds the MSHR file to a snapshot; the entry slice is
+// reused when capacity allows.
+func (m *MSHRFile) Restore(s *MSHRSnapshot) {
+	m.entries = append(m.entries[:0], s.entries...)
+	m.allocs = s.allocs
+	m.stallEvents = s.stallEvents
+	m.peak = s.peak
+}

@@ -1,0 +1,66 @@
+// Package detrand provides the snapshot-friendly randomness primitive
+// the simulator's seeded components share: a math/rand Source wrapper
+// that counts how many raw draws have been taken, so an RNG's exact
+// stream position can be captured as a single integer and restored by
+// reseed-and-replay. That keeps snapshots cheap (one uint64) without
+// changing the value stream the wrapped source produces — every
+// *rand.Rand method drains through Int63, so wrapping is invisible to
+// golden results.
+//
+// CountingSource deliberately does NOT implement rand.Source64: if it
+// did, Rand.Uint64 would consume one native draw where the Int63-only
+// path consumes two, and the draw count would stop being a complete
+// description of the stream position independent of which Rand methods
+// were called.
+package detrand
+
+import "math/rand"
+
+// CountingSource wraps a seeded rand.Source and counts raw Int63 draws.
+// The zero value is unusable; call Seed (or NewCountingSource) first.
+type CountingSource struct {
+	src   rand.Source
+	seed  int64
+	draws uint64
+}
+
+// NewCountingSource returns a counting wrapper around
+// rand.NewSource(seed).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed), seed: seed}
+}
+
+// Int63 draws from the wrapped source and advances the position.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Seed reseeds the wrapped source in place and rewinds the position to
+// zero. No allocation: the underlying rand.Source reseeds itself.
+func (s *CountingSource) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	if s.src == nil {
+		s.src = rand.NewSource(seed)
+		return
+	}
+	s.src.Seed(seed)
+}
+
+// Draws returns the stream position: the number of raw draws taken
+// since the last Seed.
+func (s *CountingSource) Draws() uint64 { return s.draws }
+
+// SeekTo moves the stream position to target draws after the seed.
+// Rewinding reseeds and replays from the start; fast-forwarding just
+// burns draws from the current position. Cost is O(distance replayed);
+// zero allocations either way.
+func (s *CountingSource) SeekTo(target uint64) {
+	if s.draws > target {
+		s.Seed(s.seed)
+	}
+	for s.draws < target {
+		s.Int63()
+	}
+}

@@ -1,0 +1,75 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStreamMatchesUnwrappedSource proves wrapping is invisible: a Rand
+// over a CountingSource yields the same values as one over the bare
+// source, across every method the simulator uses.
+func TestStreamMatchesUnwrappedSource(t *testing.T) {
+	const seed = 42
+	wrapped := rand.New(NewCountingSource(seed))
+	bare := rand.New(rand.NewSource(seed))
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := wrapped.Intn(16), bare.Intn(16); a != b {
+				t.Fatalf("Intn diverged at draw %d: %d != %d", i, a, b)
+			}
+		case 1:
+			if a, b := wrapped.Float64(), bare.Float64(); a != b {
+				t.Fatalf("Float64 diverged at draw %d", i)
+			}
+		case 2:
+			if a, b := wrapped.NormFloat64(), bare.NormFloat64(); a != b {
+				t.Fatalf("NormFloat64 diverged at draw %d", i)
+			}
+		case 3:
+			if a, b := wrapped.Int63(), bare.Int63(); a != b {
+				t.Fatalf("Int63 diverged at draw %d", i)
+			}
+		}
+	}
+}
+
+// TestSeekTo checks both directions: rewind (reseed+replay) and
+// fast-forward land on the exact stream position.
+func TestSeekTo(t *testing.T) {
+	src := NewCountingSource(7)
+	r := rand.New(src)
+	var ref []int
+	for i := 0; i < 50; i++ {
+		ref = append(ref, r.Intn(1000))
+	}
+	mark := src.Draws()
+	tail := []int{r.Intn(1000), r.Intn(1000)}
+
+	src.SeekTo(mark) // rewind
+	if got := []int{r.Intn(1000), r.Intn(1000)}; got[0] != tail[0] || got[1] != tail[1] {
+		t.Fatalf("rewind SeekTo replayed %v, want %v", got, tail)
+	}
+
+	src.Seed(7)
+	src.SeekTo(mark) // fast-forward from zero
+	if got := r.Intn(1000); got != tail[0] {
+		t.Fatalf("fast-forward SeekTo yields %d, want %d", got, tail[0])
+	}
+}
+
+// TestSeekToAllocates pins the zero-allocation contract of restore.
+func TestSeekToAllocates(t *testing.T) {
+	src := NewCountingSource(3)
+	r := rand.New(src)
+	for i := 0; i < 100; i++ {
+		r.Intn(64)
+	}
+	mark := src.Draws()
+	if avg := testing.AllocsPerRun(50, func() {
+		r.Intn(64)
+		src.SeekTo(mark)
+	}); avg != 0 {
+		t.Errorf("SeekTo allocates %.1f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,91 @@
+package evict
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// findingRun drives one full eviction-set search and returns the found
+// set plus the finder's experiment counters.
+func findingRun(t *testing.T, f *Finder) ([]mem.Addr, int, int) {
+	t.Helper()
+	target := mem.Addr(0x10000)
+	pool := Pool(0x40000, 96) // 3× the 8-set × 4-way L1, in lines
+	set, err := f.FindEvictionSet(target, pool, 4, L1)
+	if err != nil {
+		t.Fatalf("FindEvictionSet: %v", err)
+	}
+	return set, f.Tests(), f.Accesses()
+}
+
+// TestFinderResetMatchesFresh reruns a search after Finder.Reset (plus
+// a hierarchy reset, since the finder deliberately leaves the caches
+// alone) and requires the found set, test count and access count to be
+// bit-identical to a fresh finder on a fresh hierarchy — including
+// under random replacement, where the virtual clock and the policy's
+// RNG position both have to rewind.
+func TestFinderResetMatchesFresh(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy func() cache.ReplacementPolicy
+	}{
+		{"lru", func() cache.ReplacementPolicy { return nil }},
+		{"random", func() cache.ReplacementPolicy { return cache.NewRandom(7) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := smallHier(t, tc.policy(), nil)
+			f := NewFinder(h)
+			if tc.name == "random" {
+				f.Trials = 9
+				f.Passes = 16
+			}
+			set1, tests1, acc1 := findingRun(t, f)
+
+			h.Reset()
+			f.Reset()
+			if f.Tests() != 0 || f.Accesses() != 0 {
+				t.Fatalf("counters survive Reset: tests=%d accesses=%d", f.Tests(), f.Accesses())
+			}
+			set2, tests2, acc2 := findingRun(t, f)
+
+			fh := smallHier(t, tc.policy(), nil)
+			ff := NewFinder(fh)
+			ff.Trials, ff.Passes = f.Trials, f.Passes
+			set3, tests3, acc3 := findingRun(t, ff)
+
+			for i := range set3 {
+				if i >= len(set2) || set2[i] != set3[i] {
+					t.Fatalf("reset finder set %v != fresh finder set %v", set2, set3)
+				}
+			}
+			for i := range set3 {
+				if i >= len(set1) || set1[i] != set3[i] {
+					t.Fatalf("first run set %v != fresh finder set %v", set1, set3)
+				}
+			}
+			if tests2 != tests3 || acc2 != acc3 {
+				t.Errorf("reset finder counters (%d tests, %d accesses) != fresh (%d, %d)",
+					tests2, acc2, tests3, acc3)
+			}
+			if tests1 != tests3 || acc1 != acc3 {
+				t.Errorf("first run counters (%d tests, %d accesses) != fresh (%d, %d)",
+					tests1, acc1, tests3, acc3)
+			}
+		})
+	}
+}
+
+// TestFinderResetPreservesTunables pins the ownership rule: Reset
+// rewinds experiment state, never caller configuration.
+func TestFinderResetPreservesTunables(t *testing.T) {
+	f := NewFinder(smallHier(t, nil, nil))
+	f.Trials, f.Passes = 9, 16
+	f.Evicts(0x10000, Pool(0x40000, 8), L1)
+	f.Reset()
+	if f.Trials != 9 || f.Passes != 16 {
+		t.Errorf("Reset clobbered tunables: Trials=%d Passes=%d", f.Trials, f.Passes)
+	}
+}

@@ -30,7 +30,7 @@ var AllSchemes = []string{
 type Divergence struct {
 	// Property names the violated property: "arch-state",
 	// "pipeline-invariant", "spec-residue", "determinism",
-	// "containment", "timeout".
+	// "containment", "snapshot", "timeout".
 	Property string
 	// Scheme is the undo scheme under which the violation appeared.
 	Scheme string
@@ -58,6 +58,9 @@ type Options struct {
 	Wrap func(undo.Scheme) undo.Scheme
 	// MaxSteps bounds the reference interpreter (0 = 200k).
 	MaxSteps uint64
+	// SnapshotForks is how many fuzz-selected fork cycles
+	// CheckSnapshotInvariance tries per program and scheme (0 = 3).
+	SnapshotForks int
 }
 
 func (o Options) schemes() []string {
@@ -65,6 +68,13 @@ func (o Options) schemes() []string {
 		return AllSchemes
 	}
 	return o.Schemes
+}
+
+func (o Options) snapshotForks() int {
+	if o.SnapshotForks <= 0 {
+		return 3
+	}
+	return o.SnapshotForks
 }
 
 func (o Options) maxSteps() uint64 {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/machine"
 	"repro/internal/telemetry"
 )
 
@@ -117,6 +118,54 @@ type Trial struct {
 	// machine's post-mortem carries the attempt's final pipeline events
 	// instead of a pre-run blank.
 	armedPanic string
+
+	// inherited is the previous failed attempt's resume point (nil on
+	// attempt 1); resumeSnap is the one this attempt registered. The
+	// harness owns both and releases them when the cell terminates.
+	inherited   *machine.Snapshot
+	resumeSnap  *machine.Snapshot
+	resumeCycle uint64
+	sealed      bool
+}
+
+// SetResumePoint registers a whole-machine snapshot as the attempt's
+// resume point. Ownership transfers to the harness: if the attempt
+// fails with a retryable error, the next attempt receives it via
+// ResumePoint and can restore instead of rebuilding from scratch; the
+// cell's journal record notes the resume cycle. Registering again
+// replaces (and releases) the previous point.
+func (t *Trial) SetResumePoint(s *machine.Snapshot) {
+	t.mu.Lock()
+	if t.sealed { // attempt already timed out and was abandoned
+		t.mu.Unlock()
+		s.Release()
+		return
+	}
+	old := t.resumeSnap
+	t.resumeSnap = s
+	t.resumeCycle = s.Cycle()
+	t.mu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+}
+
+// ResumePoint returns the resume point registered by the previous
+// failed attempt, or nil on a first attempt (or when none was set).
+// The snapshot stays valid for the duration of this attempt; the
+// harness releases it.
+func (t *Trial) ResumePoint() *machine.Snapshot { return t.inherited }
+
+// takeResumePoint seals the trial and hands its registered resume
+// point to the harness. A SetResumePoint racing in from an abandoned
+// (timed-out) attempt goroutine after sealing is released on the spot.
+func (t *Trial) takeResumePoint() (*machine.Snapshot, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sealed = true
+	s, cyc := t.resumeSnap, t.resumeCycle
+	t.resumeSnap = nil
+	return s, cyc
 }
 
 // firePanic detonates an armed panic injection; no-op when none is
@@ -182,7 +231,10 @@ type Outcome struct {
 	Err      *TrialError     // non-nil iff the cell failed
 	Resumed  bool            // replayed from the journal
 	Skipped  bool            // never started (campaign interrupted)
-	Elapsed  time.Duration
+	// ResumeCycle is the machine cycle of the last snapshot resume
+	// point the cell registered (0 when it never did).
+	ResumeCycle uint64
+	Elapsed     time.Duration
 	// Metrics is the final attempt's telemetry snapshot (nil when the
 	// campaign runs without a Config.Metrics registry).
 	Metrics *telemetry.Snapshot
@@ -468,30 +520,46 @@ func (r *Runner) Sweep(name string, cells []Cell) (*Report, error) {
 	return rep, nil
 }
 
-// runCell drives one cell through its attempt budget.
+// runCell drives one cell through its attempt budget. A resume point
+// registered by one attempt is handed to the next and released when
+// the cell reaches a terminal outcome.
 func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 	start := time.Now() //simlint:wallclock per-cell elapsed is genuine wall time
 	maxA := r.cfg.maxAttempts()
 	var te *TrialError
 	var lastSnap *telemetry.Snapshot
+	var resume *machine.Snapshot
+	var resumeCycle uint64
+	defer func() {
+		if resume != nil {
+			resume.Release()
+		}
+	}()
 	for attempt := 1; attempt <= maxA; attempt++ {
 		seed := c.Seed
 		if attempt > 1 {
 			seed = perturbSeed(c.Seed, attempt)
 		}
-		t := &Trial{Cell: id, Attempt: attempt, Seed: seed}
+		t := &Trial{Cell: id, Attempt: attempt, Seed: seed, inherited: resume}
 		if r.cfg.Metrics != nil {
 			t.Metrics = telemetry.NewRegistry()
 		}
 		v, err := r.attempt(c, t, id)
+		if next, cyc := t.takeResumePoint(); next != nil {
+			if resume != nil {
+				resume.Release()
+			}
+			resume, resumeCycle = next, cyc
+		}
 		snap := r.rollupTrial(t, attempt)
 		if err == nil {
 			raw, merr := json.Marshal(v)
 			if merr == nil {
 				o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: attempt,
 					Class: ClassOK, Value: raw,
-					Elapsed: time.Since(start), //simlint:wallclock per-cell elapsed is genuine wall time
-					Metrics: snap}
+					ResumeCycle: resumeCycle,
+					Elapsed:     time.Since(start), //simlint:wallclock per-cell elapsed is genuine wall time
+					Metrics:     snap}
 				r.record(o)
 				r.prog.noteDone(o)
 				return o
@@ -507,8 +575,9 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 	}
 	o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: te.Attempt,
 		Class: te.Class, Err: te,
-		Elapsed: time.Since(start), //simlint:wallclock per-cell elapsed is genuine wall time
-		Metrics: lastSnap}
+		ResumeCycle: resumeCycle,
+		Elapsed:     time.Since(start), //simlint:wallclock per-cell elapsed is genuine wall time
+		Metrics:     lastSnap}
 	r.record(o)
 	r.prog.noteDone(o)
 	return o

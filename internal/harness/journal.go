@@ -26,6 +26,10 @@ type journalRecord struct {
 	Stack    string          `json:"stack,omitempty"`
 	Post     *cpu.PostMortem `json:"post,omitempty"`
 	Elapsed  int64           `json:"elapsed_ms"`
+	// ResumeCycle is the machine cycle of the last snapshot resume
+	// point the cell registered (see Trial.SetResumePoint); 0 when the
+	// cell never checkpointed.
+	ResumeCycle uint64 `json:"resume_cycle,omitempty"`
 	// Metrics is the final attempt's telemetry snapshot (omitted when
 	// the campaign ran without a metrics registry).
 	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
@@ -34,14 +38,15 @@ type journalRecord struct {
 // outcome reconstitutes the journaled record as a resumed Outcome.
 func (rec journalRecord) outcome(index int) Outcome {
 	o := Outcome{
-		Index:    index,
-		Cell:     rec.Cell,
-		Seed:     rec.Seed,
-		Attempts: rec.Attempts,
-		Class:    rec.Class,
-		Value:    rec.Value,
-		Resumed:  true,
-		Metrics:  rec.Metrics,
+		Index:       index,
+		Cell:        rec.Cell,
+		Seed:        rec.Seed,
+		Attempts:    rec.Attempts,
+		Class:       rec.Class,
+		Value:       rec.Value,
+		Resumed:     true,
+		ResumeCycle: rec.ResumeCycle,
+		Metrics:     rec.Metrics,
 	}
 	if rec.Class != ClassOK {
 		o.Err = &TrialError{
@@ -75,14 +80,15 @@ func openJournal(path string) (*journal, error) {
 // append writes one cell record. Caller holds the runner lock.
 func (j *journal) append(o Outcome) error {
 	rec := journalRecord{
-		Kind:     "cell",
-		Cell:     o.Cell,
-		Seed:     o.Seed,
-		Attempts: o.Attempts,
-		Class:    o.Class,
-		Value:    o.Value,
-		Elapsed:  o.Elapsed.Milliseconds(),
-		Metrics:  o.Metrics,
+		Kind:        "cell",
+		Cell:        o.Cell,
+		Seed:        o.Seed,
+		Attempts:    o.Attempts,
+		Class:       o.Class,
+		Value:       o.Value,
+		Elapsed:     o.Elapsed.Milliseconds(),
+		ResumeCycle: o.ResumeCycle,
+		Metrics:     o.Metrics,
 	}
 	if o.Err != nil {
 		rec.Error = o.Err.Msg

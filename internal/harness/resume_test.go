@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/branch"
+	"repro/internal/cpu"
+	"repro/internal/fuzz"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/undo"
+)
+
+// buildResumeMachine assembles the standard single-core machine the
+// resume-point tests checkpoint.
+func buildResumeMachine(t *testing.T, seed int64) *cpu.CPU {
+	t.Helper()
+	g := fuzz.MustNew(fuzz.DefaultConfig())
+	m := mem.NewMemory()
+	g.InitMemory(seed, m)
+	hier := memsys.MustNew(memsys.DefaultConfig(seed), m)
+	core, err := cpu.New(cpu.DefaultConfig(), hier, branch.New(branch.DefaultConfig()),
+		undo.NewCleanupSpec(), noise.None{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+// TestResumePointCarriesAcrossAttempts runs a cell that checkpoints a
+// warm machine, fails once, and on retry restores from the inherited
+// resume point — the machine must come back at the exact checkpointed
+// cycle, and the journal record must note the resume cycle.
+func TestResumePointCarriesAcrossAttempts(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "journal.jsonl")
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 3,
+		BackoffBase: time.Microsecond, JournalPath: jpath})
+
+	g := fuzz.MustNew(fuzz.DefaultConfig())
+	var wantCycle uint64
+	var resumedAt uint64
+	cells := []Cell{{ID: "warm", Seed: 5, Run: func(tr *Trial) (any, error) {
+		if tr.Attempt == 1 {
+			if tr.ResumePoint() != nil {
+				t.Error("attempt 1 has an inherited resume point")
+			}
+			core := buildResumeMachine(t, 5)
+			core.Run(g.Program(5)) // expensive warm phase
+			snap, err := machine.Of(core).Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			wantCycle = snap.Cycle()
+			tr.SetResumePoint(snap)
+			return nil, Transient(errors.New("die after checkpoint"))
+		}
+		snap := tr.ResumePoint()
+		if snap == nil {
+			return nil, errors.New("retry attempt lost the resume point")
+		}
+		core := buildResumeMachine(t, 5)
+		if err := machine.Of(core).Restore(snap); err != nil {
+			return nil, err
+		}
+		resumedAt = core.Cycle()
+		return val{Seed: tr.Seed}, nil
+	}}}
+
+	rep, err := r.Sweep("rp", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if !o.OK() || o.Attempts != 2 {
+		t.Fatalf("outcome = %+v, want ok on attempt 2", o)
+	}
+	if resumedAt != wantCycle {
+		t.Errorf("restored machine at cycle %d, checkpoint was %d", resumedAt, wantCycle)
+	}
+	if o.ResumeCycle != wantCycle {
+		t.Errorf("outcome resume cycle = %d, want %d", o.ResumeCycle, wantCycle)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recs["rp/warm"].ResumeCycle; got != wantCycle {
+		t.Errorf("journal resume cycle = %d, want %d", got, wantCycle)
+	}
+}
+
+// TestResumePointReplacedAndReleased registers two resume points in one
+// attempt; the second must replace the first, and the cell's COW page
+// references must all be gone once the cell terminates.
+func TestResumePointReplacedAndReleased(t *testing.T) {
+	r := mustRunner(t, Config{Workers: 1, MaxAttempts: 1})
+	g := fuzz.MustNew(fuzz.DefaultConfig())
+	var m *mem.Memory
+	var secondCycle uint64
+	cells := []Cell{{ID: "two", Seed: 8, Run: func(tr *Trial) (any, error) {
+		core := buildResumeMachine(t, 8)
+		m = core.Hierarchy().Memory()
+		core.Run(g.Program(8))
+		s1, err := machine.Of(core).Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		tr.SetResumePoint(s1)
+		core.Run(g.Program(9))
+		s2, err := machine.Of(core).Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		secondCycle = s2.Cycle()
+		tr.SetResumePoint(s2)
+		return val{Seed: tr.Seed}, nil
+	}}}
+	rep, err := r.Sweep("rel", cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if !o.OK() {
+		t.Fatalf("outcome = %+v, want ok", o)
+	}
+	if o.ResumeCycle != secondCycle {
+		t.Errorf("outcome resume cycle = %d, want the second point %d", o.ResumeCycle, secondCycle)
+	}
+	if got := m.SharedPageCount(); got != 0 {
+		t.Errorf("%d pages still shared after the cell terminated", got)
+	}
+}

@@ -157,6 +157,13 @@ type Hierarchy struct {
 	pending []pendingDowngrade
 	stats   Stats
 	met     hierMetrics
+
+	// ownsL1D/ownsL2 record which levels this hierarchy owns exclusively
+	// (set at construction). SaveState captures only owned levels; shared
+	// levels are captured once by whoever owns the whole machine (e.g.
+	// multicore.System), not once per core.
+	ownsL1D bool
+	ownsL2  bool
 }
 
 // AttachPeerL1 registers another core's private L1D for coherence-
@@ -186,12 +193,14 @@ func New(cfg Config, backing *mem.Memory) (*Hierarchy, error) {
 		backing = mem.NewMemory()
 	}
 	return &Hierarchy{
-		cfg:  cfg,
-		l1i:  cache.New(cfg.L1I),
-		l1d:  cache.New(cfg.L1D),
-		l2:   cache.New(cfg.L2),
-		mshr: cache.NewMSHRFile(cfg.MSHREntries),
-		mem:  backing,
+		cfg:     cfg,
+		l1i:     cache.New(cfg.L1I),
+		l1d:     cache.New(cfg.L1D),
+		l2:      cache.New(cfg.L2),
+		mshr:    cache.NewMSHRFile(cfg.MSHREntries),
+		mem:     backing,
+		ownsL1D: true,
+		ownsL2:  true,
 	}, nil
 }
 
@@ -209,13 +218,14 @@ func NewShared(cfg Config, backing *mem.Memory, sharedL2 *cache.Cache, agent int
 		return nil, fmt.Errorf("memsys: shared hierarchy needs an L2 and backing memory")
 	}
 	return &Hierarchy{
-		cfg:   cfg,
-		l1i:   cache.New(cfg.L1I),
-		l1d:   cache.New(cfg.L1D),
-		l2:    sharedL2,
-		mshr:  cache.NewMSHRFile(cfg.MSHREntries),
-		mem:   backing,
-		agent: agent,
+		cfg:     cfg,
+		l1i:     cache.New(cfg.L1I),
+		l1d:     cache.New(cfg.L1D),
+		l2:      sharedL2,
+		mshr:    cache.NewMSHRFile(cfg.MSHREntries),
+		mem:     backing,
+		agent:   agent,
+		ownsL1D: true,
 	}, nil
 }
 

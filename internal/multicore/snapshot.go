@@ -1,0 +1,72 @@
+package multicore
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+)
+
+// SystemState is a frozen whole-system snapshot: the shared backing
+// memory (copy-on-write fork) and shared L2 are captured exactly once,
+// then each core contributes its private hierarchy levels, run state
+// and component states. See docs/SNAPSHOTS.md.
+type SystemState struct {
+	mem     *mem.Memory
+	l2      *cache.Snapshot
+	hiers   []*memsys.State
+	cores   []*cpu.State
+	preds   []any
+	schemes []any
+}
+
+// stateful mirrors the machine package's structural capture interface.
+type stateful interface {
+	SaveState() any
+	RestoreState(any)
+}
+
+// SaveState captures the whole lockstep system. It fails when a
+// component does not implement the capture interface.
+func (s *System) SaveState() (*SystemState, error) {
+	st := &SystemState{
+		mem: s.backing.Fork(),
+		l2:  s.l2.Snapshot(),
+	}
+	for i, c := range s.cores {
+		st.hiers = append(st.hiers, s.hiers[i].SaveState())
+		st.cores = append(st.cores, c.SaveState())
+		p, ok := c.Predictor().(stateful)
+		if !ok {
+			return nil, fmt.Errorf("multicore: core %d predictor %T lacks SaveState", i, c.Predictor())
+		}
+		st.preds = append(st.preds, p.SaveState())
+		sc, ok := c.Scheme().(stateful)
+		if !ok {
+			return nil, fmt.Errorf("multicore: core %d scheme %T lacks SaveState", i, c.Scheme())
+		}
+		st.schemes = append(st.schemes, sc.SaveState())
+	}
+	return st, nil
+}
+
+// RestoreState rewinds the system to a state saved from this system.
+func (s *System) RestoreState(st *SystemState) error {
+	if len(st.cores) != len(s.cores) {
+		return fmt.Errorf("multicore: state has %d cores, system has %d", len(st.cores), len(s.cores))
+	}
+	s.backing.Restore(st.mem)
+	s.l2.Restore(st.l2)
+	for i, c := range s.cores {
+		s.hiers[i].RestoreState(st.hiers[i])
+		c.RestoreState(st.cores[i])
+		c.Predictor().(stateful).RestoreState(st.preds[i])
+		c.Scheme().(stateful).RestoreState(st.schemes[i])
+	}
+	return nil
+}
+
+// Release drops the snapshot's copy-on-write page references.
+func (st *SystemState) Release() { st.mem.Release() }

@@ -7,7 +7,11 @@
 // with seeded, reproducible sources.
 package noise
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/detrand"
+)
 
 // Model supplies the two noise hooks the CPU consumes.
 type Model interface {
@@ -41,9 +45,14 @@ func (None) LoadJitter() int { return 0 }
 func (None) InterferenceStall() int { return 0 }
 
 // System is the calibrated noisy environment: Gaussian memory jitter
-// plus Poisson-arriving interference spikes.
+// plus Poisson-arriving interference spikes. The seeded generator is
+// wrapped in a detrand.CountingSource so the noise stream's exact
+// position can be snapshotted as one integer (SaveState) and restored
+// by reseed-and-replay — wrapping does not change the values drawn.
 type System struct {
-	rng *rand.Rand
+	seed int64
+	src  *detrand.CountingSource
+	rng  *rand.Rand
 	// Sigma is the standard deviation of per-memory-access jitter.
 	Sigma float64
 	// SpikeProb is the per-cycle probability of an interference event.
@@ -52,31 +61,47 @@ type System struct {
 	SpikeMin, SpikeMax int
 }
 
+// newSystem wires the counting source; the calibration fields are the
+// caller's.
+func newSystem(seed int64) *System {
+	src := detrand.NewCountingSource(seed)
+	return &System{seed: seed, src: src, rng: rand.New(src)}
+}
+
 // NewSystem returns the calibrated model used for the paper's
 // measurement figures: σ ≈ 10 cycles of access jitter and rare
 // ~200-cycle spikes, which lands the single-sample decode accuracies in
 // the paper's 86–92% band (see DESIGN.md §4).
 func NewSystem(seed int64) *System {
-	return &System{
-		rng:       rand.New(rand.NewSource(seed)),
-		Sigma:     10.5,
-		SpikeProb: 1.0 / 12000,
-		SpikeMin:  150,
-		SpikeMax:  230,
-	}
+	s := newSystem(seed)
+	s.Sigma = 10.5
+	s.SpikeProb = 1.0 / 12000
+	s.SpikeMin = 150
+	s.SpikeMax = 230
+	return s
 }
 
 // NewHostOS returns a louder model for the Figure 13 "real CPU" profile
 // (i7-8550U under a full OS).
 func NewHostOS(seed int64) *System {
-	return &System{
-		rng:       rand.New(rand.NewSource(seed)),
-		Sigma:     18,
-		SpikeProb: 1.0 / 6000,
-		SpikeMin:  200,
-		SpikeMax:  2000,
-	}
+	s := newSystem(seed)
+	s.Sigma = 18
+	s.SpikeProb = 1.0 / 6000
+	s.SpikeMin = 200
+	s.SpikeMax = 2000
+	return s
 }
+
+// Reset rewinds the noise stream to its original seed, so a reset
+// machine draws exactly the jitter and spikes a fresh one would.
+func (s *System) Reset() { s.src.Seed(s.seed) }
+
+// SaveState captures the noise stream position.
+func (s *System) SaveState() any { return s.src.Draws() }
+
+// RestoreState rewinds or fast-forwards the noise stream to a saved
+// position; cost is O(draws replayed), zero allocations.
+func (s *System) RestoreState(v any) { s.src.SeekTo(v.(uint64)) }
 
 // Name implements Model.
 func (s *System) Name() string { return "system" }

@@ -1,0 +1,67 @@
+package undo
+
+// This file implements scheme state capture for the machine-level
+// Snapshot/Fork primitive (docs/SNAPSHOTS.md). Every Scheme in this
+// package is a pure function of its configuration plus the state saved
+// here: accumulated statistics and, for FuzzyTime, the exact position
+// of the dummy-delay stream. Telemetry handles (schemeMetrics) are
+// observers and are deliberately not captured.
+
+// SaveState captures the accumulated statistics.
+func (c *CleanupSpec) SaveState() any { return c.stats }
+
+// RestoreState rewinds the accumulated statistics.
+func (c *CleanupSpec) RestoreState(v any) { c.stats = v.(Stats) }
+
+// SaveState captures the accumulated statistics.
+func (u *Unsafe) SaveState() any { return u.stats }
+
+// RestoreState rewinds the accumulated statistics.
+func (u *Unsafe) RestoreState(v any) { u.stats = v.(Stats) }
+
+// constantTimeState freezes the wrapper's and the wrapped scheme's
+// counters together.
+type constantTimeState struct {
+	outer Stats
+	inner any
+}
+
+// SaveState captures the wrapper's and the inner CleanupSpec's state.
+func (c *ConstantTime) SaveState() any {
+	return constantTimeState{outer: c.stats, inner: c.inner.SaveState()}
+}
+
+// RestoreState rewinds the wrapper and the inner CleanupSpec.
+func (c *ConstantTime) RestoreState(v any) {
+	st := v.(constantTimeState)
+	c.stats = st.outer
+	c.inner.RestoreState(st.inner)
+}
+
+// fuzzyTimeState freezes the counters plus the SplitMix64 stream
+// position — restoring it makes the next dummy delay bit-identical to
+// the one the snapshot point would have drawn.
+type fuzzyTimeState struct {
+	outer    Stats
+	rngState uint64
+	inner    any
+}
+
+// SaveState captures counters and the dummy-delay RNG position.
+func (f *FuzzyTime) SaveState() any {
+	return fuzzyTimeState{outer: f.stats, rngState: f.rngState, inner: f.inner.SaveState()}
+}
+
+// RestoreState rewinds counters and the dummy-delay RNG position.
+func (f *FuzzyTime) RestoreState(v any) {
+	st := v.(fuzzyTimeState)
+	f.stats = st.outer
+	f.rngState = st.rngState
+	f.inner.RestoreState(st.inner)
+}
+
+// SaveState captures the accumulated statistics.
+func (i *InvisibleLite) SaveState() any { return i.stats }
+
+// RestoreState rewinds the accumulated statistics.
+func (i *InvisibleLite) RestoreState(v any) { i.stats = v.(Stats) }

@@ -6,7 +6,7 @@
 # sim-cycles/s throughput that scripts/bench_diff gates on.
 #
 # Usage: scripts/bench_snapshot.sh [OUT.json]
-#   OUT.json    snapshot destination (default BENCH_5.json)
+#   OUT.json    snapshot destination (default BENCH_6.json)
 #   BENCHTIME   per-bench budget passed to go test (default 1s)
 #   PRIOR       optional older snapshot to embed as pre_change, with
 #               per-bench speedups (used when refreshing a committed
@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 benchtime="${BENCHTIME:-1s}"
 raw="${out%.json}.txt"
 

@@ -47,6 +47,22 @@ print(sum(1 for d in diags if d['Analyzer'] == sys.argv[2]))
     echo "   $analyzer: $n diagnostic(s)"
 done
 
+# Category-level check: the forkpurity rule (docs/SNAPSHOTS.md) rides
+# inside the determinism analyzer, so the per-analyzer count above
+# cannot tell whether it was silently dropped — assert its category
+# directly, including the case a //simlint:wallclock waiver must not
+# cover.
+n=$(python3 -c "
+import json, sys
+diags = json.load(open(sys.argv[1]))
+print(sum(1 for d in diags if d['Category'] == 'forkpurity'))
+" "$out/bad.json")
+if [ "$n" -lt 3 ]; then
+    echo "FAIL: forkpurity fired $n time(s) on the bad fixtures, want >=3" >&2
+    exit 1
+fi
+echo "   determinism/forkpurity: $n diagnostic(s)"
+
 echo "== clean fixtures: zero diagnostics =="
 "$bin" -C "$fixtures" \
     fixtures/determinism/clean fixtures/determinism/allow \

@@ -9,6 +9,15 @@
 // Suppressions: //simlint:wallclock for genuine wall-clock uses
 // (harness deadlines, debug endpoints), //simlint:rand and
 // //simlint:rangemap for the rare deliberate exceptions.
+//
+// A fourth category, forkpurity, guards the snapshot subsystem
+// (docs/SNAPSHOTS.md): functions in the fork family — Fork, Snapshot,
+// Restore, SaveState, RestoreState, Checkpoint — must not read the
+// wall clock or the global math/rand generator, because replayed
+// state must be a pure function of captured state, never of when the
+// replay runs. The category is deliberately distinct from wallclock:
+// a //simlint:wallclock waiver does not license wall-clock reads
+// inside fork-family code.
 package determinism
 
 import (
@@ -42,6 +51,13 @@ var globalRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
 }
 
+// forkFamily are the function names that implement whole-machine
+// snapshot/restore (docs/SNAPSHOTS.md); their bodies must be pure.
+var forkFamily = map[string]bool{
+	"Fork": true, "Snapshot": true, "Restore": true,
+	"SaveState": true, "RestoreState": true, "Checkpoint": true,
+}
+
 // orderSinkMethods are method names that emit bytes in call order;
 // calling one from inside a map range makes iteration order observable.
 var orderSinkMethods = map[string]bool{
@@ -61,8 +77,39 @@ func run(pass *analysis.Pass) error {
 			}
 			return true
 		})
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil && forkFamily[fn.Name.Name] {
+				checkForkPurity(pass, fn)
+			}
+		}
 	}
 	return nil
+}
+
+// checkForkPurity flags time sources inside fork-family functions.
+// Replayed state must be a pure function of captured state; a
+// wall-clock or global-rand read makes two restores of the same
+// snapshot diverge.
+func checkForkPurity(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pass.CalleePkgFunc(call)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkg == "time" && wallclockFuncs[name]:
+			pass.Reportf(call.Pos(), "forkpurity",
+				"time.%s inside fork-family function %s: snapshot/restore must not depend on when it runs", name, fn.Name.Name)
+		case (pkg == "math/rand" || pkg == "math/rand/v2") && globalRandFuncs[name]:
+			pass.Reportf(call.Pos(), "forkpurity",
+				"rand.%s inside fork-family function %s: capture a seeded stream position instead of drawing from the global generator", name, fn.Name.Name)
+		}
+		return true
+	})
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
