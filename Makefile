@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest harness-smoke snapshot-smoke telemetry-smoke regen-results clean
+.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest harness-smoke snapshot-smoke telemetry-smoke campaignd-smoke regen-results clean
 
 all: test
 
@@ -86,6 +86,14 @@ snapshot-smoke:
 # all validated by scripts/telemetrycheck.
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
+
+# Distributed campaign chaos check (see docs/CAMPAIGND.md): a 3-worker
+# figure sweep under -race with a chaos-killed worker, RPC drop/dup
+# faults, and a kill -9'd + restarted coordinator — the final CSV must
+# be byte-identical to a single-process run, the journal exactly-once,
+# and a cache-warm resubmission must re-simulate nothing.
+campaignd-smoke:
+	./scripts/campaignd_smoke.sh
 
 # Regenerate the version-controlled golden CSVs under results/.
 regen-results:

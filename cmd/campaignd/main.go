@@ -1,0 +1,236 @@
+// Command campaignd is the distributed campaign coordinator: it shards
+// figure sweeps into content-addressed cells, serves them to worker
+// processes over a lease-based work-stealing queue, and aggregates the
+// results into the exact CSV a single-process `figures` run writes.
+//
+// Subcommands:
+//
+//	campaignd serve  -addr :8080 -journal campaign.jsonl -resume
+//	campaignd submit -connect http://host:8080 -sweep figure3
+//	campaignd await  -connect http://host:8080 -campaign cID -csv-out figure3.csv
+//	campaignd worker -connect http://host:8080 -name w1
+//
+// See docs/CAMPAIGND.md for the HTTP API and the chaos harness.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaignd: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serveCmd(os.Args[2:])
+	case "submit":
+		err = submitCmd(os.Args[2:])
+	case "await":
+		err = awaitCmd(os.Args[2:])
+	case "worker":
+		err = workerCmd(os.Args[2:], "campaignd-worker")
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "campaignd: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: campaignd <serve|submit|await|worker> [flags]
+
+serve   run the coordinator (journal + lease queue + HTTP API)
+submit  register a sweep campaign (idempotent)
+await   poll a campaign until complete and fetch its results CSV
+worker  run a worker loop against a coordinator (also: cmd/campaignw)
+
+Run 'campaignd <subcommand> -h' for flags.
+`)
+}
+
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the actual listen address to this file (for scripts)")
+	journal := fs.String("journal", "", "JSONL journal path (empty: no durability)")
+	resume := fs.Bool("resume", false, "seed the result cache from the journal at boot")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "worker lease TTL (heartbeats extend it)")
+	maxAttempts := fs.Int("max-attempts", 5, "per-cell lease budget before quarantine")
+	backoffBase := fs.Duration("backoff-base", 500*time.Millisecond, "first requeue backoff")
+	backoffMax := fs.Duration("backoff-max", 15*time.Second, "requeue backoff cap")
+	cacheSize := fs.Int("cache-size", 0, "result cache bound (0: unbounded)")
+	readRate := fs.Float64("read-rate", 0, "read endpoint rate limit, req/s (0: unlimited)")
+	readBurst := fs.Int("read-burst", 10, "read rate limiter burst")
+	readWidth := fs.Int("read-width", 8, "concurrent read handlers")
+	readQueue := fs.Int("read-queue", 16, "bounded read wait queue (overflow sheds 503)")
+	aggTTL := fs.Duration("agg-ttl", time.Second, "/progress aggregate cache TTL (stale-but-fast)")
+	fs.Parse(args)
+
+	srv, err := campaign.NewServer(campaign.Config{
+		JournalPath: *journal,
+		Resume:      *resume,
+		LeaseTTL:    *leaseTTL,
+		MaxAttempts: *maxAttempts,
+		BackoffBase: *backoffBase,
+		BackoffMax:  *backoffMax,
+		CacheSize:   *cacheSize,
+		ReadRate:    *readRate,
+		ReadBurst:   *readBurst,
+		ReadWidth:   *readWidth,
+		ReadQueue:   *readQueue,
+		AggTTL:      *aggTTL,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	log.Printf("serving on http://%s", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	return http.Serve(ln, srv.Handler())
+}
+
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	connect := fs.String("connect", "http://127.0.0.1:8080", "coordinator base URL")
+	sweep := fs.String("sweep", "", "sweep name (figure2..figure13; see 'figures -list')")
+	seed := fs.Int64("seed", 42, "base RNG seed")
+	samples := fs.Int("samples", 1000, "samples per secret (figures 7/8)")
+	bits := fs.Int("bits", 1000, "secret bits (figures 10/11)")
+	scale := fs.Int("scale", 10000, "workload scale (figure 12)")
+	fs.Parse(args)
+	if *sweep == "" {
+		return fmt.Errorf("submit: -sweep is required")
+	}
+	body := campaign.SubmitRequest{
+		Sweep:  *sweep,
+		Params: experiments.Params{Seed: *seed, Samples: *samples, Bits: *bits, Scale: *scale},
+	}
+	var st campaign.StatusResponse
+	if err := postJSON(*connect+"/v1/campaigns", body, &st); err != nil {
+		return err
+	}
+	log.Printf("campaign %s: %d cells (%d cached, %d done, %d pending)", st.ID, st.Total, st.Cached, st.Done, st.Pending)
+	fmt.Println(st.ID)
+	return nil
+}
+
+func awaitCmd(args []string) error {
+	fs := flag.NewFlagSet("await", flag.ExitOnError)
+	connect := fs.String("connect", "http://127.0.0.1:8080", "coordinator base URL")
+	id := fs.String("campaign", "", "campaign ID (from submit)")
+	csvOut := fs.String("csv-out", "", "write the results CSV here (default: stdout)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up after this long")
+	poll := fs.Duration("poll", 250*time.Millisecond, "status poll interval")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("await: -campaign is required")
+	}
+	deadline := time.Now().Add(*timeout) //simlint:wallclock await polls a live service
+	for {
+		var st campaign.StatusResponse
+		if err := getJSON(*connect+"/v1/campaigns/"+*id, &st); err != nil {
+			log.Printf("status poll: %v (retrying)", err)
+		} else if st.Complete {
+			if st.Quarantined > 0 {
+				log.Printf("warning: %d cell(s) quarantined; CSV has recorded gaps", st.Quarantined)
+			}
+			break
+		} else {
+			log.Printf("campaign %s: %d/%d done (%d leased, %d pending)", st.ID, st.Done, st.Total, st.Leased, st.Pending)
+		}
+		if time.Now().After(deadline) { //simlint:wallclock await polls a live service
+			return fmt.Errorf("await: campaign %s not complete after %s", *id, *timeout)
+		}
+		time.Sleep(*poll)
+	}
+	resp, err := http.Get(*connect + "/v1/campaigns/" + *id + "/results.csv")
+	if err != nil {
+		return fmt.Errorf("fetching results: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetching results: unexpected status %s", resp.Status)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading results: %w", err)
+	}
+	if *csvOut == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*csvOut, buf, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s (%d bytes)", *csvOut, len(buf))
+	return nil
+}
+
+// workerCmd delegates to the shared flag set (campaign.WorkerMain) so
+// `campaignd worker` and cmd/campaignw spell identical flags.
+func workerCmd(args []string, defaultName string) error {
+	return campaign.WorkerMain(args, defaultName, log.Printf)
+}
+
+func postJSON(url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("encoding request: %w", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

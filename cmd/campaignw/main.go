@@ -1,0 +1,24 @@
+// Command campaignw is a standalone campaign worker: it leases cells
+// from a campaignd coordinator, simulates them under a single-attempt
+// harness runner (retries are coordinator-driven), heartbeats while
+// running, and reports terminal records. Identical to
+// `campaignd worker` — a separate binary so orchestration scripts can
+// manage coordinator and workers independently.
+//
+// See docs/CAMPAIGND.md, including the -chaos-* fault flags.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaignw: ")
+	if err := campaign.WorkerMain(os.Args[1:], "campaignw", log.Printf); err != nil {
+		log.Fatal(err)
+	}
+}

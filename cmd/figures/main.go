@@ -375,6 +375,12 @@ func main() {
 			fmt.Printf("  wrote %s (campaign telemetry rollup)\n", *metrics)
 		}
 	}
+	// Surface torn/corrupt journal lines survived during -resume: the
+	// affected cells were re-executed, but the operator should know the
+	// journal took damage (typically a crash mid-append).
+	for _, warn := range runner.JournalWarnings() {
+		fmt.Fprintln(os.Stderr, "figures: journal:", warn)
+	}
 	if err := runner.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "figures: closing journal:", err)
 		infraErr = true

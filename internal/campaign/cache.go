@@ -1,0 +1,52 @@
+package campaign
+
+import "repro/internal/harness"
+
+// resultCache is the content-addressed result store: terminal harness
+// records keyed by cell name (sweep path + Key triple). Entries come
+// from worker completions and from the journal at boot, so the cache
+// survives coordinator crashes for free — the journal IS the cache's
+// durable form. A bounded cache evicts FIFO (oldest insertion first);
+// evicted cells fall back to the journal-resume path only if they are
+// re-submitted within the same journal's lifetime, otherwise they
+// re-simulate.
+type resultCache struct {
+	max     int // <=0: unbounded
+	entries map[string]harness.Record
+	order   []string // insertion order for FIFO eviction
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, entries: map[string]harness.Record{}}
+}
+
+func (c *resultCache) get(name string) (harness.Record, bool) {
+	rec, ok := c.entries[name]
+	return rec, ok
+}
+
+// put inserts (or overwrites) a terminal record, evicting the oldest
+// entries beyond the bound. Returns how many entries were evicted.
+func (c *resultCache) put(name string, rec harness.Record) int {
+	if _, exists := c.entries[name]; !exists {
+		c.order = append(c.order, name)
+	}
+	c.entries[name] = rec
+	evicted := 0
+	for c.max > 0 && len(c.entries) > c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		// order may carry names already displaced by overwrite churn;
+		// only a live entry counts as an eviction.
+		if _, ok := c.entries[oldest]; ok && oldest != name {
+			delete(c.entries, oldest)
+			evicted++
+		} else if oldest == name {
+			// Never evict the entry just inserted; rotate it to the back.
+			c.order = append(c.order, oldest)
+		}
+	}
+	return evicted
+}
+
+func (c *resultCache) len() int { return len(c.entries) }

@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// Key is the content address of one sweep cell: the triple the result
+// cache is keyed on. Two cells with equal keys are guaranteed to
+// simulate identically (the determinism contract: a cell's value is a
+// pure function of its configuration, seed and scheme), so a cached
+// result can be served in place of a re-simulation.
+type Key struct {
+	// Config is a hex digest over the sweep name, the cell ID and every
+	// non-seed parameter (normalized, so default spellings collide as
+	// they should).
+	Config string `json:"config"`
+	// Seed is the cell's base seed (retry attempts perturb the running
+	// seed but resolve to the same cell; the cache stores terminal
+	// outcomes only).
+	Seed int64 `json:"seed"`
+	// Scheme is the undo-scheme component for sweeps that shard across
+	// schemes (figure12); empty when the sweep pins a single scheme.
+	Scheme string `json:"scheme,omitempty"`
+}
+
+// String renders the canonical key form used in journal cell names.
+func (k Key) String() string {
+	return fmt.Sprintf("cfg=%s,seed=%d,scheme=%s", k.Config, k.Seed, k.Scheme)
+}
+
+// cellKey computes the content address of one cell.
+func cellKey(sweep string, p experiments.Params, cellID, scheme string, seed int64) Key {
+	p = p.Normalize()
+	h := sha256.New()
+	// Seed is deliberately excluded from the config digest: it is its
+	// own key component.
+	fmt.Fprintf(h, "%s\x00%s\x00samples=%d,bits=%d,scale=%d", sweep, cellID, p.Samples, p.Bits, p.Scale)
+	return Key{
+		Config: hex.EncodeToString(h.Sum(nil))[:16],
+		Seed:   seed,
+		Scheme: scheme,
+	}
+}
+
+// cellName builds the journal/cache name of a cell: the human-readable
+// sweep path plus the content key, so a journal line is greppable AND
+// collision-free across campaigns with different parameters.
+func cellName(sweep, cellID string, k Key) string {
+	return sweep + "/" + cellID + "@" + k.String()
+}
+
+// CampaignID derives the deterministic ID of a (sweep, params)
+// submission. Submission is idempotent: re-submitting the same sweep
+// returns the existing campaign instead of scheduling duplicate work.
+func CampaignID(sweep string, p experiments.Params) string {
+	p = p.Normalize()
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00seed=%d,samples=%d,bits=%d,scale=%d", sweep, p.Seed, p.Samples, p.Bits, p.Scale)
+	return "c" + hex.EncodeToString(h.Sum(nil))[:12]
+}
+
+// Campaign is one submitted sweep: its definition plus the jobs in
+// enumeration order (the order aggregation depends on).
+type Campaign struct {
+	ID     string
+	Sweep  string
+	Params experiments.Params
+
+	def  experiments.SweepDef
+	jobs []*job
+	csv  []byte // memoized aggregate (immutable once complete)
+}
+
+// EncodeCSV renders rows exactly as experiments.WriteCSV writes them
+// to disk, so a coordinator-served CSV is byte-comparable against a
+// single-process cmd/figures output.
+func EncodeCSV(rows [][]string) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.WriteAll(rows); err != nil {
+		return nil, fmt.Errorf("campaign: encoding csv: %w", err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, fmt.Errorf("campaign: encoding csv: %w", err)
+	}
+	return buf.Bytes(), nil
+}

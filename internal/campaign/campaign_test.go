@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+func TestCellKeyDeterministic(t *testing.T) {
+	p := experiments.Params{Seed: 7}.Normalize()
+	a := cellKey("figure3", p, "diff/3", "", 707)
+	b := cellKey("figure3", p, "diff/3", "", 707)
+	if a != b {
+		t.Fatalf("same inputs hashed differently: %v vs %v", a, b)
+	}
+	// Default spellings collide with explicit defaults (Normalize).
+	c := cellKey("figure3", experiments.Params{Seed: 7}.Normalize(), "diff/3", "", 707)
+	if a != c {
+		t.Fatalf("normalized params hashed differently: %v vs %v", a, c)
+	}
+}
+
+func TestCellKeySensitivity(t *testing.T) {
+	p := experiments.Params{Seed: 7}.Normalize()
+	base := cellKey("figure3", p, "diff/3", "", 707)
+	if k := cellKey("figure6", p, "diff/3", "", 707); k.Config == base.Config {
+		t.Fatal("sweep name not in config digest")
+	}
+	if k := cellKey("figure3", p, "diff/4", "", 707); k.Config == base.Config {
+		t.Fatal("cell ID not in config digest")
+	}
+	p2 := p
+	p2.Scale = 999
+	if k := cellKey("figure3", p2, "diff/3", "", 707); k.Config == base.Config {
+		t.Fatal("params not in config digest")
+	}
+	// Seed is its own key component, NOT part of the config digest.
+	if k := cellKey("figure3", p, "diff/3", "", 708); k.Config != base.Config {
+		t.Fatal("seed leaked into config digest")
+	} else if k == base {
+		t.Fatal("seed not a key component")
+	}
+	if k := cellKey("figure12", p, "bubblesort/const-65", "const-65", 707); k.Scheme != "const-65" {
+		t.Fatalf("scheme component = %q", k.Scheme)
+	}
+}
+
+func TestCellNameFormat(t *testing.T) {
+	k := Key{Config: "abcd1234", Seed: 42, Scheme: "log-2"}
+	name := cellName("figure12", "bubblesort/log-2", k)
+	want := "figure12/bubblesort/log-2@cfg=abcd1234,seed=42,scheme=log-2"
+	if name != want {
+		t.Fatalf("cellName = %q, want %q", name, want)
+	}
+	if !strings.Contains(name, k.String()) {
+		t.Fatal("cell name must embed the canonical key")
+	}
+}
+
+func TestCampaignIDIdempotent(t *testing.T) {
+	a := CampaignID("figure3", experiments.Params{})
+	b := CampaignID("figure3", experiments.Params{Seed: 42, Samples: 1000, Bits: 1000, Scale: 10000})
+	if a != b {
+		t.Fatalf("default spellings got different IDs: %s vs %s", a, b)
+	}
+	if c := CampaignID("figure3", experiments.Params{Seed: 43}); c == a {
+		t.Fatal("different seed, same campaign ID")
+	}
+	if c := CampaignID("figure6", experiments.Params{}); c == a {
+		t.Fatal("different sweep, same campaign ID")
+	}
+}
+
+func TestEncodeCSVMatchesRenderer(t *testing.T) {
+	rows := [][]string{{"a", "b"}, {"1", "2,with comma"}}
+	buf, err := EncodeCSV(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"2,with comma\"\n"
+	if string(buf) != want {
+		t.Fatalf("EncodeCSV = %q, want %q", buf, want)
+	}
+}
+
+func TestResultCacheFIFOEviction(t *testing.T) {
+	c := newResultCache(2)
+	rec := func(name string) harness.Record {
+		return harness.Record{Kind: harness.RecordKindCell, Cell: name, Class: harness.ClassOK}
+	}
+	c.put("a", rec("a"))
+	c.put("b", rec("b"))
+	if n := c.put("c", rec("c")); n != 1 {
+		t.Fatalf("expected 1 eviction, got %d", n)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, name := range []string{"b", "c"} {
+		if _, ok := c.get(name); !ok {
+			t.Fatalf("entry %q evicted out of order", name)
+		}
+	}
+	// Overwrites don't grow the cache.
+	c.put("c", rec("c"))
+	if c.len() != 2 {
+		t.Fatalf("len = %d after overwrite, want 2", c.len())
+	}
+}
+
+func TestResultCacheUnbounded(t *testing.T) {
+	c := newResultCache(0)
+	for i := 0; i < 100; i++ {
+		c.put(string(rune('a'+i%26))+string(rune('0'+i/26)), harness.Record{Kind: harness.RecordKindCell})
+	}
+	if c.len() != 100 {
+		t.Fatalf("unbounded cache evicted: len=%d", c.len())
+	}
+}

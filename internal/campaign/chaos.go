@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ChaosTransport is a deterministic fault-injecting http.RoundTripper:
+// it counts requests and, on a fixed cadence, drops them (transport
+// error without sending), duplicates them (sends twice, returns the
+// second response), or delays them. Counter-based rather than random,
+// so a chaos run is reproducible from its flag settings alone.
+//
+// Duplication is the interesting one for exactly-once accounting: a
+// duplicated /v1/complete must not double-count a cell (the second
+// copy hits a dead lease and gets 410).
+type ChaosTransport struct {
+	// Base is the real transport; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// DropEvery drops every Nth request (0 disables).
+	DropEvery int
+	// DupEvery duplicates every Nth request (0 disables).
+	DupEvery int
+	// DelayEvery delays every Nth request by Delay (0 disables).
+	DelayEvery int
+	Delay      time.Duration
+
+	mu sync.Mutex
+	n  int
+}
+
+// ErrChaosDrop marks a request eaten by the chaos transport.
+var ErrChaosDrop = fmt.Errorf("campaign: chaos transport dropped request")
+
+func (t *ChaosTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.n++
+	n := t.n
+	t.mu.Unlock()
+
+	// Buffer the body so the request can be replayed (dup) or safely
+	// discarded (drop) — http.Request bodies are one-shot streams.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: chaos transport reading body: %w", err)
+		}
+	}
+	fresh := func() *http.Request {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return r
+	}
+
+	if t.DropEvery > 0 && n%t.DropEvery == 0 {
+		return nil, fmt.Errorf("%w (request %d %s %s)", ErrChaosDrop, n, req.Method, req.URL.Path)
+	}
+	if t.DelayEvery > 0 && n%t.DelayEvery == 0 && t.Delay > 0 {
+		time.Sleep(t.Delay)
+	}
+	if t.DupEvery > 0 && n%t.DupEvery == 0 {
+		// First copy: send and discard (the caller never sees it, like
+		// a response lost in the network after the server processed it).
+		if resp, err := t.base().RoundTrip(fresh()); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	return t.base().RoundTrip(fresh())
+}

@@ -1,0 +1,247 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+func TestChaosTransportDropAndDup(t *testing.T) {
+	var mu sync.Mutex
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != "ping" {
+			t.Errorf("body %q lost in replay", body)
+		}
+		mu.Lock()
+		hits++
+		mu.Unlock()
+	}))
+	defer ts.Close()
+
+	ct := &ChaosTransport{DropEvery: 3, DupEvery: 4}
+	client := &http.Client{Transport: ct}
+	drops := 0
+	for i := 0; i < 12; i++ {
+		resp, err := client.Post(ts.URL, "text/plain", strings.NewReader("ping"))
+		if err != nil {
+			drops++
+			continue
+		}
+		resp.Body.Close()
+	}
+	if drops != 4 {
+		t.Fatalf("drops = %d, want 4 (every 3rd of 12)", drops)
+	}
+	// 12 requests, 4 dropped (3,6,9,12); of the 8 sent, requests 4 and
+	// 8 are duplicated (12 dropped first): 8 + 2 = 10 server hits.
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 10 {
+		t.Fatalf("server hits = %d, want 10", hits)
+	}
+}
+
+// TestChaosCampaignByteIdenticalCSV is the chaos harness: a campaign
+// survives a chaos-killed worker, RPC drop/dup/delay, and a
+// coordinator crash-restart mid-campaign, and the final aggregated CSV
+// is byte-identical to a single-process run. A third coordinator boot
+// then proves cache-warm resubmission: every cell served from the
+// journal-seeded cache, zero re-simulated.
+func TestChaosCampaignByteIdenticalCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign is a multi-second integration test")
+	}
+	p := experiments.Params{Seed: 11}.Normalize()
+
+	// Reference: the single-process path (what cmd/figures writes).
+	pts, _, err := experiments.Figure3With(nil, p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeCSV(experiments.DiffCSV(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jpath := filepath.Join(t.TempDir(), "campaign.jsonl")
+	serverCfg := Config{
+		JournalPath: jpath,
+		Resume:      true,
+		LeaseTTL:    500 * time.Millisecond,
+		MaxAttempts: 5,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Logf:        t.Logf,
+	}
+
+	// --- Phase A: partial progress, then everything dies. ---
+	srvA, err := NewServer(serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	stA, err := srvA.Submit("figure3", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Total < 4 {
+		t.Fatalf("figure3 too small for a mid-campaign kill: %d cells", stA.Total)
+	}
+
+	runWorker := func(wg *sync.WaitGroup, cfg WorkerConfig) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunWorker(cfg); err != nil {
+				t.Logf("worker %s exited: %v", cfg.Name, err)
+			}
+		}()
+	}
+	var wgA sync.WaitGroup
+	runWorker(&wgA, WorkerConfig{
+		BaseURL: tsA.URL, Name: "a1", PollInterval: 20 * time.Millisecond,
+		MaxCells: 2, Logf: t.Logf,
+	})
+	runWorker(&wgA, WorkerConfig{
+		BaseURL: tsA.URL, Name: "a2", PollInterval: 20 * time.Millisecond,
+		KillAfter: 2, Kill: func() {}, Logf: t.Logf, // dies holding its 2nd lease
+	})
+	wgA.Wait()
+
+	stMid, err := srvA.Submit("figure3", p) // idempotent status read
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stMid.Done == 0 || stMid.Complete {
+		t.Fatalf("phase A should end mid-campaign: %+v", stMid)
+	}
+	t.Logf("phase A: %d/%d done, killing coordinator", stMid.Done, stMid.Total)
+	tsA.Close()
+	srvA.Close() // coordinator crash: only the journal survives
+
+	// --- Phase B: restarted coordinator + chaotic workers finish. ---
+	srvB, err := NewServer(serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsB := httptest.NewServer(srvB.Handler())
+	stB, err := srvB.Submit("figure3", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stB.Cached != stMid.Done {
+		t.Fatalf("restart lost results: %d cached, want %d", stB.Cached, stMid.Done)
+	}
+	var wgB sync.WaitGroup
+	runWorker(&wgB, WorkerConfig{
+		BaseURL: tsB.URL, Name: "b1", PollInterval: 20 * time.Millisecond,
+		Client: &http.Client{Transport: &ChaosTransport{DropEvery: 7, DupEvery: 5}},
+		Logf:   t.Logf,
+	})
+	runWorker(&wgB, WorkerConfig{
+		BaseURL: tsB.URL, Name: "b2", PollInterval: 20 * time.Millisecond,
+		Client: &http.Client{Transport: &ChaosTransport{DelayEvery: 3, Delay: 10 * time.Millisecond}},
+		Logf:   t.Logf,
+	})
+	deadline := time.Now().Add(60 * time.Second) //simlint:wallclock integration test deadline
+	for {
+		st, err := srvB.Submit("figure3", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Complete {
+			if st.Quarantined != 0 {
+				t.Fatalf("chaos run quarantined %d cells; expected clean completion", st.Quarantined)
+			}
+			break
+		}
+		if time.Now().After(deadline) { //simlint:wallclock integration test deadline
+			t.Fatalf("campaign never completed: %+v", st)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err := http.Get(tsB.URL + "/v1/campaigns/" + stB.ID + "/results.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chaos CSV diverges from single-process run:\n got: %q\nwant: %q", got, want)
+	}
+	tsB.Close()
+	wgB.Wait() // workers drain on transport errors / idle polls
+	srvB.Close()
+
+	// No cell lost or double-counted: every journal record is unique
+	// and the journal covers exactly the campaign's cells.
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, ln := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(ln)) == 0 {
+			continue
+		}
+		var rec harness.Record
+		if err := json.Unmarshal(ln, &rec); err != nil {
+			t.Fatalf("corrupt journal line: %v", err)
+		}
+		if rec.Kind == harness.RecordKindCell {
+			lines++
+		}
+	}
+	recs, warns, err := harness.ReadRecords(jpath)
+	if err != nil || len(warns) > 0 {
+		t.Fatalf("journal read: %v %v", err, warns)
+	}
+	if lines != len(recs) {
+		t.Fatalf("journal has %d cell lines but %d unique cells: a cell was double-counted", lines, len(recs))
+	}
+	if lines != stB.Total {
+		t.Fatalf("journal covers %d cells, campaign has %d", lines, stB.Total)
+	}
+
+	// --- Phase C: cache-warm resubmission, zero re-simulation. ---
+	srvC, err := NewServer(serverCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvC.Close()
+	stC, err := srvC.Submit("figure3", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stC.Complete || stC.Cached != stC.Total || stC.Pending != 0 {
+		t.Fatalf("cache-warm resubmit should be instantly complete: %+v", stC)
+	}
+	tsC := httptest.NewServer(srvC.Handler())
+	defer tsC.Close()
+	resp, err = http.Get(tsC.URL + "/v1/campaigns/" + stC.ID + "/results.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got2, want) {
+		t.Fatalf("cache-warm CSV diverges:\n got: %q\nwant: %q", got2, want)
+	}
+}

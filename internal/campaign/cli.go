@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"time"
+)
+
+// WorkerMain parses worker flags and runs the lease loop; it backs
+// both `campaignd worker` and the standalone cmd/campaignw binary so
+// the two spell identical flags.
+func WorkerMain(args []string, defaultName string, logf func(format string, v ...any)) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	connect := fs.String("connect", "http://127.0.0.1:8080", "coordinator base URL")
+	name := fs.String("name", defaultName, "worker name (coordinator logs)")
+	poll := fs.Duration("poll", 250*time.Millisecond, "idle poll interval")
+	trialTimeout := fs.Duration("trial-timeout", 2*time.Minute, "per-cell wall-clock budget (0: none)")
+	maxCells := fs.Int("max-cells", 0, "exit after N completed cells (0: unlimited)")
+	killAfter := fs.Int("chaos-kill-after", 0, "chaos: exit(137) holding the Nth lease (0: never)")
+	dropEvery := fs.Int("chaos-drop-every", 0, "chaos: drop every Nth RPC (0: never)")
+	dupEvery := fs.Int("chaos-dup-every", 0, "chaos: duplicate every Nth RPC (0: never)")
+	delayEvery := fs.Int("chaos-delay-every", 0, "chaos: delay every Nth RPC (0: never)")
+	delay := fs.Duration("chaos-delay", 50*time.Millisecond, "chaos: injected RPC delay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	client := http.DefaultClient
+	if *dropEvery > 0 || *dupEvery > 0 || *delayEvery > 0 {
+		client = &http.Client{Transport: &ChaosTransport{
+			DropEvery:  *dropEvery,
+			DupEvery:   *dupEvery,
+			DelayEvery: *delayEvery,
+			Delay:      *delay,
+		}}
+	}
+	return RunWorker(WorkerConfig{
+		BaseURL:      *connect,
+		Name:         *name,
+		Client:       client,
+		PollInterval: *poll,
+		TrialTimeout: *trialTimeout,
+		MaxCells:     *maxCells,
+		KillAfter:    *killAfter,
+		Kill:         func() { os.Exit(137) },
+		Logf:         logf,
+	})
+}

@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the read-path degradation ladder (docs/CAMPAIGND.md):
+//
+//	limiter — token bucket; excess requests get 429 + Retry-After
+//	gate    — bounded concurrency with a bounded wait queue; overflow
+//	          gets 503 + Retry-After instead of an unbounded pile-up
+//	memo    — TTL'd aggregate cache with single-flight recompute that
+//	          serves the stale value while a fresh one is being built
+//
+// Everything takes the current time as an argument (the Server owns
+// the clock), so the ladder is deterministic under test.
+
+// limiter is a token bucket: capacity burst, refilled at rate/sec.
+type limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <=0 disables the limiter
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// allow consumes a token if one is available; otherwise it reports the
+// duration after which a token will exist (the Retry-After hint).
+func (l *limiter) allow(now time.Time) (bool, time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - l.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After is whole seconds; round up
+	}
+	return false, wait
+}
+
+// gate bounds in-flight requests to width, with at most queueLen
+// callers parked waiting for a slot. A full queue sheds immediately
+// (ErrOverloaded) rather than letting latency grow without bound.
+type gate struct {
+	slots   chan struct{}
+	waiters chan struct{}
+	retry   time.Duration
+}
+
+func newGate(width, queueLen int, retry time.Duration) *gate {
+	if width <= 0 {
+		width = 8
+	}
+	if queueLen < 0 {
+		queueLen = 0
+	}
+	if retry <= 0 {
+		retry = time.Second
+	}
+	return &gate{
+		slots:   make(chan struct{}, width),
+		waiters: make(chan struct{}, width+queueLen),
+		retry:   retry,
+	}
+}
+
+// enter claims a slot, waiting in the bounded queue if necessary.
+// On success the returned release must be called exactly once. On
+// overflow it returns ErrOverloaded with a Retry-After hint.
+func (g *gate) enter() (release func(), retryAfter time.Duration, err error) {
+	select {
+	case g.waiters <- struct{}{}:
+	default:
+		return nil, g.retry, ErrOverloaded
+	}
+	g.slots <- struct{}{} // bounded wait: at most queueLen others ahead
+	return func() {
+		<-g.slots
+		<-g.waiters
+	}, 0, nil
+}
+
+// memo caches one expensive aggregate with a TTL. Within the TTL the
+// cached value is served directly. Past it, ONE caller recomputes
+// (single-flight) while everyone else keeps getting the stale value —
+// reads stay fast and bounded even when recomputation is slow.
+type memo struct {
+	mu       sync.Mutex
+	ttl      time.Duration
+	val      any
+	at       time.Time
+	have     bool
+	inflight bool
+}
+
+func newMemo(ttl time.Duration) *memo {
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	return &memo{ttl: ttl}
+}
+
+// get returns the memoized value, recomputing via fn when the TTL has
+// lapsed. stale reports that the returned value predates the TTL (a
+// concurrent caller is refreshing it).
+func (m *memo) get(now time.Time, fn func() (any, error)) (v any, stale bool, err error) {
+	m.mu.Lock()
+	if m.have && now.Sub(m.at) < m.ttl {
+		v = m.val
+		m.mu.Unlock()
+		return v, false, nil
+	}
+	if m.inflight {
+		// Someone is already recomputing: serve stale if we can.
+		if m.have {
+			v = m.val
+			m.mu.Unlock()
+			return v, true, nil
+		}
+		// Nothing cached yet — fall through and compute too (first
+		// requests racing on a cold cache all pay; the gate bounds them).
+	}
+	m.inflight = true
+	m.mu.Unlock()
+
+	v, err = fn()
+
+	m.mu.Lock()
+	m.inflight = false
+	if err == nil {
+		m.val, m.at, m.have = v, now, true
+	}
+	m.mu.Unlock()
+	return v, false, err
+}
+
+// invalidate drops the cached value (called when new results land).
+func (m *memo) invalidate() {
+	m.mu.Lock()
+	m.have = false
+	m.val = nil
+	m.mu.Unlock()
+}

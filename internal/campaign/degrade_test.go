@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var epoch = time.Unix(1_000_000_000, 0)
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	l := newLimiter(2, 2) // 2 req/s, burst 2
+	now := epoch
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow(now); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.allow(now)
+	if ok {
+		t.Fatal("over-burst request allowed")
+	}
+	if wait < time.Second {
+		t.Fatalf("Retry-After hint %v, want >= 1s (whole seconds)", wait)
+	}
+	// Half a second refills one token at 2/s.
+	if ok, _ := l.allow(now.Add(500 * time.Millisecond)); !ok {
+		t.Fatal("refilled token rejected")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := newLimiter(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := l.allow(epoch); !ok {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+}
+
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	// Width 1, queue 0: one holder fills both the slot and the (only)
+	// waiter token, so the next caller sheds synchronously.
+	g := newGate(1, 0, 2*time.Second)
+	rel, _, err := g.enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, retry, err := g.enter()
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full gate returned %v, want ErrOverloaded", err)
+	}
+	if retry != 2*time.Second {
+		t.Fatalf("retry hint %v, want 2s", retry)
+	}
+	rel()
+	// Released: the next caller gets in again.
+	rel2, _, err := g.enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+func TestGateParksBoundedWaiters(t *testing.T) {
+	g := newGate(1, 1, time.Second)
+	rel1, _, err := g.enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second caller parks in the bounded queue.
+	entered := make(chan func(), 1)
+	go func() {
+		rel, _, err := g.enter()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		entered <- rel
+	}()
+	// Wait until it holds the waiter token, then a third caller sheds.
+	for len(g.waiters) < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := g.enter(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow caller got %v, want ErrOverloaded", err)
+	}
+	rel1() // free the slot; the parked waiter proceeds
+	select {
+	case rel := <-entered:
+		rel()
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked waiter never got the slot")
+	}
+}
+
+func TestMemoTTLAndInvalidate(t *testing.T) {
+	m := newMemo(time.Second)
+	calls := 0
+	fn := func() (any, error) { calls++; return calls, nil }
+
+	v, stale, err := m.get(epoch, fn)
+	if err != nil || stale || v.(int) != 1 {
+		t.Fatalf("first get = (%v, %v, %v)", v, stale, err)
+	}
+	// Within TTL: served from cache.
+	if v, _, _ = m.get(epoch.Add(500*time.Millisecond), fn); v.(int) != 1 {
+		t.Fatalf("cached get recomputed: %v", v)
+	}
+	// Past TTL: recomputed.
+	if v, _, _ = m.get(epoch.Add(2*time.Second), fn); v.(int) != 2 {
+		t.Fatalf("expired get served stale: %v", v)
+	}
+	m.invalidate()
+	if v, _, _ = m.get(epoch.Add(2*time.Second), fn); v.(int) != 3 {
+		t.Fatalf("invalidated get served stale: %v", v)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestMemoServesStaleDuringRecompute(t *testing.T) {
+	m := newMemo(time.Second)
+	if _, _, err := m.get(epoch, func() (any, error) { return "fresh", nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an in-flight recompute: a second caller past the TTL
+	// must get the stale value immediately, not block.
+	m.mu.Lock()
+	m.inflight = true
+	m.mu.Unlock()
+	v, stale, err := m.get(epoch.Add(2*time.Second), func() (any, error) {
+		t.Fatal("stale path must not recompute")
+		return nil, nil
+	})
+	if err != nil || !stale || v.(string) != "fresh" {
+		t.Fatalf("stale get = (%v, %v, %v), want (fresh, true, nil)", v, stale, err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package campaign is the distributed campaign service behind
+// cmd/campaignd: it shards a figure sweep into content-addressed cells,
+// serves them to worker processes over a lease-based work-stealing
+// queue, requeues the leases of dead workers with exponential backoff,
+// quarantines poison cells, memoizes results across campaigns, and
+// journals every terminal cell through the harness JSONL format so a
+// killed-and-restarted coordinator resumes byte-identically.
+//
+// See docs/CAMPAIGND.md for the HTTP API, lease/retry/quarantine
+// semantics, cache keying and the chaos harness.
+package campaign
+
+import "errors"
+
+// Typed sentinels, compared with errors.Is (never ==; simlint typederr
+// enforces the discipline repo-wide).
+var (
+	// ErrNoWork means no cell is leasable right now: everything is
+	// done, leased out, or backing off. Workers should retry after the
+	// hinted delay.
+	ErrNoWork = errors.New("campaign: no work available")
+	// ErrLeaseGone means the lease is unknown: expired and reaped,
+	// already completed, or never granted. The worker's result (if any)
+	// is discarded — the cell was or will be served by another lease.
+	ErrLeaseGone = errors.New("campaign: lease expired or unknown")
+	// ErrUnknownCampaign means the campaign ID is not registered with
+	// this coordinator (submit the sweep first; submission is
+	// idempotent).
+	ErrUnknownCampaign = errors.New("campaign: unknown campaign")
+	// ErrUnknownSweep means the sweep name has no shardable definition
+	// (see experiments.Sweeps).
+	ErrUnknownSweep = errors.New("campaign: unknown sweep")
+	// ErrIncomplete means aggregated results were requested before
+	// every cell reached a terminal state.
+	ErrIncomplete = errors.New("campaign: campaign incomplete")
+	// ErrOverloaded means a read endpoint shed the request to protect
+	// the coordinator; retry after the hinted delay.
+	ErrOverloaded = errors.New("campaign: overloaded")
+)

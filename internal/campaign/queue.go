@@ -1,0 +1,222 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// cellState is the lifecycle of one queued cell.
+type cellState int
+
+const (
+	statePending cellState = iota // waiting (possibly backing off) for a lease
+	stateLeased                   // held by a worker under a live lease
+	stateDone                     // terminal outcome recorded (ok or gap)
+	stateQuarantined              // poison cell: exhausted its attempt budget
+)
+
+// job is one sweep cell flowing through the queue.
+type job struct {
+	campaign *Campaign
+	index    int    // position in the campaign's enumeration order
+	cellID   string // bare cell ID within the sweep
+	name     string // journal/cache name (sweep path + content key)
+	key      Key
+	seed     int64 // base seed; content failures perturb the running seed
+
+	state    cellState
+	attempts int // attempts charged: every lease grant, including ones lost to dead workers
+	failures int // content failures reported by workers (drives seed perturbation)
+	readyAt  time.Time
+	leaseID  string
+	cached   bool
+	rec      *harness.Record // terminal record (value or recorded gap)
+}
+
+// fullID is the harness-style namespaced cell path.
+func (j *job) fullID() string { return j.campaign.Sweep + "/" + j.cellID }
+
+// lease is one worker's claim on a job. Leases expire: a worker that
+// stops heartbeating is presumed dead and its cell is requeued.
+type lease struct {
+	id       string
+	worker   string
+	job      *job
+	deadline time.Time
+	seed     int64 // the seed this attempt must run with
+}
+
+// queue is the lease-based work-stealing core. It is not safe for
+// concurrent use: the Server serializes access under its own mutex and
+// threads the current time through every call, so queue behavior is a
+// pure function of its inputs (testable with a fake clock, exercised
+// deterministically by the chaos suite).
+type queue struct {
+	leaseTTL    time.Duration
+	maxAttempts int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	jobs   []*job // global lease-priority order (campaign submit order)
+	byName map[string]*job
+	leases map[string]*lease
+	seq    uint64
+}
+
+func newQueue(leaseTTL time.Duration, maxAttempts int, backoffBase, backoffMax time.Duration) *queue {
+	if leaseTTL <= 0 {
+		leaseTTL = 30 * time.Second
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = 5
+	}
+	if backoffBase <= 0 {
+		backoffBase = 500 * time.Millisecond
+	}
+	if backoffMax <= 0 {
+		backoffMax = 15 * time.Second
+	}
+	return &queue{
+		leaseTTL:    leaseTTL,
+		maxAttempts: maxAttempts,
+		backoffBase: backoffBase,
+		backoffMax:  backoffMax,
+		byName:      map[string]*job{},
+		leases:      map[string]*lease{},
+	}
+}
+
+// add registers a job (pending jobs become leasable immediately).
+func (q *queue) add(j *job) {
+	q.jobs = append(q.jobs, j)
+	q.byName[j.name] = j
+}
+
+// acquire leases the first ready pending job to worker. When nothing
+// is ready it returns ErrNoWork plus a retry hint: the time until the
+// earliest backoff expires, or the lease TTL when nothing is pending
+// at all (work may appear when leases die or campaigns arrive).
+func (q *queue) acquire(now time.Time, worker string) (*lease, time.Duration, error) {
+	var next time.Time
+	for _, j := range q.jobs {
+		if j.state != statePending {
+			continue
+		}
+		if j.readyAt.After(now) {
+			if next.IsZero() || j.readyAt.Before(next) {
+				next = j.readyAt
+			}
+			continue
+		}
+		seed := j.seed
+		if j.failures > 0 {
+			seed = harness.PerturbSeed(j.seed, j.failures+1)
+		}
+		q.seq++
+		l := &lease{
+			id:       fmt.Sprintf("L%08d", q.seq),
+			worker:   worker,
+			job:      j,
+			deadline: now.Add(q.leaseTTL),
+			seed:     seed,
+		}
+		j.state = stateLeased
+		j.leaseID = l.id
+		j.attempts++ // charged at grant: a vanished worker still spent an attempt
+		q.leases[l.id] = l
+		return l, 0, nil
+	}
+	hint := q.leaseTTL
+	if !next.IsZero() {
+		hint = next.Sub(now)
+		if hint <= 0 {
+			hint = time.Millisecond
+		}
+	}
+	return nil, hint, ErrNoWork
+}
+
+// heartbeat extends a live lease's deadline.
+func (q *queue) heartbeat(now time.Time, leaseID string) error {
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return ErrLeaseGone
+	}
+	l.deadline = now.Add(q.leaseTTL)
+	return nil
+}
+
+// release drops a lease without touching its job's state.
+func (q *queue) release(l *lease) {
+	delete(q.leases, l.id)
+	l.job.leaseID = ""
+}
+
+// completion statuses returned by complete and reap.
+const (
+	completeDone        = "done"        // terminal outcome (ok, or non-retryable gap)
+	completeRequeued    = "requeued"    // retryable failure: backing off for another lease
+	completeQuarantined = "quarantined" // attempt budget exhausted: poison cell, recorded gap
+)
+
+// complete resolves a lease with the worker-reported class and returns
+// the job plus what happened to it. The caller journals terminal
+// records. Retry policy reuses the harness taxonomy: only retryable
+// classes (panic/timeout/deadline/transient) earn another lease, with
+// exponential backoff + deterministic jitter; deterministic errors and
+// successes are terminal on the spot.
+func (q *queue) complete(now time.Time, leaseID string, class harness.Class) (*job, string, error) {
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return nil, "", ErrLeaseGone
+	}
+	j := l.job
+	q.release(l)
+	if class == harness.ClassOK || !class.Retryable() {
+		j.state = stateDone
+		return j, completeDone, nil
+	}
+	j.failures++
+	return j, q.requeue(now, j), nil
+}
+
+// requeue sends a failed job back to pending with backoff, or
+// quarantines it when the attempt budget is spent.
+func (q *queue) requeue(now time.Time, j *job) string {
+	if j.attempts >= q.maxAttempts {
+		j.state = stateQuarantined
+		return completeQuarantined
+	}
+	j.state = statePending
+	j.readyAt = now.Add(harness.Backoff(q.backoffBase, q.backoffMax, j.seed, j.attempts))
+	return completeRequeued
+}
+
+// reap expires dead leases: each expired job is requeued with backoff
+// (same seed — the cell did nothing wrong, its worker died) or
+// quarantined when its budget is spent. Returns the requeued and
+// quarantined jobs so the server can count and journal them.
+func (q *queue) reap(now time.Time) (requeued, quarantined []*job) {
+	var expired []string
+	for id, l := range q.leases {
+		if now.After(l.deadline) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Strings(expired)
+	for _, id := range expired {
+		l := q.leases[id]
+		j := l.job
+		q.release(l)
+		switch q.requeue(now, j) {
+		case completeQuarantined:
+			quarantined = append(quarantined, j)
+		default:
+			requeued = append(requeued, j)
+		}
+	}
+	return requeued, quarantined
+}

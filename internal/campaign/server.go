@@ -1,0 +1,641 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// JournalPath is the JSONL journal terminal cell results append to
+	// (harness format). Empty disables durability: a crash loses
+	// everything. With Resume set, existing records seed the result
+	// cache at boot so a restarted coordinator picks up mid-campaign.
+	JournalPath string
+	Resume      bool
+
+	// LeaseTTL is how long a worker may go without a heartbeat before
+	// its lease is reaped. <=0 means 30s.
+	LeaseTTL time.Duration
+	// MaxAttempts is the per-cell lease budget before quarantine.
+	// <=0 means 5.
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the requeue backoff (exponential,
+	// deterministic ±25% jitter). <=0 means 500ms / 15s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// CacheSize bounds the in-memory result cache (FIFO eviction).
+	// <=0 means unbounded.
+	CacheSize int
+
+	// ReadRate/ReadBurst rate-limit the read endpoints (/progress,
+	// /metrics, campaign status, results CSV): requests per second and
+	// bucket size. ReadRate <=0 disables limiting.
+	ReadRate  float64
+	ReadBurst int
+	// ReadWidth bounds concurrent read handlers; ReadQueue bounds how
+	// many more may wait for a slot before shedding with 503.
+	// ReadWidth <=0 means 8; ReadQueue <0 means 16.
+	ReadWidth int
+	ReadQueue int
+	// AggTTL is how long the /progress aggregate may be served from
+	// cache (stale-but-fast). <=0 means 1s.
+	AggTTL time.Duration
+
+	// Metrics receives coordinator counters and absorbed worker
+	// snapshots; nil allocates a private registry.
+	Metrics *telemetry.Registry
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// Now is the clock; nil means real time. Tests inject fakes so
+	// lease expiry and backoff are deterministic.
+	Now func() time.Time
+}
+
+// Server is the campaign coordinator: HTTP handlers over the lease
+// queue, result cache, journal and degradation ladder. One mutex
+// serializes all queue/cache state; handlers do no simulation work, so
+// the critical sections are short.
+type Server struct {
+	cfg  Config
+	now  func() time.Time
+	logf func(string, ...any)
+
+	mu        sync.Mutex
+	q         *queue
+	campaigns map[string]*Campaign
+	order     []string // campaign IDs in submission order
+	cache     *resultCache
+	journal   *harness.Journal
+
+	reg      *telemetry.Registry
+	limiter  *limiter
+	gate     *gate
+	progress *memo
+
+	cLeases      *telemetry.Counter
+	cExpired     *telemetry.Counter
+	cDone        *telemetry.Counter
+	cRequeued    *telemetry.Counter
+	cQuarantined *telemetry.Counter
+	cCacheHits   *telemetry.Counter
+	cEvicted     *telemetry.Counter
+	cShed        *telemetry.Counter
+}
+
+// NewServer builds a coordinator, replaying the journal (when
+// configured for resume) into the result cache so previously completed
+// cells are never re-simulated.
+func NewServer(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:       cfg,
+		q:         newQueue(cfg.LeaseTTL, cfg.MaxAttempts, cfg.BackoffBase, cfg.BackoffMax),
+		campaigns: map[string]*Campaign{},
+		cache:     newResultCache(cfg.CacheSize),
+		reg:       cfg.Metrics,
+	}
+	s.now = cfg.Now
+	if s.now == nil {
+		s.now = func() time.Time { return time.Now() } //simlint:wallclock lease deadlines are genuine wall time
+	}
+	s.logf = cfg.Logf
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	queueLen := cfg.ReadQueue
+	if queueLen == 0 {
+		queueLen = 16
+	}
+	s.limiter = newLimiter(cfg.ReadRate, cfg.ReadBurst)
+	s.gate = newGate(cfg.ReadWidth, queueLen, time.Second)
+	s.progress = newMemo(cfg.AggTTL)
+
+	s.cLeases = s.reg.Counter("campaign_leases_granted_total", "leases handed to workers")
+	s.cExpired = s.reg.Counter("campaign_leases_expired_total", "leases reaped after heartbeat loss")
+	s.cDone = s.reg.Counter("campaign_cells_done_total", "cells reaching a terminal outcome")
+	s.cRequeued = s.reg.Counter("campaign_cells_requeued_total", "cells sent back for another lease")
+	s.cQuarantined = s.reg.Counter("campaign_cells_quarantined_total", "poison cells out of attempts")
+	s.cCacheHits = s.reg.Counter("campaign_cache_hits_total", "cells served from the result cache")
+	s.cEvicted = s.reg.Counter("campaign_cache_evictions_total", "cache entries evicted (FIFO bound)")
+	s.cShed = s.reg.Counter("campaign_reads_shed_total", "read requests rejected by the degradation ladder")
+
+	if cfg.JournalPath != "" {
+		if cfg.Resume {
+			recs, warns, err := harness.ReadRecords(cfg.JournalPath)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: resuming journal: %w", err)
+			}
+			for _, w := range warns {
+				s.logf("campaign: journal warning: %s", w)
+			}
+			for name, rec := range recs {
+				s.cache.put(name, rec)
+			}
+			if len(recs) > 0 {
+				s.logf("campaign: resumed %d cell results from %s", len(recs), cfg.JournalPath)
+			}
+		}
+		j, err := harness.OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: opening journal: %w", err)
+		}
+		s.journal = j
+	}
+	return s, nil
+}
+
+// Close releases the journal.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		err := s.journal.Close()
+		s.journal = nil
+		return err
+	}
+	return nil
+}
+
+// Submit registers a campaign (idempotently) and returns its status.
+// Cells with cached results complete instantly; the rest join the
+// lease queue.
+func (s *Server) Submit(sweep string, p experiments.Params) (StatusResponse, error) {
+	def, ok := experiments.SweepByName(sweep)
+	if !ok {
+		return StatusResponse{}, fmt.Errorf("%w: %q", ErrUnknownSweep, sweep)
+	}
+	p = p.Normalize()
+	id := CampaignID(sweep, p)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.campaigns[id]; ok {
+		return s.statusLocked(c), nil
+	}
+	c := &Campaign{ID: id, Sweep: sweep, Params: p, def: def}
+	cells := def.Cells(p)
+	for i, cell := range cells {
+		scheme := ""
+		if def.Scheme != nil {
+			scheme = def.Scheme(cell.ID)
+		}
+		k := cellKey(sweep, p, cell.ID, scheme, cell.Seed)
+		j := &job{
+			campaign: c,
+			index:    i,
+			cellID:   cell.ID,
+			name:     cellName(sweep, cell.ID, k),
+			key:      k,
+			seed:     cell.Seed,
+			state:    statePending,
+		}
+		if rec, hit := s.cache.get(j.name); hit {
+			cp := rec
+			j.rec = &cp
+			j.state = stateDone
+			j.cached = true
+			s.cCacheHits.Inc()
+			if rec.Metrics != nil {
+				s.reg.Absorb(*rec.Metrics)
+			}
+		}
+		c.jobs = append(c.jobs, j)
+		s.q.add(j)
+	}
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	s.progress.invalidate()
+	s.logf("campaign: submitted %s (%s, %d cells, %d cached)", id, sweep, len(c.jobs), cachedCount(c))
+	return s.statusLocked(c), nil
+}
+
+func cachedCount(c *Campaign) int {
+	n := 0
+	for _, j := range c.jobs {
+		if j.cached {
+			n++
+		}
+	}
+	return n
+}
+
+// reapLocked expires dead leases, journaling quarantined cells as
+// terminal deadline gaps. Callers hold s.mu.
+func (s *Server) reapLocked(now time.Time) {
+	requeued, quarantined := s.q.reap(now)
+	for _, j := range requeued {
+		s.cExpired.Inc()
+		s.cRequeued.Inc()
+		s.logf("campaign: lease expired, requeued %s (attempt %d/%d)", j.fullID(), j.attempts, s.q.maxAttempts)
+	}
+	for _, j := range quarantined {
+		s.cExpired.Inc()
+		rec := harness.Record{
+			Kind:     harness.RecordKindCell,
+			Cell:     j.name,
+			Seed:     j.seed,
+			Attempts: j.attempts,
+			Class:    harness.ClassDeadline,
+			Error:    fmt.Sprintf("campaign: quarantined after %d expired/failed attempts", j.attempts),
+		}
+		s.finishLocked(j, rec, true)
+		s.logf("campaign: quarantined %s after %d attempts", j.fullID(), j.attempts)
+	}
+}
+
+// finishLocked journals and caches a job's terminal record. Callers
+// hold s.mu.
+func (s *Server) finishLocked(j *job, rec harness.Record, quarantined bool) {
+	rec.Kind = harness.RecordKindCell
+	rec.Cell = j.name // content-addressed name, not the worker's local ID
+	j.rec = &rec
+	if quarantined {
+		j.state = stateQuarantined
+		s.cQuarantined.Inc()
+	} else {
+		j.state = stateDone
+		s.cDone.Inc()
+	}
+	s.cEvicted.Add(uint64(s.cache.put(j.name, rec)))
+	if s.journal != nil {
+		if err := s.journal.Append(rec); err != nil {
+			s.logf("campaign: journal append failed for %s: %v", j.name, err)
+		}
+	}
+	if rec.Metrics != nil {
+		s.reg.Absorb(*rec.Metrics)
+	}
+	s.progress.invalidate()
+}
+
+// statusLocked summarizes a campaign. Callers hold s.mu.
+func (s *Server) statusLocked(c *Campaign) StatusResponse {
+	st := StatusResponse{ID: c.ID, Sweep: c.Sweep, Params: c.Params, Total: len(c.jobs)}
+	for _, j := range c.jobs {
+		switch j.state {
+		case stateDone:
+			st.Done++
+			if j.cached {
+				st.Cached++
+			}
+		case stateQuarantined:
+			st.Quarantined++
+		case stateLeased:
+			st.Leased++
+		case statePending:
+			st.Pending++
+		default:
+			st.Pending++
+		}
+	}
+	st.Complete = st.Done+st.Quarantined == st.Total
+	return st
+}
+
+// resultsLocked aggregates a complete campaign into CSV bytes,
+// byte-identical to the single-process renderer. Callers hold s.mu.
+func (s *Server) resultsLocked(c *Campaign) ([]byte, error) {
+	st := s.statusLocked(c)
+	if !st.Complete {
+		return nil, fmt.Errorf("%w: %d/%d cells terminal", ErrIncomplete, st.Done+st.Quarantined, st.Total)
+	}
+	if c.csv != nil {
+		return c.csv, nil
+	}
+	rep := &harness.Report{Name: c.Sweep}
+	for i, j := range c.jobs {
+		rep.Outcomes = append(rep.Outcomes, j.rec.Outcome(i))
+	}
+	rows, err := c.def.Rows(c.Params, rep)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: aggregating %s: %w", c.ID, err)
+	}
+	buf, err := EncodeCSV(rows)
+	if err != nil {
+		return nil, err
+	}
+	c.csv = buf
+	return buf, nil
+}
+
+// --- wire types ---
+
+// SubmitRequest is the POST /v1/campaigns body.
+type SubmitRequest struct {
+	Sweep  string             `json:"sweep"`
+	Params experiments.Params `json:"params"`
+}
+
+// StatusResponse describes a campaign's progress.
+type StatusResponse struct {
+	ID          string             `json:"id"`
+	Sweep       string             `json:"sweep"`
+	Params      experiments.Params `json:"params"`
+	Total       int                `json:"total"`
+	Done        int                `json:"done"`
+	Cached      int                `json:"cached"`
+	Pending     int                `json:"pending"`
+	Leased      int                `json:"leased"`
+	Quarantined int                `json:"quarantined"`
+	Complete    bool               `json:"complete"`
+}
+
+// LeaseRequest is the POST /v1/lease body.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse hands a worker one cell to run.
+type LeaseResponse struct {
+	LeaseID   string             `json:"lease_id"`
+	Campaign  string             `json:"campaign"`
+	Sweep     string             `json:"sweep"`
+	Params    experiments.Params `json:"params"`
+	CellID    string             `json:"cell_id"`
+	CellIndex int                `json:"cell_index"`
+	Seed      int64              `json:"seed"`
+	TTLMillis int64              `json:"ttl_ms"`
+}
+
+// HeartbeatRequest is the POST /v1/heartbeat body.
+type HeartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// CompleteRequest is the POST /v1/complete body: the worker's terminal
+// record for its leased cell.
+type CompleteRequest struct {
+	LeaseID string         `json:"lease_id"`
+	Record  harness.Record `json:"record"`
+}
+
+// CompleteResponse reports what the coordinator did with the result.
+type CompleteResponse struct {
+	Status string `json:"status"` // done | requeued | quarantined
+}
+
+// ProgressResponse is the whole-coordinator aggregate served by
+// GET /progress (possibly stale by up to Config.AggTTL).
+type ProgressResponse struct {
+	Campaigns []StatusResponse `json:"campaigns"`
+	Cells     int              `json:"cells"`
+	Done      int              `json:"done"`
+	Cached    int              `json:"cached"`
+	CacheLen  int              `json:"cache_len"`
+	Stale     bool             `json:"stale,omitempty"`
+}
+
+// --- HTTP plumbing ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+}
+
+// degrade wraps a read handler in the degradation ladder: token-bucket
+// rate limiting (429 + Retry-After) then the bounded concurrency gate
+// (503 + Retry-After when the wait queue overflows).
+func (s *Server) degrade(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ok, wait := s.limiter.allow(s.now()); !ok {
+			s.cShed.Inc()
+			retryAfter(w, wait)
+			writeError(w, http.StatusTooManyRequests, ErrOverloaded)
+			return
+		}
+		release, wait, err := s.gate.enter()
+		if err != nil {
+			s.cShed.Inc()
+			retryAfter(w, wait)
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// Handler returns the coordinator's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("POST /v1/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.degrade(s.handleStatus))
+	mux.HandleFunc("GET /v1/campaigns/{id}/results.csv", s.degrade(s.handleResults))
+	mux.HandleFunc("GET /progress", s.degrade(s.handleProgress))
+	mux.HandleFunc("GET /metrics", s.degrade(s.handleMetrics))
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: decoding submit: %w", err))
+		return
+	}
+	st, err := s.Submit(req.Sweep, req.Params)
+	if err != nil {
+		if errors.Is(err, ErrUnknownSweep) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: decoding lease: %w", err))
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.reapLocked(now)
+	l, hint, err := s.q.acquire(now, req.Worker)
+	if err != nil {
+		s.mu.Unlock()
+		retryAfter(w, hint)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.cLeases.Inc()
+	j := l.job
+	resp := LeaseResponse{
+		LeaseID:   l.id,
+		Campaign:  j.campaign.ID,
+		Sweep:     j.campaign.Sweep,
+		Params:    j.campaign.Params,
+		CellID:    j.cellID,
+		CellIndex: j.index,
+		Seed:      l.seed,
+		TTLMillis: s.q.leaseTTL.Milliseconds(),
+	}
+	s.mu.Unlock()
+	s.logf("campaign: leased %s to %s (%s, seed %d)", j.fullID(), req.Worker, l.id, l.seed)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: decoding heartbeat: %w", err))
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.reapLocked(now)
+	err := s.q.heartbeat(now, req.LeaseID)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"ttl_ms": s.q.leaseTTL.Milliseconds()})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: decoding complete: %w", err))
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.reapLocked(now)
+	j, status, err := s.q.complete(now, req.LeaseID, req.Record.Class)
+	if err != nil {
+		s.mu.Unlock()
+		// The lease is gone: expired and requeued, or this is a
+		// duplicated RPC for a cell that already completed. Either way
+		// the result is discarded — exactly-once accounting lives here.
+		writeError(w, http.StatusGone, err)
+		return
+	}
+	switch status {
+	case completeDone:
+		s.finishLocked(j, req.Record, false)
+	case completeQuarantined:
+		s.finishLocked(j, req.Record, true)
+		s.logf("campaign: quarantined %s after %d attempts (%s)", j.fullID(), j.attempts, req.Record.Class)
+	default: // requeued for another attempt with a perturbed seed
+		s.cRequeued.Inc()
+		s.logf("campaign: requeued %s after %s (attempt %d/%d)", j.fullID(), req.Record.Class, j.attempts, s.q.maxAttempts)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, CompleteResponse{Status: status})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	now := s.now()
+	s.mu.Lock()
+	s.reapLocked(now)
+	c, ok := s.campaigns[r.PathValue("id")]
+	var st StatusResponse
+	if ok {
+		st = s.statusLocked(c)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownCampaign)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	now := s.now()
+	s.mu.Lock()
+	s.reapLocked(now)
+	c, ok := s.campaigns[r.PathValue("id")]
+	var buf []byte
+	var err error
+	if ok {
+		buf, err = s.resultsLocked(c)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownCampaign)
+		return
+	}
+	if err != nil {
+		if errors.Is(err, ErrIncomplete) {
+			// Not done yet: tell the poller when to come back rather
+			// than blocking the connection.
+			retryAfter(w, time.Second)
+			writeError(w, http.StatusAccepted, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	now := s.now()
+	v, stale, err := s.progress.get(now, func() (any, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.reapLocked(now)
+		p := ProgressResponse{CacheLen: s.cache.len()}
+		for _, id := range s.order {
+			st := s.statusLocked(s.campaigns[id])
+			p.Campaigns = append(p.Campaigns, st)
+			p.Cells += st.Total
+			p.Done += st.Done + st.Quarantined
+			p.Cached += st.Cached
+		}
+		return p, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	p := v.(ProgressResponse)
+	p.Stale = stale
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	if err := telemetry.WritePrometheus(w, snap); err != nil {
+		s.logf("campaign: writing metrics: %v", err)
+	}
+}

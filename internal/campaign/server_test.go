@@ -1,0 +1,368 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+// fakeClock drives lease expiry and backoff deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: epoch} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testServer builds a coordinator on a fake clock with fast backoff.
+func testServer(t *testing.T, clk *fakeClock, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		JournalPath: filepath.Join(t.TempDir(), "campaign.jsonl"),
+		Resume:      true,
+		LeaseTTL:    10 * time.Second,
+		MaxAttempts: 2,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Now:         clk.now,
+		Logf:        t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// do runs one request through the handler and decodes a JSON response.
+func do(t *testing.T, h http.Handler, method, path string, body, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if out != nil && w.Code < 300 && w.Body.Len() > 0 {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return w
+}
+
+func submitFigure2(t *testing.T, h http.Handler) StatusResponse {
+	t.Helper()
+	var st StatusResponse
+	w := do(t, h, "POST", "/v1/campaigns", SubmitRequest{Sweep: "figure2"}, &st)
+	if w.Code != http.StatusOK {
+		t.Fatalf("submit: %d %s", w.Code, w.Body.String())
+	}
+	return st
+}
+
+func TestSubmitIdempotentAndUnknownSweep(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, nil)
+	h := s.Handler()
+
+	st := submitFigure2(t, h)
+	if st.Total == 0 || st.Pending != st.Total {
+		t.Fatalf("fresh campaign: %+v", st)
+	}
+	again := submitFigure2(t, h)
+	if again.ID != st.ID || again.Total != st.Total {
+		t.Fatalf("resubmit not idempotent: %+v vs %+v", again, st)
+	}
+	w := do(t, h, "POST", "/v1/campaigns", SubmitRequest{Sweep: "nope"}, nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown sweep: %d, want 404", w.Code)
+	}
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, nil)
+	h := s.Handler()
+	st := submitFigure2(t, h)
+
+	var l LeaseResponse
+	w := do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l)
+	if w.Code != http.StatusOK {
+		t.Fatalf("lease: %d %s", w.Code, w.Body.String())
+	}
+	if l.Campaign != st.ID || l.CellID == "" || l.TTLMillis != 10_000 {
+		t.Fatalf("lease: %+v", l)
+	}
+	// Heartbeat keeps it alive across the TTL.
+	clk.advance(8 * time.Second)
+	if w := do(t, h, "POST", "/v1/heartbeat", HeartbeatRequest{LeaseID: l.LeaseID}, nil); w.Code != http.StatusOK {
+		t.Fatalf("heartbeat: %d", w.Code)
+	}
+	clk.advance(8 * time.Second) // past the original deadline, inside the extended one
+	var done CompleteResponse
+	rec := harness.Record{Kind: harness.RecordKindCell, Cell: l.Sweep + "/" + l.CellID, Seed: l.Seed,
+		Attempts: 1, Class: harness.ClassOK, Value: json.RawMessage(`{"x":1}`)}
+	if w := do(t, h, "POST", "/v1/complete", CompleteRequest{LeaseID: l.LeaseID, Record: rec}, &done); w.Code != http.StatusOK {
+		t.Fatalf("complete: %d %s", w.Code, w.Body.String())
+	}
+	if done.Status != completeDone {
+		t.Fatalf("complete status %q", done.Status)
+	}
+	// Duplicate complete (chaos-duplicated RPC): the lease is gone, the
+	// result must be discarded, not double-counted.
+	if w := do(t, h, "POST", "/v1/complete", CompleteRequest{LeaseID: l.LeaseID, Record: rec}, nil); w.Code != http.StatusGone {
+		t.Fatalf("duplicate complete: %d, want 410", w.Code)
+	}
+	var after StatusResponse
+	do(t, h, "GET", "/v1/campaigns/"+st.ID, nil, &after)
+	if after.Done != 1 || after.Leased != 0 {
+		t.Fatalf("after complete: %+v", after)
+	}
+}
+
+func TestExpiredLeaseRequeuesWithSameSeed(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, nil)
+	h := s.Handler()
+	submitFigure2(t, h)
+
+	var l1 LeaseResponse
+	do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l1)
+	// Worker dies silently; TTL passes; the reaper requeues on the next
+	// mutating call, with a short backoff before the cell is leasable.
+	clk.advance(11 * time.Second)
+	do(t, h, "POST", "/v1/heartbeat", HeartbeatRequest{LeaseID: "L-none"}, nil) // any mutating call reaps
+	clk.advance(100 * time.Millisecond)                                         // past the 1-4ms backoff
+	var l2 LeaseResponse
+	w := do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w2"}, &l2)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-reap lease: %d", w.Code)
+	}
+	// Infra failure: the cell did nothing wrong, so the retry MUST use
+	// the same seed (this is what keeps chaos-run CSVs byte-identical).
+	if l2.CellID != l1.CellID || l2.Seed != l1.Seed {
+		t.Fatalf("requeued lease: got cell %s seed %d, want cell %s seed %d", l2.CellID, l2.Seed, l1.CellID, l1.Seed)
+	}
+	// The dead lease answers 410 now.
+	if w := do(t, h, "POST", "/v1/heartbeat", HeartbeatRequest{LeaseID: l1.LeaseID}, nil); w.Code != http.StatusGone {
+		t.Fatalf("dead heartbeat: %d, want 410", w.Code)
+	}
+}
+
+func TestContentFailureRequeuesWithPerturbedSeed(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, nil)
+	h := s.Handler()
+	submitFigure2(t, h)
+
+	var l1 LeaseResponse
+	do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l1)
+	var resp CompleteResponse
+	rec := harness.Record{Class: harness.ClassPanic, Error: "injected", Seed: l1.Seed, Attempts: 1}
+	do(t, h, "POST", "/v1/complete", CompleteRequest{LeaseID: l1.LeaseID, Record: rec}, &resp)
+	if resp.Status != completeRequeued {
+		t.Fatalf("panic complete status %q, want requeued", resp.Status)
+	}
+	clk.advance(100 * time.Millisecond) // past the 1–4ms backoff
+	// The queue serves cells in submit order, so the retried cell comes
+	// first again — now with a perturbed seed.
+	var l2 LeaseResponse
+	do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l2)
+	if l2.CellID != l1.CellID {
+		t.Fatalf("expected the failed cell first, got %s", l2.CellID)
+	}
+	want := harness.PerturbSeed(l1.Seed, 2)
+	if l2.Seed != want || l2.Seed == l1.Seed {
+		t.Fatalf("retry seed %d, want perturbed %d (base %d)", l2.Seed, want, l1.Seed)
+	}
+}
+
+func TestQuarantineAfterAttemptBudget(t *testing.T) {
+	clk := newFakeClock()
+	var jpath string
+	s := testServer(t, clk, func(c *Config) { jpath = c.JournalPath })
+	h := s.Handler()
+	st := submitFigure2(t, h)
+
+	// MaxAttempts is 2: two expired leases quarantine the cell.
+	var l LeaseResponse
+	do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l)
+	clk.advance(11 * time.Second)
+	do(t, h, "POST", "/v1/heartbeat", HeartbeatRequest{LeaseID: "L-none"}, nil) // reap
+	clk.advance(100 * time.Millisecond)                                         // past the backoff
+	var l2 LeaseResponse
+	do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l2)
+	if l2.CellID != l.CellID {
+		t.Fatalf("second lease got %s, want requeued %s", l2.CellID, l.CellID)
+	}
+	clk.advance(11 * time.Second)
+	// Any mutating call reaps; the cell is out of budget -> quarantined.
+	do(t, h, "POST", "/v1/heartbeat", HeartbeatRequest{LeaseID: "L00000000"}, nil)
+	var after StatusResponse
+	do(t, h, "GET", "/v1/campaigns/"+st.ID, nil, &after)
+	if after.Quarantined != 1 {
+		t.Fatalf("after budget exhaustion: %+v", after)
+	}
+	// The quarantine is journaled as a terminal deadline gap.
+	recs, warns, err := harness.ReadRecords(jpath)
+	if err != nil || len(warns) > 0 {
+		t.Fatalf("reading journal: %v %v", err, warns)
+	}
+	found := false
+	for _, rec := range recs {
+		if rec.Class == harness.ClassDeadline && rec.Attempts == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no quarantine gap in journal: %+v", recs)
+	}
+}
+
+func TestResultsCSVIncompleteAndRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, nil)
+	h := s.Handler()
+	st := submitFigure2(t, h)
+
+	req := httptest.NewRequest("GET", "/v1/campaigns/"+st.ID+"/results.csv", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("incomplete results: %d, want 202", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("202 without Retry-After")
+	}
+	if w := do(t, h, "GET", "/v1/campaigns/nope/results.csv", nil, nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown campaign results: %d", w.Code)
+	}
+}
+
+func TestLeaseNoWorkRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, nil)
+	h := s.Handler()
+	// No campaigns at all: 204 with a retry hint.
+	w := do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, nil)
+	if w.Code != http.StatusNoContent {
+		t.Fatalf("idle lease: %d, want 204", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("204 without Retry-After")
+	}
+}
+
+func TestReadRateLimit(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, func(c *Config) { c.ReadRate = 1; c.ReadBurst = 1 })
+	h := s.Handler()
+	if w := do(t, h, "GET", "/progress", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("first read: %d", w.Code)
+	}
+	w := do(t, h, "GET", "/progress", nil, nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate read: %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	clk.advance(2 * time.Second)
+	if w := do(t, h, "GET", "/progress", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("post-refill read: %d", w.Code)
+	}
+}
+
+func TestProgressAndMetrics(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, func(c *Config) { c.AggTTL = time.Nanosecond })
+	h := s.Handler()
+	st := submitFigure2(t, h)
+
+	var p ProgressResponse
+	if w := do(t, h, "GET", "/progress", nil, &p); w.Code != http.StatusOK {
+		t.Fatalf("progress: %d", w.Code)
+	}
+	if len(p.Campaigns) != 1 || p.Cells != st.Total {
+		t.Fatalf("progress: %+v", p)
+	}
+	do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, nil)
+	w := do(t, h, "GET", "/metrics", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	if !bytes.Contains(w.Body.Bytes(), []byte("campaign_leases_granted_total 1")) {
+		t.Fatalf("metrics missing lease counter:\n%s", w.Body.String())
+	}
+}
+
+func TestJournalResumeSeedsCacheAcrossRestart(t *testing.T) {
+	clk := newFakeClock()
+	jpath := filepath.Join(t.TempDir(), "campaign.jsonl")
+	s1 := testServer(t, clk, func(c *Config) { c.JournalPath = jpath })
+	h1 := s1.Handler()
+	st := submitFigure2(t, h1)
+
+	// Complete two cells on the first coordinator.
+	for i := 0; i < 2; i++ {
+		var l LeaseResponse
+		do(t, h1, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l)
+		rec := harness.Record{Seed: l.Seed, Attempts: 1, Class: harness.ClassOK, Value: json.RawMessage(`{"i":1}`)}
+		do(t, h1, "POST", "/v1/complete", CompleteRequest{LeaseID: l.LeaseID, Record: rec}, nil)
+	}
+	s1.Close() // crash-restart: the journal is all that survives
+
+	s2 := testServer(t, clk, func(c *Config) { c.JournalPath = jpath })
+	st2 := submitFigure2(t, s2.Handler())
+	if st2.ID != st.ID {
+		t.Fatalf("restart changed campaign ID: %s vs %s", st2.ID, st.ID)
+	}
+	if st2.Done != 2 || st2.Cached != 2 || st2.Pending != st.Total-2 {
+		t.Fatalf("resumed campaign: %+v, want 2 done from cache", st2)
+	}
+}
+
+func TestParamsPropagateToLease(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, nil)
+	h := s.Handler()
+	var st StatusResponse
+	do(t, h, "POST", "/v1/campaigns", SubmitRequest{Sweep: "figure2", Params: experiments.Params{Seed: 99}}, &st)
+	var l LeaseResponse
+	do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l)
+	if l.Params.Seed != 99 || l.Params.Samples != 1000 {
+		t.Fatalf("lease params not normalized: %+v", l.Params)
+	}
+}

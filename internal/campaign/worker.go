@@ -1,0 +1,293 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+)
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// BaseURL is the coordinator, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Name identifies this worker in coordinator logs.
+	Name string
+	// Client is the HTTP client; nil means http.DefaultClient. The
+	// chaos harness injects a fault transport here.
+	Client *http.Client
+	// PollInterval caps how long the worker sleeps when the coordinator
+	// has no work (the coordinator's Retry-After hint wins when
+	// shorter). <=0 means 1s.
+	PollInterval time.Duration
+	// TrialTimeout bounds one cell simulation. 0 disables it.
+	TrialTimeout time.Duration
+	// MaxCells stops the worker after N completed cells (0: unlimited).
+	MaxCells int
+	// KillAfter, when >0, makes the worker invoke Kill after its Nth
+	// lease grant WITHOUT completing or releasing it — the chaos
+	// harness's stand-in for a worker dying mid-cell.
+	KillAfter int
+	// Kill is what a chaos kill does; nil means os.Exit is NOT called
+	// (the worker just returns), so tests can run workers in-process.
+	Kill func()
+	// Logf receives worker log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker runs the lease → simulate → complete loop until the
+// coordinator is unreachable for too long, MaxCells is reached, or a
+// chaos kill fires. Each leased cell runs under a single-attempt
+// harness runner (retries are coordinator-driven, so the retry seed
+// policy lives in exactly one place) while a background heartbeat
+// keeps the lease alive.
+func RunWorker(cfg WorkerConfig) error {
+	w := &worker{cfg: cfg, client: cfg.Client}
+	if w.client == nil {
+		w.client = http.DefaultClient
+	}
+	w.logf = cfg.Logf
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+	if w.cfg.PollInterval <= 0 {
+		w.cfg.PollInterval = time.Second
+	}
+	w.cells = map[string][]harness.Cell{}
+	return w.run()
+}
+
+type worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	logf   func(string, ...any)
+	// cells caches each campaign's enumeration so a worker holding many
+	// leases of one campaign enumerates once.
+	cells map[string][]harness.Cell
+
+	leases int
+	done   int
+}
+
+func (w *worker) run() error {
+	const maxIdlePolls = 60
+	idle := 0
+	for {
+		if w.cfg.MaxCells > 0 && w.done >= w.cfg.MaxCells {
+			w.logf("worker %s: cell budget reached (%d), exiting", w.cfg.Name, w.done)
+			return nil
+		}
+		lease, wait, err := w.acquire()
+		if err != nil {
+			idle++
+			if idle > maxIdlePolls {
+				return fmt.Errorf("campaign: worker %s: coordinator unreachable or idle too long: %w", w.cfg.Name, err)
+			}
+			time.Sleep(wait)
+			continue
+		}
+		idle = 0
+		w.leases++
+		if w.cfg.KillAfter > 0 && w.leases >= w.cfg.KillAfter {
+			// Chaos: die holding the lease. The coordinator's reaper
+			// must requeue the cell for someone else.
+			w.logf("worker %s: chaos kill on lease %d (%s)", w.cfg.Name, w.leases, lease.LeaseID)
+			if w.cfg.Kill != nil {
+				w.cfg.Kill()
+			}
+			return nil
+		}
+		if err := w.execute(lease); err != nil {
+			w.logf("worker %s: %v", w.cfg.Name, err)
+		}
+	}
+}
+
+// acquire asks for a lease. On 204 (or transport failure) it returns
+// how long to wait before asking again.
+func (w *worker) acquire() (*LeaseResponse, time.Duration, error) {
+	wait := w.cfg.PollInterval
+	resp, err := w.postJSON("/v1/lease", LeaseRequest{Worker: w.cfg.Name})
+	if err != nil {
+		return nil, wait, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var l LeaseResponse
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return nil, wait, fmt.Errorf("campaign: decoding lease: %w", err)
+		}
+		return &l, 0, nil
+	case http.StatusNoContent:
+		if ra := parseRetryAfter(resp.Header); ra > 0 && ra < wait {
+			wait = ra
+		}
+		return nil, wait, fmt.Errorf("campaign: worker %s: %w", w.cfg.Name, ErrNoWork)
+	default:
+		return nil, wait, fmt.Errorf("campaign: lease request: unexpected status %s", resp.Status)
+	}
+}
+
+// execute simulates the leased cell under heartbeats and reports the
+// terminal record.
+func (w *worker) execute(l *LeaseResponse) error {
+	cell, err := w.cell(l)
+	if err != nil {
+		return err
+	}
+	stop := w.heartbeat(l)
+	defer stop()
+
+	reg := telemetry.NewRegistry()
+	runner, err := harness.New(harness.Config{
+		Workers:      1,
+		MaxAttempts:  1, // retries are coordinator-driven
+		TrialTimeout: w.cfg.TrialTimeout,
+		Metrics:      reg,
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: building runner: %w", err)
+	}
+	defer runner.Close()
+	cell.Seed = l.Seed // the lease seed embeds the coordinator's retry policy
+	rep, err := runner.Sweep(l.Sweep, []harness.Cell{cell})
+	if err != nil {
+		return fmt.Errorf("campaign: sweeping %s: %w", l.CellID, err)
+	}
+	rec := harness.RecordOf(rep.Outcomes[0])
+	stop() // no point extending the lease while we report
+
+	w.done++
+	w.logf("worker %s: %s/%s -> %s (%d done)", w.cfg.Name, l.Sweep, l.CellID, rec.Class, w.done)
+	return w.complete(l.LeaseID, rec)
+}
+
+// cell resolves the leased cell from the sweep enumeration (cached per
+// campaign), cross-checking the coordinator's cell ID.
+func (w *worker) cell(l *LeaseResponse) (harness.Cell, error) {
+	cells, ok := w.cells[l.Campaign]
+	if !ok {
+		def, found := experiments.SweepByName(l.Sweep)
+		if !found {
+			return harness.Cell{}, fmt.Errorf("%w: %q", ErrUnknownSweep, l.Sweep)
+		}
+		cells = def.Cells(l.Params)
+		w.cells[l.Campaign] = cells
+	}
+	if l.CellIndex < 0 || l.CellIndex >= len(cells) {
+		return harness.Cell{}, fmt.Errorf("campaign: lease %s: cell index %d out of range (%d cells)", l.LeaseID, l.CellIndex, len(cells))
+	}
+	cell := cells[l.CellIndex]
+	if cell.ID != l.CellID {
+		return harness.Cell{}, fmt.Errorf("campaign: lease %s: cell ID mismatch: enumeration says %q, coordinator says %q (params drift?)", l.LeaseID, cell.ID, l.CellID)
+	}
+	return cell, nil
+}
+
+// heartbeat extends the lease at TTL/3 until the returned stop is
+// called. A 410 means the lease was reaped (the coordinator presumed
+// us dead); the loop stops — the cell belongs to someone else now.
+func (w *worker) heartbeat(l *LeaseResponse) (stop func()) {
+	interval := time.Duration(l.TTLMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				resp, err := w.postJSON("/v1/heartbeat", HeartbeatRequest{LeaseID: l.LeaseID})
+				if err != nil {
+					continue // transient transport loss: keep trying until quit
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code == http.StatusGone {
+					w.logf("worker %s: lease %s gone, stopping heartbeat", w.cfg.Name, l.LeaseID)
+					return
+				}
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(quit)
+			<-finished
+		}
+	}
+}
+
+// complete reports the record, retrying transport errors (the chaos
+// transport drops and duplicates RPCs). A 410 is success from the
+// worker's point of view: the coordinator already settled the cell.
+func (w *worker) complete(leaseID string, rec harness.Record) error {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		resp, err := w.postJSON("/v1/complete", CompleteRequest{LeaseID: leaseID, Record: rec})
+		if err != nil {
+			lastErr = err
+			time.Sleep(w.cfg.PollInterval / 4)
+			continue
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		switch code {
+		case http.StatusOK, http.StatusGone:
+			return nil
+		default:
+			return fmt.Errorf("campaign: complete %s: unexpected status %d", leaseID, code)
+		}
+	}
+	return fmt.Errorf("campaign: complete %s: %w", leaseID, lastErr)
+}
+
+func (w *worker) postJSON(path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding %s: %w", path, err)
+	}
+	req, err := http.NewRequest(http.MethodPost, w.cfg.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: building %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", path, err)
+	}
+	if resp.StatusCode >= 500 {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("campaign: %s: server error %s", path, resp.Status)
+	}
+	return resp, nil
+}
+
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

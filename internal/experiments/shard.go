@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// Params parameterizes a shardable sweep. The zero value resolves to
+// the same defaults cmd/figures uses, so a campaign submitted with
+// empty params aggregates byte-identically to a default single-process
+// `figures` run of the same sweep.
+type Params struct {
+	Seed    int64 `json:"seed"`
+	Samples int   `json:"samples,omitempty"` // figures 7/8: samples per secret
+	Bits    int   `json:"bits,omitempty"`    // figures 10/11: secret bits
+	Scale   int   `json:"scale,omitempty"`   // figure 12: workload scale
+}
+
+// Normalize fills defaults (matching cmd/figures flag defaults) so two
+// spellings of the same sweep hash to the same content key.
+func (p Params) Normalize() Params {
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Samples <= 0 {
+		p.Samples = 1000
+	}
+	if p.Bits <= 0 {
+		p.Bits = 1000
+	}
+	if p.Scale <= 0 {
+		p.Scale = 10000
+	}
+	return p
+}
+
+// SweepDef is one figure sweep exposed as shardable jobs: a
+// deterministic cell enumeration (every worker and the coordinator
+// derive the identical list from the same Params) and the aggregation
+// that renders a completed report to the exact CSV rows cmd/figures
+// writes for the same sweep. That equivalence is what the chaos
+// harness asserts bit-for-bit (docs/CAMPAIGND.md).
+type SweepDef struct {
+	Name string
+	// Cells enumerates the sweep. Cell IDs are unique within the sweep
+	// and stable across processes.
+	Cells func(p Params) []harness.Cell
+	// Rows renders the aggregated CSV (header first). Failed cells are
+	// recorded gaps: multi-cell sweeps render without their rows,
+	// single-cell sweeps return an error.
+	Rows func(p Params, rep *harness.Report) ([][]string, error)
+	// Scheme extracts the undo-scheme component of a cell ID for
+	// content-addressed cache keying, or "" when the sweep pins a
+	// single scheme.
+	Scheme func(cellID string) string
+}
+
+func resolutionRows(rep *harness.Report) ([][]string, error) {
+	pts, err := harness.Collect[ResolutionPoint](rep)
+	if err != nil {
+		return nil, err
+	}
+	return ResolutionCSV(pts), nil
+}
+
+func diffRows(rep *harness.Report) ([][]string, error) {
+	pts, err := harness.Collect[DiffPoint](rep)
+	if err != nil {
+		return nil, err
+	}
+	return DiffCSV(pts), nil
+}
+
+func pdfRows(rep *harness.Report) ([][]string, error) {
+	vals, err := harness.Collect[PDFResult](rep)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("experiments: sweep %s produced no distribution cell: %w", rep.Name, rep.Err())
+	}
+	return PDFCSV(vals[0]), nil
+}
+
+func leakRows(rep *harness.Report) ([][]string, error) {
+	vals, err := harness.Collect[LeakageResult](rep)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("experiments: sweep %s produced no leak cell: %w", rep.Name, rep.Err())
+	}
+	return LeakageCSV(vals[0]), nil
+}
+
+// figure12Scheme maps a "workload/scheme" cell ID to its scheme.
+func figure12Scheme(cellID string) string {
+	if i := strings.LastIndex(cellID, "/"); i >= 0 {
+		return cellID[i+1:]
+	}
+	return ""
+}
+
+// sweepDefs enumerates every harness-backed figure sweep with a golden
+// CSV counterpart, in CSV-name order.
+func sweepDefs() []SweepDef {
+	return []SweepDef{
+		{
+			Name:  "figure2",
+			Cells: func(p Params) []harness.Cell { return resolutionCells(p.Seed, 3, figure2Attack) },
+			Rows:  func(_ Params, rep *harness.Report) ([][]string, error) { return resolutionRows(rep) },
+		},
+		{
+			Name:  "figure3",
+			Cells: func(p Params) []harness.Cell { return diffCells(p.Seed, false, 5) },
+			Rows:  func(_ Params, rep *harness.Report) ([][]string, error) { return diffRows(rep) },
+		},
+		{
+			Name:  "figure6",
+			Cells: func(p Params) []harness.Cell { return diffCells(p.Seed, true, 5) },
+			Rows:  func(_ Params, rep *harness.Report) ([][]string, error) { return diffRows(rep) },
+		},
+		{
+			Name: "figure7",
+			Cells: func(p Params) []harness.Cell {
+				return []harness.Cell{pdfCell("figure7", p.Seed, false, p.Samples)}
+			},
+			Rows: func(_ Params, rep *harness.Report) ([][]string, error) { return pdfRows(rep) },
+		},
+		{
+			Name: "figure8",
+			Cells: func(p Params) []harness.Cell {
+				return []harness.Cell{pdfCell("figure8", p.Seed, true, p.Samples)}
+			},
+			Rows: func(_ Params, rep *harness.Report) ([][]string, error) { return pdfRows(rep) },
+		},
+		{
+			Name: "figure10",
+			Cells: func(p Params) []harness.Cell {
+				return []harness.Cell{leakCell(p.Seed, false, p.Bits, 300)}
+			},
+			Rows: func(_ Params, rep *harness.Report) ([][]string, error) { return leakRows(rep) },
+		},
+		{
+			Name: "figure11",
+			Cells: func(p Params) []harness.Cell {
+				return []harness.Cell{leakCell(p.Seed, true, p.Bits, 300)}
+			},
+			Rows: func(_ Params, rep *harness.Report) ([][]string, error) { return leakRows(rep) },
+		},
+		{
+			Name:  "figure12",
+			Cells: func(p Params) []harness.Cell { return figure12Cells(p.Seed, p.Scale) },
+			Rows: func(p Params, rep *harness.Report) ([][]string, error) {
+				done, err := harness.Collect[Figure12Cell](rep)
+				if err != nil {
+					return nil, err
+				}
+				return Figure12CSV(figure12Assemble(done, p.Seed, p.Scale)), nil
+			},
+			Scheme: figure12Scheme,
+		},
+		{
+			Name:  "figure13",
+			Cells: func(p Params) []harness.Cell { return resolutionCells(p.Seed, 9, figure13Attack(p.Seed)) },
+			Rows:  func(_ Params, rep *harness.Report) ([][]string, error) { return resolutionRows(rep) },
+		},
+	}
+}
+
+// Sweeps lists every shardable sweep definition.
+func Sweeps() []SweepDef { return sweepDefs() }
+
+// SweepByName resolves a shardable sweep definition.
+func SweepByName(name string) (SweepDef, bool) {
+	for _, d := range sweepDefs() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return SweepDef{}, false
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestSweepCellEnumerationDeterministic: the coordinator and every
+// worker must derive the identical cell list from the same params.
+func TestSweepCellEnumerationDeterministic(t *testing.T) {
+	p := Params{Seed: 7, Scale: 500}.Normalize()
+	for _, def := range Sweeps() {
+		a, b := def.Cells(p), def.Cells(p)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty enumeration", def.Name)
+		}
+		ids := map[string]bool{}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Seed != b[i].Seed {
+				t.Fatalf("%s: enumeration not deterministic at %d: %q vs %q", def.Name, i, a[i].ID, b[i].ID)
+			}
+			if ids[a[i].ID] {
+				t.Fatalf("%s: duplicate cell ID %q", def.Name, a[i].ID)
+			}
+			ids[a[i].ID] = true
+		}
+	}
+}
+
+// TestShardRowsMatchSingleProcess: running a sweep's sharded cells
+// through a harness runner and aggregating with def.Rows must produce
+// the exact rows the classic single-process entry point renders.
+func TestShardRowsMatchSingleProcess(t *testing.T) {
+	p := Params{Seed: 11}.Normalize()
+
+	def, ok := SweepByName("figure3")
+	if !ok {
+		t.Fatal("figure3 not registered")
+	}
+	rep, err := harness.Default().Sweep(def.Name, def.Cells(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := def.Rows(p, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, _, err := Figure3With(nil, p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DiffCSV(pts)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded rows diverge from single-process:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestShardRowsFigure12MatchSingleProcess covers the sweep with the
+// heaviest aggregation (baseline-relative overheads + means).
+func TestShardRowsFigure12MatchSingleProcess(t *testing.T) {
+	p := Params{Seed: 5, Scale: 400}.Normalize()
+
+	def, ok := SweepByName("figure12")
+	if !ok {
+		t.Fatal("figure12 not registered")
+	}
+	rep, err := harness.Default().Sweep(def.Name, def.Cells(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := def.Rows(p, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Figure12With(nil, p.Seed, p.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Figure12CSV(res)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded figure12 rows diverge from single-process:\n got %v\nwant %v", got, want)
+	}
+	if s := def.Scheme("bubblesort/const-65"); s != "const-65" {
+		t.Fatalf("figure12 scheme extraction = %q", s)
+	}
+}
+
+func TestParamsNormalizeDefaults(t *testing.T) {
+	p := Params{}.Normalize()
+	want := Params{Seed: 42, Samples: 1000, Bits: 1000, Scale: 10000}
+	if p != want {
+		t.Fatalf("Normalize() = %+v, want %+v", p, want)
+	}
+	// Explicit values survive.
+	q := Params{Seed: 9, Samples: 5, Bits: 6, Scale: 7}.Normalize()
+	if q != (Params{Seed: 9, Samples: 5, Bits: 6, Scale: 7}) {
+		t.Fatalf("Normalize clobbered explicit params: %+v", q)
+	}
+}

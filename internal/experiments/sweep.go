@@ -44,6 +44,14 @@ func sweepCollect[T any](r *harness.Runner, name string, cells []harness.Cell) (
 // on the harness.
 func resolutionSweepWith(r *harness.Runner, name string, seed int64, rounds int,
 	mk func(n, loads int, seed int64) (*unxpec.Attack, error)) ([]ResolutionPoint, *harness.Report, error) {
+	return sweepCollect[ResolutionPoint](r, name, resolutionCells(seed, rounds, mk))
+}
+
+// resolutionCells enumerates the Figure 2/13 sweep as independent,
+// shardable cells (the distributed campaign service leases these same
+// cells to workers — docs/CAMPAIGND.md).
+func resolutionCells(seed int64, rounds int,
+	mk func(n, loads int, seed int64) (*unxpec.Attack, error)) []harness.Cell {
 	var cells []harness.Cell
 	for n := 1; n <= 3; n++ {
 		for loads := 1; loads <= 5; loads++ {
@@ -76,35 +84,48 @@ func resolutionSweepWith(r *harness.Runner, name string, seed int64, rounds int,
 			}
 		}
 	}
-	return sweepCollect[ResolutionPoint](r, name, cells)
+	return cells
+}
+
+// figure2Attack builds the Figure 2 machine for one cell.
+func figure2Attack(n, loads int, s int64) (*unxpec.Attack, error) {
+	return unxpec.New(unxpec.Options{Seed: s, FNAccesses: n, LoadsInBranch: loads})
 }
 
 // Figure2With is Figure2 on an explicit harness runner.
 func Figure2With(r *harness.Runner, seed int64) ([]ResolutionPoint, *harness.Report, error) {
-	return resolutionSweepWith(r, "figure2", seed, 3,
-		func(n, loads int, s int64) (*unxpec.Attack, error) {
-			return unxpec.New(unxpec.Options{Seed: s, FNAccesses: n, LoadsInBranch: loads})
+	return resolutionSweepWith(r, "figure2", seed, 3, figure2Attack)
+}
+
+// figure13Attack builds the host-CPU-profile machine for one Figure 13
+// cell. The memory hierarchy is derived from the sweep seed, so the
+// builder must know it independently of the per-attempt cell seed.
+func figure13Attack(seed int64) func(n, loads int, s int64) (*unxpec.Attack, error) {
+	hostMem := memsys.DefaultConfig(seed)
+	hostMem.L2.Sets = 4096 // 4 MiB LLC stand-in
+	hostMem.MemLatency = 140
+	return func(n, loads int, s int64) (*unxpec.Attack, error) {
+		cfg := hostMem
+		return unxpec.New(unxpec.Options{
+			Seed: s, FNAccesses: n, LoadsInBranch: loads,
+			Mem: &cfg, Noise: noise.NewHostOS(s + int64(n*10+loads)),
 		})
+	}
 }
 
 // Figure13With is Figure13 on an explicit harness runner.
 func Figure13With(r *harness.Runner, seed int64) ([]ResolutionPoint, *harness.Report, error) {
-	hostMem := memsys.DefaultConfig(seed)
-	hostMem.L2.Sets = 4096 // 4 MiB LLC stand-in
-	hostMem.MemLatency = 140
-	return resolutionSweepWith(r, "figure13", seed, 9,
-		func(n, loads int, s int64) (*unxpec.Attack, error) {
-			cfg := hostMem
-			return unxpec.New(unxpec.Options{
-				Seed: s, FNAccesses: n, LoadsInBranch: loads,
-				Mem: &cfg, Noise: noise.NewHostOS(s + int64(n*10+loads)),
-			})
-		})
+	return resolutionSweepWith(r, "figure13", seed, 9, figure13Attack(seed))
 }
 
 // diffSweepWith measures mean(secret1) − mean(secret0) per load count
 // on the harness.
 func diffSweepWith(r *harness.Runner, name string, seed int64, evictionSets bool, rounds int) ([]DiffPoint, *harness.Report, error) {
+	return sweepCollect[DiffPoint](r, name, diffCells(seed, evictionSets, rounds))
+}
+
+// diffCells enumerates the Figure 3/6 sweep as shardable cells.
+func diffCells(seed int64, evictionSets bool, rounds int) []harness.Cell {
 	var cells []harness.Cell
 	for loads := 1; loads <= 8; loads++ {
 		loads := loads
@@ -137,7 +158,7 @@ func diffSweepWith(r *harness.Runner, name string, seed int64, evictionSets bool
 			},
 		})
 	}
-	return sweepCollect[DiffPoint](r, name, cells)
+	return cells
 }
 
 // Figure3With is Figure3 on an explicit harness runner.
@@ -209,9 +230,10 @@ func Figure8With(r *harness.Runner, seed int64, samples int) (PDFResult, *harnes
 	return measureDistributionsWith(r, "figure8", seed, true, samples)
 }
 
-// leakRunWith is the Figure 10/11 leak campaign through the harness.
-func leakRunWith(r *harness.Runner, name string, seed int64, evictionSets bool, bits, calibration int) (LeakageResult, *harness.Report, error) {
-	cell := harness.Cell{
+// leakCell runs one full Figure 10/11 leak campaign as a single
+// (heavy) harness cell.
+func leakCell(seed int64, evictionSets bool, bits, calibration int) harness.Cell {
+	return harness.Cell{
 		ID:   "leak",
 		Seed: seed,
 		Run: func(t *harness.Trial) (any, error) {
@@ -235,7 +257,11 @@ func leakRunWith(r *harness.Runner, name string, seed int64, evictionSets bool, 
 			return LeakageResult{LeakResult: res, Threshold: cal.Threshold, Rate: a.LeakageRate(2.0)}, nil
 		},
 	}
-	vals, rep, err := sweepCollect[LeakageResult](r, name, []harness.Cell{cell})
+}
+
+// leakRunWith is the Figure 10/11 leak campaign through the harness.
+func leakRunWith(r *harness.Runner, name string, seed int64, evictionSets bool, bits, calibration int) (LeakageResult, *harness.Report, error) {
+	vals, rep, err := sweepCollect[LeakageResult](r, name, []harness.Cell{leakCell(seed, evictionSets, bits, calibration)})
 	if err != nil {
 		return LeakageResult{}, rep, err
 	}
@@ -260,6 +286,16 @@ func Figure11With(r *harness.Runner, seed int64, bits int) (LeakageResult, *harn
 // completed cells, so a failed cell leaves a gap instead of aborting
 // the suite or poisoning the averages.
 func Figure12With(r *harness.Runner, seed int64, scale int) (Figure12Result, *harness.Report, error) {
+	done, rep, err := sweepCollect[Figure12Cell](r, "figure12", figure12Cells(seed, scale))
+	if err != nil {
+		return Figure12Result{}, rep, err
+	}
+	return figure12Assemble(done, seed, scale), rep, nil
+}
+
+// figure12Cells enumerates the overhead study as shardable cells, one
+// per (workload, scheme) pair.
+func figure12Cells(seed int64, scale int) []harness.Cell {
 	suite := workload.Suite(scale, seed)
 	schemes := workload.StandardSchemes()
 
@@ -281,10 +317,15 @@ func Figure12With(r *harness.Runner, seed int64, scale int) (Figure12Result, *ha
 			})
 		}
 	}
-	done, rep, err := sweepCollect[Figure12Cell](r, "figure12", cells)
-	if err != nil {
-		return Figure12Result{}, rep, err
-	}
+	return cells
+}
+
+// figure12Assemble recomputes overheads and per-scheme means from the
+// completed cells — shared by the single-process path and the campaign
+// coordinator so both aggregate identically.
+func figure12Assemble(done []Figure12Cell, seed int64, scale int) Figure12Result {
+	suite := workload.Suite(scale, seed)
+	schemes := workload.StandardSchemes()
 
 	res := Figure12Result{MeanOverhead: map[string]float64{}}
 	for _, s := range schemes {
@@ -321,7 +362,7 @@ func Figure12With(r *harness.Runner, seed int64, scale int) (Figure12Result, *ha
 			res.MeanOverhead[s.Name] = sum / float64(n)
 		}
 	}
-	return res, rep, nil
+	return res
 }
 
 // MitigationStudyWith runs the mitigation comparison on the harness,

@@ -358,10 +358,11 @@ type Runner struct {
 	mu       sync.Mutex
 	executed int // newly executed cells, for StopAfter
 
-	loadOnce sync.Once
-	loadErr  error
-	journal  *journal
-	resumed  map[string]journalRecord
+	loadOnce  sync.Once
+	loadErr   error
+	journal   *Journal
+	resumed   map[string]Record
+	loadWarns []string
 
 	prog progressState
 }
@@ -398,14 +399,15 @@ func (r *Runner) ensureLoaded() error {
 			return
 		}
 		if r.cfg.Resume {
-			recs, err := readJournal(r.cfg.JournalPath)
+			recs, warns, err := ReadRecords(r.cfg.JournalPath)
 			if err != nil {
 				r.loadErr = err
 				return
 			}
 			r.resumed = recs
+			r.loadWarns = warns
 		}
-		j, err := openJournal(r.cfg.JournalPath)
+		j, err := OpenJournal(r.cfg.JournalPath)
 		if err != nil {
 			r.loadErr = err
 			return
@@ -422,7 +424,16 @@ func (r *Runner) Close() error {
 	if r.journal == nil {
 		return nil
 	}
-	return r.journal.close()
+	return r.journal.Close()
+}
+
+// JournalWarnings reports non-fatal problems found while indexing the
+// resume journal — truncated or corrupt lines that were skipped. Only
+// populated after the first Sweep (when the journal is actually read).
+func (r *Runner) JournalWarnings() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loadWarns
 }
 
 // stopRequested reports whether the StopAfter budget is spent.
@@ -476,7 +487,7 @@ func (r *Runner) Sweep(name string, cells []Cell) (*Report, error) {
 	for i, c := range cells {
 		id := full(c)
 		if rec, ok := r.resumed[id]; ok {
-			rep.Outcomes[i] = rec.outcome(i)
+			rep.Outcomes[i] = rec.Outcome(i)
 			resumedN++
 			continue
 		}
@@ -538,7 +549,7 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 	for attempt := 1; attempt <= maxA; attempt++ {
 		seed := c.Seed
 		if attempt > 1 {
-			seed = perturbSeed(c.Seed, attempt)
+			seed = PerturbSeed(c.Seed, attempt)
 		}
 		t := &Trial{Cell: id, Attempt: attempt, Seed: seed, inherited: resume}
 		if r.cfg.Metrics != nil {
@@ -661,7 +672,7 @@ func (r *Runner) record(o Outcome) {
 	if r.journal == nil {
 		return
 	}
-	if err := r.journal.append(o); err != nil && r.loadErr == nil {
+	if err := r.journal.Append(RecordOf(o)); err != nil && r.loadErr == nil {
 		r.loadErr = err
 	}
 }
@@ -688,10 +699,12 @@ func intoTrialError(err error, t *Trial) *TrialError {
 	return te
 }
 
-// perturbSeed derives the retry seed for an attempt: a splitmix64-style
-// mix so consecutive attempts land in unrelated parts of seed space,
-// deterministically.
-func perturbSeed(seed int64, attempt int) int64 {
+// PerturbSeed derives the retry seed for an attempt (1-based): a
+// splitmix64-style mix so consecutive attempts land in unrelated parts
+// of seed space, deterministically. Exported because the distributed
+// campaign coordinator applies the same perturbation policy when it
+// re-leases a cell after a content failure (internal/campaign).
+func PerturbSeed(seed int64, attempt int) int64 {
 	z := uint64(seed) + uint64(attempt)*0x9e3779b97f4a7c15
 	z ^= z >> 30
 	z *= 0xbf58476d1ce4e5b9
@@ -704,12 +717,21 @@ func perturbSeed(seed int64, attempt int) int64 {
 // backoff returns the exponential, jittered sleep before retrying
 // attempt (1-based attempt that just failed).
 func backoff(cfg Config, seed int64, attempt int) time.Duration {
-	d := cfg.backoffBase() << uint(attempt-1)
-	if max := cfg.backoffMax(); d > max {
+	return Backoff(cfg.backoffBase(), cfg.backoffMax(), seed, attempt)
+}
+
+// Backoff computes the exponential, jittered delay before re-running
+// a cell after its attempt-th failure (1-based): base doubled per
+// attempt, capped at max, with deterministic ±25% jitter derived from
+// the seed so synchronized workers desynchronize without a wall-clock
+// or global-rand dependency. Shared with the campaign queue's requeue
+// policy (internal/campaign).
+func Backoff(base, max time.Duration, seed int64, attempt int) time.Duration {
+	d := base << uint(attempt-1)
+	if d > max || d <= 0 { // <<= also guards shift overflow
 		d = max
 	}
-	// Deterministic ±25% jitter so synchronized workers desynchronize.
-	j := perturbSeed(seed, attempt)
+	j := PerturbSeed(seed, attempt)
 	frac := float64(uint64(j)%1000)/1000*0.5 - 0.25
 	return d + time.Duration(float64(d)*frac)
 }

@@ -302,7 +302,7 @@ func TestJournalRoundTripAndResume(t *testing.T) {
 	}
 
 	// The journal holds both terminal records with their classes.
-	recs, err := readJournal(jpath)
+	recs, _, err := ReadRecords(jpath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,11 +456,11 @@ func TestDuplicateCellIDsRejected(t *testing.T) {
 func TestTornJournalLineIgnored(t *testing.T) {
 	dir := t.TempDir()
 	jpath := filepath.Join(dir, "run.jsonl")
-	good, _ := json.Marshal(journalRecord{Kind: "cell", Cell: "t/a", Class: ClassOK, Value: json.RawMessage(`{"n":1}`), Attempts: 1})
+	good, _ := json.Marshal(Record{Kind: "cell", Cell: "t/a", Class: ClassOK, Value: json.RawMessage(`{"n":1}`), Attempts: 1})
 	if err := os.WriteFile(jpath, append(append(good, '\n'), []byte(`{"kind":"cell","cell":"t/b","cl`)...), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := readJournal(jpath)
+	recs, _, err := ReadRecords(jpath)
 	if err != nil {
 		t.Fatal(err)
 	}

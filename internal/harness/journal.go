@@ -1,7 +1,7 @@
 package harness
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,11 +11,17 @@ import (
 	"repro/internal/telemetry"
 )
 
-// journalRecord is one JSONL line: the terminal outcome of a cell.
+// Record is one JSONL journal line: the terminal outcome of a cell.
 // Everything a resumed campaign needs to replay the cell without
 // re-executing it — including failures, which resume as recorded gaps
 // (delete the journal to re-attempt them).
-type journalRecord struct {
+//
+// The type is exported because the format is shared infrastructure:
+// the distributed campaign coordinator (internal/campaign) journals
+// its queue state through exactly these records, so a killed-and-
+// restarted campaignd resumes byte-identically the same way a
+// single-process -resume does (docs/CAMPAIGND.md).
+type Record struct {
 	Kind     string          `json:"kind"` // "cell"
 	Cell     string          `json:"cell"`
 	Seed     int64           `json:"seed"`
@@ -35,8 +41,34 @@ type journalRecord struct {
 	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
-// outcome reconstitutes the journaled record as a resumed Outcome.
-func (rec journalRecord) outcome(index int) Outcome {
+// RecordKindCell is the Kind of a terminal cell record. Unknown kinds
+// in a journal are skipped on read, so the format is extensible.
+const RecordKindCell = "cell"
+
+// RecordOf builds the journal record for a terminal outcome.
+func RecordOf(o Outcome) Record {
+	rec := Record{
+		Kind:        RecordKindCell,
+		Cell:        o.Cell,
+		Seed:        o.Seed,
+		Attempts:    o.Attempts,
+		Class:       o.Class,
+		Value:       o.Value,
+		Elapsed:     o.Elapsed.Milliseconds(),
+		ResumeCycle: o.ResumeCycle,
+		Metrics:     o.Metrics,
+	}
+	if o.Err != nil {
+		rec.Error = o.Err.Msg
+		rec.Stack = o.Err.Stack
+		rec.Post = o.Err.Post
+	}
+	return rec
+}
+
+// Outcome reconstitutes the journaled record as a resumed Outcome at
+// the given position of the cell slice.
+func (rec Record) Outcome(index int) Outcome {
 	o := Outcome{
 		Index:       index,
 		Cell:        rec.Cell,
@@ -58,13 +90,14 @@ func (rec journalRecord) outcome(index int) Outcome {
 	return o
 }
 
-// journal appends records to a JSONL file, one flushed line per
+// Journal appends records to a JSONL file, one flushed line per
 // completed cell so a kill -9 loses at most the in-flight record.
-type journal struct {
+type Journal struct {
 	f *os.File
 }
 
-func openJournal(path string) (*journal, error) {
+// OpenJournal opens (creating parents as needed) a journal for append.
+func OpenJournal(path string) (*Journal, error) {
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("harness: journal dir: %w", err)
@@ -74,27 +107,12 @@ func openJournal(path string) (*journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: opening journal: %w", err)
 	}
-	return &journal{f: f}, nil
+	return &Journal{f: f}, nil
 }
 
-// append writes one cell record. Caller holds the runner lock.
-func (j *journal) append(o Outcome) error {
-	rec := journalRecord{
-		Kind:        "cell",
-		Cell:        o.Cell,
-		Seed:        o.Seed,
-		Attempts:    o.Attempts,
-		Class:       o.Class,
-		Value:       o.Value,
-		Elapsed:     o.Elapsed.Milliseconds(),
-		ResumeCycle: o.ResumeCycle,
-		Metrics:     o.Metrics,
-	}
-	if o.Err != nil {
-		rec.Error = o.Err.Msg
-		rec.Stack = o.Err.Stack
-		rec.Post = o.Err.Post
-	}
+// Append writes one record as a single line. Concurrent appends must be
+// serialized by the caller.
+func (j *Journal) Append(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("harness: marshaling journal record: %w", err)
@@ -106,35 +124,51 @@ func (j *journal) append(o Outcome) error {
 	return nil
 }
 
-func (j *journal) close() error { return j.f.Close() }
+// Close closes the underlying file.
+func (j *Journal) Close() error { return j.f.Close() }
 
-// readJournal indexes a journal's terminal records by cell ID (last
-// record wins). A missing file is an empty campaign; a torn final line
-// (killed mid-write) is ignored.
-func readJournal(path string) (map[string]journalRecord, error) {
-	f, err := os.Open(path)
+// ReadRecords indexes a journal's terminal records by cell ID (last
+// record wins). A missing file is an empty campaign.
+//
+// Crash tolerance: a journal is appended one line per cell, so a kill
+// mid-write leaves at most one truncated trailing line. Such a line —
+// or any line that is not valid JSON — is skipped with a warning
+// instead of failing the resume; the cell it would have recorded is
+// simply re-executed. Records of unknown kinds are skipped silently
+// (forward compatibility).
+func ReadRecords(path string) (map[string]Record, []string, error) {
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return map[string]journalRecord{}, nil
+		return map[string]Record{}, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("harness: reading journal: %w", err)
+		return nil, nil, fmt.Errorf("harness: reading journal: %w", err)
 	}
-	defer f.Close()
-	out := map[string]journalRecord{}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		var rec journalRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			continue // torn or foreign line
+	out := map[string]Record{}
+	var warns []string
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
 		}
-		if rec.Kind != "cell" || rec.Cell == "" {
+		// A chunk not terminated by '\n' can only be the file's final
+		// bytes: the signature of a crash mid-append.
+		torn := i == len(lines)-1
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if torn {
+				warns = append(warns, fmt.Sprintf(
+					"journal %s: truncated trailing record skipped (crash mid-write): %v", path, err))
+			} else {
+				warns = append(warns, fmt.Sprintf(
+					"journal %s: corrupt line %d skipped: %v", path, i+1, err))
+			}
+			continue
+		}
+		if rec.Kind != RecordKindCell || rec.Cell == "" {
 			continue
 		}
 		out[rec.Cell] = rec
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("harness: scanning journal: %w", err)
-	}
-	return out, nil
+	return out, warns, nil
 }

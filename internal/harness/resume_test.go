@@ -88,7 +88,7 @@ func TestResumePointCarriesAcrossAttempts(t *testing.T) {
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := readJournal(jpath)
+	recs, _, err := ReadRecords(jpath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Campaign-service smoke test (docs/CAMPAIGND.md): drives a 3-worker
+# distributed figure3 campaign under the race detector and proves that
+#   1. a chaos-killed worker (exit 137 holding a lease) loses no cells —
+#      the lease expires and the cell is requeued for another worker;
+#   2. a kill -9'd coordinator restarted on the same address resumes
+#      from its journal mid-campaign, with in-flight workers surviving;
+#   3. RPC drop/duplication faults never lose or double-count a cell —
+#      every journal record is unique;
+#   4. the final aggregated CSV is byte-identical to a single-process
+#      cmd/figures run of the same sweep;
+#   5. a cache-warm resubmission completes instantly with zero
+#      re-simulated cells.
+# Used by `make campaignd-smoke` and CI. Optional $1 = scratch directory.
+set -euo pipefail
+
+out="${1:-$(mktemp -d)}"
+mkdir -p "$out/ref"
+journal="$out/campaign.jsonl"
+
+cleanup() {
+    kill -9 "${coord:-}" "${w2:-}" "${w3:-}" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== build (workers and coordinator under -race) =="
+go build -race -o "$out/campaignd" ./cmd/campaignd
+go build -race -o "$out/campaignw" ./cmd/campaignw
+go build -o "$out/figures" ./cmd/figures
+
+echo "== golden single-process CSV =="
+"$out/figures" -fig 3 -out "$out/ref" -seed 42 >/dev/null
+
+serve() {
+    "$out/campaignd" serve -addr "$1" -addr-file "$out/addr" \
+        -journal "$journal" -resume \
+        -lease-ttl 1s -backoff-base 20ms -backoff-max 100ms \
+        >>"$out/campaignd.log" 2>&1 &
+    coord=$!
+    for _ in $(seq 100); do [ -s "$out/addr" ] && break; sleep 0.1; done
+    [ -s "$out/addr" ] || { echo "FAIL: coordinator never listened" >&2; exit 1; }
+    base="http://$(cat "$out/addr")"
+}
+
+echo "== phase A: coordinator + chaos-killed worker =="
+serve 127.0.0.1:0
+cid=$("$out/campaignd" submit -connect "$base" -sweep figure3 -seed 42 | tail -n1)
+echo "campaign $cid on $base"
+
+# Worker 1 completes two cells, then dies (exit 137) HOLDING its third
+# lease — the reaper must requeue that cell for phase B's workers.
+code=0
+"$out/campaignw" -connect "$base" -name w1 -poll 50ms -chaos-kill-after 3 \
+    >"$out/w1.log" 2>&1 || code=$?
+if [ "$code" -ne 137 ]; then
+    echo "FAIL: chaos worker exit $code, want 137" >&2
+    exit 1
+fi
+done_a=$(curl -s "$base/progress" | grep -o '"done":[0-9]*' | tail -n1 | grep -o '[0-9]*')
+if [ "$done_a" -lt 1 ]; then
+    echo "FAIL: no progress before the coordinator kill (done=$done_a)" >&2
+    exit 1
+fi
+
+echo "== kill -9 the coordinator mid-campaign ($done_a cells done) =="
+addr=$(cat "$out/addr")
+kill -9 "$coord"
+wait "$coord" 2>/dev/null || true
+rm -f "$out/addr"
+
+echo "== phase B: restart on the same address, finish under RPC chaos =="
+serve "$addr"
+cid2=$("$out/campaignd" submit -connect "$base" -sweep figure3 -seed 42 | tail -n1)
+if [ "$cid2" != "$cid" ]; then
+    echo "FAIL: resubmission changed the campaign ID ($cid -> $cid2)" >&2
+    exit 1
+fi
+# Worker 2 suffers dropped and duplicated RPCs; worker 3 is healthy.
+"$out/campaignw" -connect "$base" -name w2 -poll 50ms \
+    -chaos-drop-every 7 -chaos-dup-every 5 >"$out/w2.log" 2>&1 &
+w2=$!
+"$out/campaignw" -connect "$base" -name w3 -poll 50ms >"$out/w3.log" 2>&1 &
+w3=$!
+
+"$out/campaignd" await -connect "$base" -campaign "$cid" \
+    -csv-out "$out/figure3.csv" -timeout 180s -poll 250ms
+
+echo "== CSV must be byte-identical to the single-process run =="
+cmp "$out/ref/figure3.csv" "$out/figure3.csv"
+
+echo "== no cell lost or double-counted in the journal =="
+total=$(grep -c '"kind":"cell"' "$journal")
+uniq_cells=$(grep -o '"cell":"[^"]*"' "$journal" | sort -u | wc -l)
+if [ "$total" -ne "$uniq_cells" ]; then
+    echo "FAIL: $total journal records but $uniq_cells unique cells" >&2
+    exit 1
+fi
+
+echo "== cache-warm resubmission: zero re-simulated cells =="
+status=$(curl -s "$base/v1/campaigns/$cid")
+echo "$status" | grep -q '"complete":true' || {
+    echo "FAIL: campaign not complete: $status" >&2
+    exit 1
+}
+kill -9 "$coord" "$w2" "$w3" 2>/dev/null || true
+wait "$coord" "$w2" "$w3" 2>/dev/null || true
+rm -f "$out/addr"
+serve 127.0.0.1:0
+"$out/campaignd" submit -connect "$base" -sweep figure3 -seed 42 >"$out/resubmit.log" 2>&1
+grep -q '0 pending' "$out/resubmit.log" || {
+    echo "FAIL: cache-warm resubmit re-scheduled cells:" >&2
+    cat "$out/resubmit.log" >&2
+    exit 1
+}
+
+echo "campaignd smoke OK: chaos campaign CSV byte-identical, journal exact-once, cache warm"
