@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest harness-smoke snapshot-smoke telemetry-smoke campaignd-smoke regen-results clean
+.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest harness-smoke snapshot-smoke telemetry-smoke campaignd-smoke trace-smoke no-test-binaries regen-results clean
 
 all: test
 
@@ -37,7 +37,7 @@ bench-snapshot:
 
 bench-check:
 	./scripts/bench_snapshot.sh /tmp/bench-check.json
-	./scripts/bench_diff BENCH_6.json /tmp/bench-check.json
+	./scripts/bench_diff BENCH_8.json /tmp/bench-check.json
 
 figures:
 	go run ./cmd/figures -out results
@@ -95,6 +95,18 @@ telemetry-smoke:
 campaignd-smoke:
 	./scripts/campaignd_smoke.sh
 
+# End-to-end distributed-tracing check (docs/OBSERVABILITY.md,
+# "Tracing"): an offline exemplar -> span-tree walk from figures disk
+# artefacts, then a 2-worker campaign whose trace IDs must appear in
+# the journal, the cells.csv metadata and the Perfetto export.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
+# Hygiene gate: no compiled Go test binaries (or any native
+# executable) committed to the tree.
+no-test-binaries:
+	./scripts/no_test_binaries.sh
+
 # Regenerate the version-controlled golden CSVs under results/.
 regen-results:
 	go run ./cmd/figures -out results
@@ -102,4 +114,4 @@ regen-results:
 # Scratch outputs only: results/*.csv are version-controlled goldens
 # regenerated via `make regen-results`, never deleted here.
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_5.txt BENCH_6.txt
+	rm -f test_output.txt bench_output.txt BENCH_5.txt BENCH_6.txt BENCH_8.txt

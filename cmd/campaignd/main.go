@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/teletrace"
 )
 
 func main() {
@@ -87,8 +88,17 @@ func serveCmd(args []string) error {
 	readWidth := fs.Int("read-width", 8, "concurrent read handlers")
 	readQueue := fs.Int("read-queue", 16, "bounded read wait queue (overflow sheds 503)")
 	aggTTL := fs.Duration("agg-ttl", time.Second, "/progress aggregate cache TTL (stale-but-fast)")
+	traceOn := fs.Bool("trace", true, "distributed tracing: cell root spans, X-Trace-Context propagation, /traces explorer")
+	traceCap := fs.Int("trace-cap", teletrace.DefaultStoreCap, "span store bound (FIFO eviction)")
 	fs.Parse(args)
 
+	var tracer *teletrace.Tracer
+	if *traceOn {
+		tracer = teletrace.New(teletrace.Config{
+			Service: "campaignd",
+			Store:   teletrace.NewStore(*traceCap),
+		})
+	}
 	srv, err := campaign.NewServer(campaign.Config{
 		JournalPath: *journal,
 		Resume:      *resume,
@@ -102,6 +112,7 @@ func serveCmd(args []string) error {
 		ReadWidth:   *readWidth,
 		ReadQueue:   *readQueue,
 		AggTTL:      *aggTTL,
+		Tracer:      tracer,
 		Logf:        log.Printf,
 	})
 	if err != nil {

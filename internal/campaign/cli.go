@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	"repro/internal/teletrace"
 )
 
 // WorkerMain parses worker flags and runs the lease loop; it backs
@@ -22,8 +24,17 @@ func WorkerMain(args []string, defaultName string, logf func(format string, v ..
 	dupEvery := fs.Int("chaos-dup-every", 0, "chaos: duplicate every Nth RPC (0: never)")
 	delayEvery := fs.Int("chaos-delay-every", 0, "chaos: delay every Nth RPC (0: never)")
 	delay := fs.Duration("chaos-delay", 50*time.Millisecond, "chaos: injected RPC delay")
+	traceOn := fs.Bool("trace", true, "ship claim/attempt spans to the coordinator with each completed cell")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var tracer *teletrace.Tracer
+	if *traceOn {
+		tracer = teletrace.New(teletrace.Config{
+			Service: *name,
+			Store:   teletrace.NewStore(0),
+		})
 	}
 
 	client := http.DefaultClient
@@ -45,5 +56,6 @@ func WorkerMain(args []string, defaultName string, logf func(format string, v ..
 		KillAfter:    *killAfter,
 		Kill:         func() { os.Exit(137) },
 		Logf:         logf,
+		Tracer:       tracer,
 	})
 }

@@ -36,4 +36,7 @@ var (
 	// ErrOverloaded means a read endpoint shed the request to protect
 	// the coordinator; retry after the hinted delay.
 	ErrOverloaded = errors.New("campaign: overloaded")
+	// ErrTracingDisabled means a trace endpoint was queried on a
+	// coordinator running without a tracer (Config.Tracer was nil).
+	ErrTracingDisabled = errors.New("campaign: tracing disabled")
 )

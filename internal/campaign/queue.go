@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/teletrace"
 )
 
 // cellState is the lifecycle of one queued cell.
@@ -34,6 +35,9 @@ type job struct {
 	leaseID  string
 	cached   bool
 	rec      *harness.Record // terminal record (value or recorded gap)
+	// span is the cell's root trace span (campaignd/cell), open from
+	// enqueue to terminal outcome; nil when tracing is off.
+	span *teletrace.Span
 }
 
 // fullID is the harness-style namespaced cell path.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/telemetry"
+	"repro/internal/teletrace"
 )
 
 // Config parameterizes a coordinator.
@@ -55,6 +56,13 @@ type Config struct {
 	// snapshots; nil allocates a private registry.
 	Metrics *telemetry.Registry
 
+	// Tracer enables distributed tracing: every submitted cell gets a
+	// root span whose context rides the lease response's X-Trace-Context
+	// header to workers, and worker-shipped spans are ingested into the
+	// tracer's store (served by /traces). Nil disables tracing — every
+	// span site degrades to a nil-handle branch.
+	Tracer *teletrace.Tracer
+
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 
@@ -80,9 +88,12 @@ type Server struct {
 	journal   *harness.Journal
 
 	reg      *telemetry.Registry
+	tracer   *teletrace.Tracer
+	tstore   *teletrace.Store
 	limiter  *limiter
 	gate     *gate
 	progress *memo
+	traces   *memo
 
 	cLeases      *telemetry.Counter
 	cExpired     *telemetry.Counter
@@ -92,6 +103,8 @@ type Server struct {
 	cCacheHits   *telemetry.Counter
 	cEvicted     *telemetry.Counter
 	cShed        *telemetry.Counter
+	cSpans       *telemetry.Counter
+	cProgressRef *telemetry.Counter
 }
 
 // NewServer builds a coordinator, replaying the journal (when
@@ -123,6 +136,9 @@ func NewServer(cfg Config) (*Server, error) {
 	s.limiter = newLimiter(cfg.ReadRate, cfg.ReadBurst)
 	s.gate = newGate(cfg.ReadWidth, queueLen, time.Second)
 	s.progress = newMemo(cfg.AggTTL)
+	s.traces = newMemo(cfg.AggTTL)
+	s.tracer = cfg.Tracer
+	s.tstore = s.tracer.Store()
 
 	s.cLeases = s.reg.Counter("campaign_leases_granted_total", "leases handed to workers")
 	s.cExpired = s.reg.Counter("campaign_leases_expired_total", "leases reaped after heartbeat loss")
@@ -132,6 +148,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s.cCacheHits = s.reg.Counter("campaign_cache_hits_total", "cells served from the result cache")
 	s.cEvicted = s.reg.Counter("campaign_cache_evictions_total", "cache entries evicted (FIFO bound)")
 	s.cShed = s.reg.Counter("campaign_reads_shed_total", "read requests rejected by the degradation ladder")
+	s.cSpans = s.reg.Counter("campaign_trace_spans_total", "worker spans ingested into the trace store")
+	s.cProgressRef = s.reg.Counter("campaign_progress_refreshes_total", "/progress aggregate recomputations (cache misses)")
 
 	if cfg.JournalPath != "" {
 		if cfg.Resume {
@@ -212,6 +230,13 @@ func (s *Server) Submit(sweep string, p experiments.Params) (StatusResponse, err
 			if rec.Metrics != nil {
 				s.reg.Absorb(*rec.Metrics)
 			}
+		} else if s.tracer != nil {
+			// The cell's root span: open from enqueue to terminal
+			// outcome, parent of every claim/attempt span a worker
+			// ships back under its trace.
+			j.span = s.tracer.StartRoot("campaignd/cell")
+			j.span.SetAttr("cell", j.fullID())
+			j.span.SetAttr("name", j.name)
 		}
 		c.jobs = append(c.jobs, j)
 		s.q.add(j)
@@ -240,10 +265,12 @@ func (s *Server) reapLocked(now time.Time) {
 	for _, j := range requeued {
 		s.cExpired.Inc()
 		s.cRequeued.Inc()
+		j.span.Eventf("lease-expired", "worker went silent, requeued (attempt %d/%d)", j.attempts, s.q.maxAttempts)
 		s.logf("campaign: lease expired, requeued %s (attempt %d/%d)", j.fullID(), j.attempts, s.q.maxAttempts)
 	}
 	for _, j := range quarantined {
 		s.cExpired.Inc()
+		j.span.Eventf("lease-expired", "worker went silent on final attempt %d", j.attempts)
 		rec := harness.Record{
 			Kind:     harness.RecordKindCell,
 			Cell:     j.name,
@@ -257,19 +284,44 @@ func (s *Server) reapLocked(now time.Time) {
 	}
 }
 
+// ingestSpansLocked adds worker-shipped spans to the trace store. The
+// store dedupes by (trace, span) ID, so a duplicated complete RPC that
+// somehow carries a live lease cannot double-record a span. Callers
+// hold s.mu.
+func (s *Server) ingestSpansLocked(spans []teletrace.SpanData) {
+	if s.tstore == nil || len(spans) == 0 {
+		return
+	}
+	added := s.tstore.AddAll(spans)
+	s.cSpans.Add(uint64(added))
+	s.traces.invalidate()
+}
+
 // finishLocked journals and caches a job's terminal record. Callers
 // hold s.mu.
 func (s *Server) finishLocked(j *job, rec harness.Record, quarantined bool) {
 	rec.Kind = harness.RecordKindCell
 	rec.Cell = j.name // content-addressed name, not the worker's local ID
+	if rec.TraceID == "" && j.span != nil {
+		// Coordinator-authored records (reaper quarantines) and records
+		// from workers running without a tracer still link to the
+		// cell's trace.
+		rec.TraceID = j.span.TraceID().String()
+	}
 	j.rec = &rec
 	if quarantined {
 		j.state = stateQuarantined
 		s.cQuarantined.Inc()
+		j.span.SetErrorString(rec.Error)
 	} else {
 		j.state = stateDone
 		s.cDone.Inc()
+		if rec.Class != harness.ClassOK {
+			j.span.SetErrorString(rec.Error)
+		}
 	}
+	j.span.SetAttr("class", string(rec.Class))
+	j.span.End()
 	s.cEvicted.Add(uint64(s.cache.put(j.name, rec)))
 	if s.journal != nil {
 		if err := s.journal.Append(rec); err != nil {
@@ -359,7 +411,9 @@ type LeaseRequest struct {
 	Worker string `json:"worker"`
 }
 
-// LeaseResponse hands a worker one cell to run.
+// LeaseResponse hands a worker one cell to run. The cell's trace
+// context rides the X-Trace-Context response header, not the body —
+// propagation metadata stays out of the payload schema.
 type LeaseResponse struct {
 	LeaseID   string             `json:"lease_id"`
 	Campaign  string             `json:"campaign"`
@@ -369,6 +423,10 @@ type LeaseResponse struct {
 	CellIndex int                `json:"cell_index"`
 	Seed      int64              `json:"seed"`
 	TTLMillis int64              `json:"ttl_ms"`
+
+	// trace is the header-parsed context, populated by the worker's
+	// acquire; zero when the coordinator runs untraced.
+	trace teletrace.Context
 }
 
 // HeartbeatRequest is the POST /v1/heartbeat body.
@@ -377,10 +435,12 @@ type HeartbeatRequest struct {
 }
 
 // CompleteRequest is the POST /v1/complete body: the worker's terminal
-// record for its leased cell.
+// record for its leased cell, plus the spans its tracer collected
+// while running it (empty when worker tracing is off).
 type CompleteRequest struct {
-	LeaseID string         `json:"lease_id"`
-	Record  harness.Record `json:"record"`
+	LeaseID string               `json:"lease_id"`
+	Record  harness.Record       `json:"record"`
+	Spans   []teletrace.SpanData `json:"spans,omitempty"`
 }
 
 // CompleteResponse reports what the coordinator did with the result.
@@ -452,8 +512,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/complete", s.handleComplete)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.degrade(s.handleStatus))
 	mux.HandleFunc("GET /v1/campaigns/{id}/results.csv", s.degrade(s.handleResults))
+	mux.HandleFunc("GET /v1/campaigns/{id}/cells.csv", s.degrade(s.handleCellsCSV))
 	mux.HandleFunc("GET /progress", s.degrade(s.handleProgress))
 	mux.HandleFunc("GET /metrics", s.degrade(s.handleMetrics))
+	mux.HandleFunc("GET /traces", s.degrade(s.handleTraces))
+	mux.HandleFunc("GET /traces.json", s.degrade(s.handleTracesJSON))
+	mux.HandleFunc("GET /traces.chrome.json", s.degrade(s.handleTracesChrome))
 	return mux
 }
 
@@ -493,6 +557,11 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cLeases.Inc()
 	j := l.job
+	j.span.Eventf("lease", "%s granted to %s (attempt %d, seed %d)", l.id, req.Worker, j.attempts, l.seed)
+	if l.seed != j.seed {
+		j.span.Eventf("retry-seed", "seed perturbed %d -> %d after %d content failures", j.seed, l.seed, j.failures)
+	}
+	traceCtx := j.span.Context()
 	resp := LeaseResponse{
 		LeaseID:   l.id,
 		Campaign:  j.campaign.ID,
@@ -505,6 +574,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	s.logf("campaign: leased %s to %s (%s, seed %d)", j.fullID(), req.Worker, l.id, l.seed)
+	traceCtx.SetHeader(w.Header())
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -540,10 +610,13 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		// The lease is gone: expired and requeued, or this is a
 		// duplicated RPC for a cell that already completed. Either way
-		// the result is discarded — exactly-once accounting lives here.
+		// the result — and its spans — is discarded; exactly-once
+		// accounting lives here, and the store's (trace, span) dedupe
+		// backstops any duplicate that slips past.
 		writeError(w, http.StatusGone, err)
 		return
 	}
+	s.ingestSpansLocked(req.Spans)
 	switch status {
 	case completeDone:
 		s.finishLocked(j, req.Record, false)
@@ -552,6 +625,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		s.logf("campaign: quarantined %s after %d attempts (%s)", j.fullID(), j.attempts, req.Record.Class)
 	default: // requeued for another attempt with a perturbed seed
 		s.cRequeued.Inc()
+		j.span.Eventf("requeue", "%s reported, backing off for attempt %d/%d", req.Record.Class, j.attempts+1, s.q.maxAttempts)
 		s.logf("campaign: requeued %s after %s (attempt %d/%d)", j.fullID(), req.Record.Class, j.attempts, s.q.maxAttempts)
 	}
 	s.mu.Unlock()
@@ -609,6 +683,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	now := s.now()
 	v, stale, err := s.progress.get(now, func() (any, error) {
+		s.cProgressRef.Inc()
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.reapLocked(now)

@@ -1,0 +1,158 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/teletrace"
+)
+
+// tracesPageSize bounds how many trace summaries the explorer lists;
+// the store itself is FIFO-bounded, this just keeps one page readable.
+const tracesPageSize = 200
+
+// TracesResponse is the GET /traces.json body: either a summary page
+// (no query) or one trace's full span list (?trace=<id>).
+type TracesResponse struct {
+	Traces []teletrace.Summary  `json:"traces,omitempty"`
+	Spans  []teletrace.SpanData `json:"spans,omitempty"`
+	Stale  bool                 `json:"stale,omitempty"`
+}
+
+// handleTracesJSON serves trace summaries (memoized, single-flight —
+// walking the whole store is the expensive aggregate) or, with
+// ?trace=<id>, one trace's sorted spans (a targeted map lookup, cheap
+// enough to skip the memo).
+func (s *Server) handleTracesJSON(w http.ResponseWriter, r *http.Request) {
+	if s.tstore == nil {
+		writeError(w, http.StatusNotFound, ErrTracingDisabled)
+		return
+	}
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := teletrace.ParseTraceID(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: bad trace id: %w", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, TracesResponse{Spans: s.tstore.Trace(id)})
+		return
+	}
+	v, stale, err := s.traces.get(s.now(), func() (any, error) {
+		return s.tstore.Summaries(tracesPageSize), nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sums, _ := v.([]teletrace.Summary)
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: sums, Stale: stale})
+}
+
+// handleTraces serves the live trace explorer: a static HTML page over
+// the same memoized summaries, linking each trace to its JSON span
+// tree. Shares /traces.json's memo, so a browser auto-refreshing the
+// page costs one store walk per TTL.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tstore == nil {
+		writeError(w, http.StatusNotFound, ErrTracingDisabled)
+		return
+	}
+	v, _, err := s.traces.get(s.now(), func() (any, error) {
+		return s.tstore.Summaries(tracesPageSize), nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sums, _ := v.([]teletrace.Summary)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(teletrace.RenderHTML(sums))
+}
+
+// handleTracesChrome exports every stored span in Chrome trace-event
+// format (load into Perfetto / chrome://tracing): one process lane per
+// service, so coordinator and worker spans line up on a shared clock.
+func (s *Server) handleTracesChrome(w http.ResponseWriter, r *http.Request) {
+	if s.tstore == nil {
+		writeError(w, http.StatusNotFound, ErrTracingDisabled)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := teletrace.WriteChrome(w, s.tstore.Spans()); err != nil {
+		s.logf("campaign: writing chrome trace: %v", err)
+	}
+}
+
+// handleCellsCSV serves per-cell trace metadata: the bridge from a
+// campaign's aggregate CSV to each cell's span tree. This is a
+// separate endpoint — results.csv stays byte-identical to the
+// single-process renderer (the chaos suite pins that), so trace IDs
+// must never leak into it.
+func (s *Server) handleCellsCSV(w http.ResponseWriter, r *http.Request) {
+	now := s.now()
+	s.mu.Lock()
+	s.reapLocked(now)
+	c, ok := s.campaigns[r.PathValue("id")]
+	type cellRow struct {
+		name, state, class string
+		attempts           int
+		seed               int64
+		elapsedMS          int64
+		traceID            string
+	}
+	var cells []cellRow
+	if ok {
+		for _, j := range c.jobs {
+			row := cellRow{name: j.name, state: stateName(j.state), attempts: j.attempts, seed: j.seed}
+			if j.rec != nil {
+				row.class = string(j.rec.Class)
+				row.elapsedMS = j.rec.Elapsed
+				row.traceID = j.rec.TraceID
+			}
+			if row.traceID == "" && j.span != nil {
+				row.traceID = j.span.TraceID().String()
+			}
+			cells = append(cells, row)
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrUnknownCampaign)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	// Cell names carry commas (content-addressed params), so this must
+	// be real CSV quoting, not Fprintf joins.
+	cw := csv.NewWriter(w)
+	_ = cw.Write([]string{"cell", "state", "class", "attempts", "seed", "elapsed_ms", "trace_id"})
+	for _, row := range cells {
+		_ = cw.Write([]string{
+			row.name, row.state, row.class,
+			strconv.Itoa(row.attempts),
+			strconv.FormatInt(row.seed, 10),
+			strconv.FormatInt(row.elapsedMS, 10),
+			row.traceID,
+		})
+	}
+	cw.Flush()
+}
+
+// stateName renders a cellState for the cells.csv metadata endpoint.
+func stateName(st cellState) string {
+	switch st {
+	case statePending:
+		return "pending"
+	case stateLeased:
+		return "leased"
+	case stateDone:
+		return "done"
+	case stateQuarantined:
+		return "quarantined"
+	}
+	return "unknown"
+}

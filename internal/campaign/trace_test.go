@@ -1,0 +1,390 @@
+package campaign
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+	"repro/internal/teletrace"
+)
+
+// tracedServer is testServer plus a seeded coordinator tracer.
+func tracedServer(t *testing.T, clk *fakeClock) (*Server, *teletrace.Store) {
+	t.Helper()
+	store := teletrace.NewStore(0)
+	s := testServer(t, clk, func(cfg *Config) {
+		cfg.Tracer = teletrace.New(teletrace.Config{Service: "campaignd", Store: store, Seed: 1})
+	})
+	return s, store
+}
+
+// TestTracedLeaseAndComplete walks one cell through the wire protocol
+// and checks every propagation hop: the lease response carries the
+// cell's trace context in X-Trace-Context, the worker's shipped spans
+// land in the coordinator store, the root span closes with the
+// outcome class, and a chaos-duplicated complete RPC leaves no extra
+// spans behind.
+func TestTracedLeaseAndComplete(t *testing.T) {
+	clk := newFakeClock()
+	s, store := tracedServer(t, clk)
+	h := s.Handler()
+	st := submitFigure2(t, h)
+
+	var l LeaseResponse
+	w := do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l)
+	if w.Code != http.StatusOK {
+		t.Fatalf("lease: %d %s", w.Code, w.Body.String())
+	}
+	ctx := teletrace.FromHeader(w.Result().Header)
+	if !ctx.Valid() {
+		t.Fatalf("lease response has no trace context: %q", w.Result().Header.Get(teletrace.Header))
+	}
+
+	// Fabricate what a traced worker ships: a claim span under the
+	// coordinator's context with the record's trace ID matching.
+	wtr := teletrace.New(teletrace.Config{Service: "worker-w1", Store: teletrace.NewStore(0), Seed: 2})
+	claim := wtr.StartSpan("worker/claim", ctx)
+	claim.SetAttr("lease", l.LeaseID)
+	claim.End()
+	spans := wtr.Store().Drain()
+
+	rec := harness.Record{Kind: harness.RecordKindCell, Cell: l.Sweep + "/" + l.CellID, Seed: l.Seed,
+		Attempts: 1, Class: harness.ClassOK, Value: json.RawMessage(`{"x":1}`),
+		TraceID: ctx.Trace.String()}
+	var done CompleteResponse
+	if w := do(t, h, "POST", "/v1/complete", CompleteRequest{LeaseID: l.LeaseID, Record: rec, Spans: spans}, &done); w.Code != http.StatusOK {
+		t.Fatalf("complete: %d %s", w.Code, w.Body.String())
+	}
+
+	got := store.Trace(ctx.Trace)
+	var names []string
+	for _, d := range got {
+		names = append(names, d.Name)
+	}
+	if len(got) != 2 { // campaignd/cell (ended by finish) + worker/claim
+		t.Fatalf("trace has %d spans (%v), want 2", len(got), names)
+	}
+	var root teletrace.SpanData
+	for _, d := range got {
+		if d.Name == "campaignd/cell" {
+			root = d
+		}
+	}
+	if root.ID == 0 || root.EndNS == 0 {
+		t.Fatalf("cell root span missing or unended: %+v", root)
+	}
+	if root.Attrs["class"] != string(harness.ClassOK) {
+		t.Fatalf("root span class attr: %+v", root.Attrs)
+	}
+	var leaseEvents int
+	for _, ev := range root.Events {
+		if ev.Name == "lease" {
+			leaseEvents++
+		}
+	}
+	if leaseEvents != 1 {
+		t.Fatalf("root span lease events = %d, want 1: %+v", leaseEvents, root.Events)
+	}
+
+	// A duplicated complete RPC (chaos transport) answers 410 and must
+	// not duplicate spans or events.
+	before := store.Len()
+	if w := do(t, h, "POST", "/v1/complete", CompleteRequest{LeaseID: l.LeaseID, Record: rec, Spans: spans}, nil); w.Code != http.StatusGone {
+		t.Fatalf("duplicate complete: %d, want 410", w.Code)
+	}
+	if store.Len() != before {
+		t.Fatalf("duplicate complete grew the span store: %d -> %d", before, store.Len())
+	}
+
+	// cells.csv links the cell to its trace.
+	w = do(t, h, "GET", "/v1/campaigns/"+st.ID+"/cells.csv", nil, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cells.csv: %d %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), ctx.Trace.String()) {
+		t.Fatalf("cells.csv missing trace %s:\n%s", ctx.Trace, w.Body.String())
+	}
+
+	// The explorer serves the trace both as JSON and HTML.
+	var tr TracesResponse
+	w = do(t, h, "GET", "/traces.json?trace="+ctx.Trace.String(), nil, &tr)
+	if w.Code != http.StatusOK || len(tr.Spans) != 2 {
+		t.Fatalf("traces.json?trace=: %d, %d spans", w.Code, len(tr.Spans))
+	}
+	w = do(t, h, "GET", "/traces.json", nil, &tr)
+	if w.Code != http.StatusOK || len(tr.Traces) == 0 {
+		t.Fatalf("traces.json summaries: %d, %d traces", w.Code, len(tr.Traces))
+	}
+	w = do(t, h, "GET", "/traces", nil, nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Result().Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("traces explorer: %d %s", w.Code, w.Result().Header.Get("Content-Type"))
+	}
+	w = do(t, h, "GET", "/traces.chrome.json", nil, nil)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ph"`) {
+		t.Fatalf("chrome export: %d", w.Code)
+	}
+}
+
+// TestUntracedServerTraceEndpoints pins the disabled path: no tracer
+// means 404 on the explorer, no header on leases, and nothing breaks.
+func TestUntracedServerTraceEndpoints(t *testing.T) {
+	clk := newFakeClock()
+	s := testServer(t, clk, nil)
+	h := s.Handler()
+	submitFigure2(t, h)
+
+	var l LeaseResponse
+	w := do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "w1"}, &l)
+	if w.Code != http.StatusOK {
+		t.Fatalf("lease: %d", w.Code)
+	}
+	if got := w.Result().Header.Get(teletrace.Header); got != "" {
+		t.Fatalf("untraced lease has trace header %q", got)
+	}
+	for _, path := range []string{"/traces", "/traces.json", "/traces.chrome.json"} {
+		if w := do(t, h, "GET", path, nil, nil); w.Code != http.StatusNotFound {
+			t.Fatalf("%s on untraced server: %d, want 404", path, w.Code)
+		}
+	}
+}
+
+// TestQuarantineSpanCarriesError checks the reaper path: a cell whose
+// workers keep dying ends its root span with the quarantine error and
+// the record still links to the trace.
+func TestQuarantineSpanCarriesError(t *testing.T) {
+	clk := newFakeClock()
+	s, store := tracedServer(t, clk)
+	h := s.Handler()
+	st := submitFigure2(t, h)
+
+	// Burn the attempt budget (MaxAttempts=2) with silent workers.
+	for i := 0; i < 2; i++ {
+		var l LeaseResponse
+		if w := do(t, h, "POST", "/v1/lease", LeaseRequest{Worker: "dead"}, &l); w.Code != http.StatusOK {
+			t.Fatalf("lease %d: %d", i, w.Code)
+		}
+		clk.advance(11 * time.Second)
+		do(t, h, "POST", "/v1/heartbeat", HeartbeatRequest{LeaseID: "L-none"}, nil) // reap
+		clk.advance(time.Second)                                                    // past backoff
+	}
+	var after StatusResponse
+	do(t, h, "GET", "/v1/campaigns/"+st.ID, nil, &after)
+	if after.Quarantined == 0 {
+		t.Fatalf("no quarantine after budget burn: %+v", after)
+	}
+	var found bool
+	for _, d := range store.Spans() {
+		if d.Name == "campaignd/cell" && d.Error != "" && strings.Contains(d.Error, "quarantined") {
+			found = true
+			if d.EndNS == 0 {
+				t.Fatal("quarantined cell span not ended")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no quarantined root span in store (%d spans)", store.Len())
+	}
+}
+
+// TestProgressSingleFlightUnderLoad hammers /progress with concurrent
+// readers after the TTL lapses: exactly one recomputation may run
+// (single-flight), everyone else gets the cached or stale aggregate,
+// and nobody errors.
+func TestProgressSingleFlightUnderLoad(t *testing.T) {
+	clk := newFakeClock()
+	reg := telemetry.NewRegistry()
+	s := testServer(t, clk, func(cfg *Config) {
+		cfg.Metrics = reg
+		cfg.AggTTL = time.Second
+	})
+	h := s.Handler()
+	submitFigure2(t, h)
+
+	refreshes := func() uint64 {
+		return reg.Snapshot().Counters["campaign_progress_refreshes_total"]
+	}
+
+	// Warm the cache: one refresh.
+	if w := do(t, h, "GET", "/progress", nil, nil); w.Code != http.StatusOK {
+		t.Fatalf("warmup: %d", w.Code)
+	}
+	if got := refreshes(); got != 1 {
+		t.Fatalf("warmup refreshes = %d, want 1", got)
+	}
+
+	// Within the TTL: any number of readers, zero recomputation.
+	for i := 0; i < 10; i++ {
+		if w := do(t, h, "GET", "/progress", nil, nil); w.Code != http.StatusOK {
+			t.Fatalf("cached read: %d", w.Code)
+		}
+	}
+	if got := refreshes(); got != 1 {
+		t.Fatalf("cached reads recomputed: %d refreshes, want 1", got)
+	}
+
+	// Past the TTL: 32 concurrent readers, exactly one recompute —
+	// the memo's mutex serializes the miss check, so the losers serve
+	// the stale value instead of stampeding.
+	clk.advance(2 * time.Second)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest("GET", "/progress", nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				errs <- w.Body.String()
+				return
+			}
+			var p ProgressResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &p); err != nil {
+				errs <- err.Error()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent /progress failed: %s", e)
+	}
+	if got := refreshes(); got != 2 {
+		t.Fatalf("concurrent stampede: %d refreshes, want 2 (warm + one single-flight)", got)
+	}
+}
+
+// TestTracedChaosCampaign is the cross-process propagation test: a
+// real coordinator and traced workers behind a duplicating chaos
+// transport. Every completed cell must end with exactly one claim,
+// one harness cell and one harness attempt span under its coordinator
+// root — a duplicated complete RPC must not double-ingest.
+func TestTracedChaosCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced chaos campaign is a multi-second integration test")
+	}
+	store := teletrace.NewStore(0)
+	srv, err := NewServer(Config{
+		// Short TTL: a duplicated lease RPC orphans one lease (the
+		// worker only sees one response), which must reap fast.
+		LeaseTTL:    500 * time.Millisecond,
+		MaxAttempts: 5,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Tracer:      teletrace.New(teletrace.Config{Service: "campaignd", Store: store, Seed: 3}),
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	p := experiments.Params{Seed: 11}.Normalize()
+	st, err := srv.Submit("figure3", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Workers run in rounds: each round spawns a fresh traced pair
+	// (long figure3 cells make a lone poller exhaust its idle budget
+	// while its sibling crunches). Distinct tracer seeds per round —
+	// reusing a seed would regenerate identical span IDs and the
+	// store's dedupe would silently eat the legitimate spans.
+	deadline := time.Now().Add(120 * time.Second) //simlint:wallclock integration test deadline
+	for round := 0; ; round++ {
+		cur, err := srv.Submit("figure3", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Complete {
+			break
+		}
+		if time.Now().After(deadline) { //simlint:wallclock integration test deadline
+			t.Fatalf("campaign never completed: %+v", cur)
+		}
+		var wg sync.WaitGroup
+		workers := []struct {
+			name string
+			rt   http.RoundTripper
+		}{
+			{"tw1", &ChaosTransport{DupEvery: 2}}, // every other RPC duplicated
+			{"tw2", &ChaosTransport{DupEvery: 3, DelayEvery: 5, Delay: 5 * time.Millisecond}},
+		}
+		for i, wk := range workers {
+			wg.Add(1)
+			seed := uint64(101 + round*len(workers) + i)
+			go func(name string, rt http.RoundTripper, seed uint64) {
+				defer wg.Done()
+				err := RunWorker(WorkerConfig{
+					BaseURL: ts.URL, Name: name, PollInterval: 20 * time.Millisecond,
+					Client: &http.Client{Transport: rt},
+					Tracer: teletrace.New(teletrace.Config{Service: name, Store: teletrace.NewStore(0), Seed: seed}),
+					Logf:   t.Logf,
+				})
+				if err != nil {
+					t.Logf("worker %s exited: %v", name, err)
+				}
+			}(wk.name, wk.rt, seed)
+		}
+		wg.Wait()
+	}
+	ts.Close()
+
+	// Per-trace causality: under a duplicating transport each done
+	// cell still has exactly one span per hop.
+	byTrace := map[teletrace.TraceID]map[string]int{}
+	for _, d := range store.Spans() {
+		m := byTrace[d.Trace]
+		if m == nil {
+			m = map[string]int{}
+			byTrace[d.Trace] = m
+		}
+		m[d.Name]++
+	}
+	if len(byTrace) < st.Total {
+		t.Fatalf("store has %d traces, want >= %d cells", len(byTrace), st.Total)
+	}
+	for id, names := range byTrace {
+		if names["campaignd/cell"] != 1 {
+			t.Fatalf("trace %s: %d root spans, want 1 (%v)", id, names["campaignd/cell"], names)
+		}
+		// Retried cells legitimately have one claim/attempt per lease;
+		// duplicates of the SAME span are the bug being tested.
+		if names["worker/claim"] > 5 || names["harness/attempt"] > 5 {
+			t.Fatalf("trace %s has implausibly many spans (dup ingest?): %v", id, names)
+		}
+	}
+
+	// Every record links into the store, and every cell a worker
+	// actually ran has the full causal chain under its trace. (A cell
+	// quarantined by repeatedly orphaned leases — a duplicated lease
+	// RPC leases a job nobody runs — legitimately has only its root.)
+	for _, j := range srv.campaigns[st.ID].jobs {
+		if j.rec == nil || j.rec.TraceID == "" {
+			t.Fatalf("cell %s record has no trace ID", j.name)
+		}
+		id, err := teletrace.ParseTraceID(j.rec.TraceID)
+		if err != nil {
+			t.Fatalf("cell %s trace ID %q: %v", j.name, j.rec.TraceID, err)
+		}
+		if len(store.Trace(id)) == 0 {
+			t.Fatalf("cell %s trace %s has no spans", j.name, j.rec.TraceID)
+		}
+		if j.rec.Class == harness.ClassOK {
+			names := byTrace[id]
+			if names["worker/claim"] < 1 || names["harness/cell"] < 1 || names["harness/attempt"] < 1 {
+				t.Fatalf("completed cell %s trace %s incomplete: %v", j.name, id, names)
+			}
+		}
+	}
+}

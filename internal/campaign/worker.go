@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/telemetry"
+	"repro/internal/teletrace"
 )
 
 // WorkerConfig parameterizes one worker process.
@@ -40,6 +41,12 @@ type WorkerConfig struct {
 	Kill func()
 	// Logf receives worker log lines; nil discards them.
 	Logf func(format string, args ...any)
+	// Tracer enables worker-side tracing: each leased cell runs under a
+	// claim span parented on the coordinator's X-Trace-Context, and the
+	// tracer's collected spans ship back in the complete RPC. Nil
+	// disables local spans; the coordinator's trace ID still propagates
+	// into journal records.
+	Tracer *teletrace.Tracer
 }
 
 // RunWorker runs the lease → simulate → complete loop until the
@@ -125,6 +132,7 @@ func (w *worker) acquire() (*LeaseResponse, time.Duration, error) {
 		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
 			return nil, wait, fmt.Errorf("campaign: decoding lease: %w", err)
 		}
+		l.trace = teletrace.FromHeader(resp.Header)
 		return &l, 0, nil
 	case http.StatusNoContent:
 		if ra := parseRetryAfter(resp.Header); ra > 0 && ra < wait {
@@ -137,7 +145,9 @@ func (w *worker) acquire() (*LeaseResponse, time.Duration, error) {
 }
 
 // execute simulates the leased cell under heartbeats and reports the
-// terminal record.
+// terminal record, plus any spans the worker's tracer collected: a
+// claim span parented on the coordinator's cell span, with the harness
+// cell/attempt spans nested beneath it.
 func (w *worker) execute(l *LeaseResponse) error {
 	cell, err := w.cell(l)
 	if err != nil {
@@ -146,28 +156,52 @@ func (w *worker) execute(l *LeaseResponse) error {
 	stop := w.heartbeat(l)
 	defer stop()
 
+	claim := w.cfg.Tracer.StartSpan("worker/claim", l.trace)
+	claim.SetAttr("lease", l.LeaseID)
+	claim.SetAttr("cell", l.Sweep+"/"+l.CellID)
+	if ctx := claim.Context(); ctx.Valid() {
+		cell.Trace = ctx // harness spans nest under the claim
+	} else {
+		cell.Trace = l.trace // untraced worker: still propagate the ID
+	}
+
 	reg := telemetry.NewRegistry()
 	runner, err := harness.New(harness.Config{
 		Workers:      1,
 		MaxAttempts:  1, // retries are coordinator-driven
 		TrialTimeout: w.cfg.TrialTimeout,
 		Metrics:      reg,
+		Tracer:       w.cfg.Tracer,
 	})
 	if err != nil {
+		claim.End()
 		return fmt.Errorf("campaign: building runner: %w", err)
 	}
 	defer runner.Close()
 	cell.Seed = l.Seed // the lease seed embeds the coordinator's retry policy
 	rep, err := runner.Sweep(l.Sweep, []harness.Cell{cell})
 	if err != nil {
+		claim.SetError(err)
+		claim.End()
 		return fmt.Errorf("campaign: sweeping %s: %w", l.CellID, err)
 	}
 	rec := harness.RecordOf(rep.Outcomes[0])
+	claim.SetAttr("class", string(rec.Class))
+	claim.End()
 	stop() // no point extending the lease while we report
 
 	w.done++
 	w.logf("worker %s: %s/%s -> %s (%d done)", w.cfg.Name, l.Sweep, l.CellID, rec.Class, w.done)
-	return w.complete(l.LeaseID, rec)
+	return w.complete(l.LeaseID, rec, w.drainSpans())
+}
+
+// drainSpans empties the worker tracer's store for shipping in the
+// complete RPC. Nil tracer (or storeless tracer) means no spans.
+func (w *worker) drainSpans() []teletrace.SpanData {
+	if st := w.cfg.Tracer.Store(); st != nil {
+		return st.Drain()
+	}
+	return nil
 }
 
 // cell resolves the leased cell from the sweep enumeration (cached per
@@ -234,13 +268,16 @@ func (w *worker) heartbeat(l *LeaseResponse) (stop func()) {
 	}
 }
 
-// complete reports the record, retrying transport errors (the chaos
-// transport drops and duplicates RPCs). A 410 is success from the
-// worker's point of view: the coordinator already settled the cell.
-func (w *worker) complete(leaseID string, rec harness.Record) error {
+// complete reports the record (and collected spans), retrying
+// transport errors (the chaos transport drops and duplicates RPCs). A
+// 410 is success from the worker's point of view: the coordinator
+// already settled the cell. Spans ride every retry — if the first RPC
+// was dropped in flight the coordinator never saw them, and if it
+// landed, the 410/dedupe path discards the resend.
+func (w *worker) complete(leaseID string, rec harness.Record, spans []teletrace.SpanData) error {
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
-		resp, err := w.postJSON("/v1/complete", CompleteRequest{LeaseID: leaseID, Record: rec})
+		resp, err := w.postJSON("/v1/complete", CompleteRequest{LeaseID: leaseID, Record: rec, Spans: spans})
 		if err != nil {
 			lastErr = err
 			time.Sleep(w.cfg.PollInterval / 4)

@@ -1,0 +1,21 @@
+package cpu
+
+import "repro/internal/teletrace"
+
+// spanJumpEventThreshold is the minimum idle-cycle jump that earns a
+// span event. Small jumps happen thousands of times per trial and
+// would instantly saturate the span's bounded event list; only the
+// large jumps — the ones that explain where a trial's wall-clock time
+// went — are load-bearing in a trace.
+const spanJumpEventThreshold = 4096
+
+// SetSpan binds a tracing span to the core: watchdog escalations and
+// large fast-forward jumps are recorded as span events. A nil span
+// detaches tracing, restoring the zero-cost path (every emit site
+// guards on the field before building event arguments, so a disabled
+// core pays one branch and zero allocations). The harness binds the
+// per-attempt span through this method via its spanSetter probe.
+func (c *CPU) SetSpan(s *teletrace.Span) { c.span = s }
+
+// Span returns the bound tracing span (nil when tracing is detached).
+func (c *CPU) Span() *teletrace.Span { return c.span }

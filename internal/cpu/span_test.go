@@ -1,0 +1,75 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
+	"repro/internal/noise"
+	"repro/internal/teletrace"
+	"repro/internal/undo"
+)
+
+// TestSpanEvents checks that a bound span records the load-bearing
+// core moments — watchdog trips and large idle jumps — and that a nil
+// span (the default) records nothing and changes nothing.
+func TestSpanEvents(t *testing.T) {
+	store := teletrace.NewStore(0)
+	tr := teletrace.New(teletrace.Config{Service: "test", Store: store, Seed: 7})
+	span := tr.StartRoot("cpu/run")
+
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 5000
+	h := memsys.MustNew(memsys.DefaultConfig(1), mem.NewMemory())
+	c := MustNew(cfg, h, branch.New(branch.DefaultConfig()), undo.NewUnsafe(), noise.None{})
+	c.SetSpan(span)
+	if c.Span() != span {
+		t.Fatal("SetSpan did not bind")
+	}
+
+	c.Advance(2 * spanJumpEventThreshold)
+	hang := isa.NewBuilder().Label("top").Jmp("top").MustBuild()
+	if st := c.Run(hang); !st.TimedOut {
+		t.Fatal("watchdog did not fire")
+	}
+	span.End()
+
+	spans := store.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("stored %d spans, want 1", len(spans))
+	}
+	var watchdog, ff int
+	for _, ev := range spans[0].Events {
+		switch ev.Name {
+		case "watchdog":
+			watchdog++
+			if !strings.Contains(ev.Detail, "MaxCycles=5000") {
+				t.Fatalf("watchdog detail: %q", ev.Detail)
+			}
+		case "fast-forward":
+			ff++
+		}
+	}
+	if watchdog != 1 || ff != 1 {
+		t.Fatalf("watchdog=%d fast-forward=%d events, want 1/1", watchdog, ff)
+	}
+}
+
+// TestNoSpanNoEvents pins the disabled path: an unbound core runs the
+// same program without touching tracing at all.
+func TestNoSpanNoEvents(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 200
+	h := memsys.MustNew(memsys.DefaultConfig(1), mem.NewMemory())
+	c := MustNew(cfg, h, branch.New(branch.DefaultConfig()), undo.NewUnsafe(), noise.None{})
+	hang := isa.NewBuilder().Label("top").Jmp("top").MustBuild()
+	if st := c.Run(hang); !st.TimedOut {
+		t.Fatal("watchdog did not fire")
+	}
+	if c.Span() != nil {
+		t.Fatal("unbound core has a span")
+	}
+}

@@ -151,8 +151,14 @@ func RenderMetricsTable(w io.Writer, s telemetry.Snapshot) {
 			fmt.Fprintf(w, "| %s | %.3g | %s |\n", name, s.Gauges[name], s.Help[name])
 		default:
 			h := s.Histograms[name]
-			fmt.Fprintf(w, "| %s | n=%d mean=%.1f mode≤%.0f | %s |\n",
-				name, h.Count, h.Mean(), h.Mode(), s.Help[name])
+			ex := ""
+			if h.Exemplar != nil {
+				// The exemplar links the histogram's worst observation
+				// to its trace (see /traces on the coordinator).
+				ex = fmt.Sprintf(" worst=%.0f@%s", h.Exemplar.Value, h.Exemplar.TraceID)
+			}
+			fmt.Fprintf(w, "| %s | n=%d mean=%.1f mode≤%.0f%s | %s |\n",
+				name, h.Count, h.Mean(), h.Mode(), ex, s.Help[name])
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
+	"repro/internal/teletrace"
 )
 
 // Config parameterizes a Runner. The zero value is a sensible default:
@@ -51,6 +52,13 @@ type Config struct {
 	// registry. Nil disables per-trial telemetry (Trial.Metrics is nil,
 	// which instrumented components treat as detached).
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, wraps every cell and attempt in teletrace
+	// spans: a cell span (root, or a child of Cell.Trace when the
+	// distributed coordinator propagated a context) with one attempt
+	// span per try, retry/backoff/resume events, and the per-trial
+	// registry armed so histogram exemplars carry the trace ID. Nil
+	// disables tracing at a one-branch cost per emit site.
+	Tracer *teletrace.Tracer
 }
 
 func (c Config) workers() int {
@@ -91,6 +99,11 @@ type Cell struct {
 	ID   string
 	Seed int64
 	Run  func(t *Trial) (any, error)
+	// Trace is the remote parent context for the cell's spans (a
+	// distributed coordinator's cell trace, parsed off the lease RPC
+	// header). The zero value starts a fresh trace when the runner has
+	// a tracer, so single-process campaigns trace too.
+	Trace teletrace.Context
 }
 
 // PostMortemer is anything that can snapshot itself when a trial dies.
@@ -109,6 +122,12 @@ type Trial struct {
 	// without telemetry). Cells bind their machines to it; the harness
 	// snapshots it into the outcome and the campaign rollup.
 	Metrics *telemetry.Registry
+
+	// Span is the attempt's span (nil when the runner has no tracer).
+	// Cells may add events and child spans; Observe binds it onto the
+	// simulated core so phase events (fast-forward jumps, watchdog
+	// trips) land on it.
+	Span *teletrace.Span
 
 	mu sync.Mutex
 	pm PostMortemer
@@ -145,6 +164,7 @@ func (t *Trial) SetResumePoint(s *machine.Snapshot) {
 	t.resumeSnap = s
 	t.resumeCycle = s.Cycle()
 	t.mu.Unlock()
+	t.Span.Eventf("resume-point", "snapshot at cycle %d", s.Cycle())
 	if old != nil {
 		old.Release()
 	}
@@ -186,6 +206,14 @@ type flightEnabler interface {
 	EnableFlightRecorder(n int) *cpu.FlightRecorder
 }
 
+// spanSetter is the optional interface Observe uses to bind the
+// attempt's span onto the core so simulator phase events (fast-forward
+// jumps, watchdog escalation) land on the trace. *cpu.CPU implements
+// it.
+type spanSetter interface {
+	SetSpan(s *teletrace.Span)
+}
+
 // Observe registers the core under test so that a contained panic can
 // capture its post-mortem snapshot. Re-observing replaces the previous
 // subject (observe the active core of multi-phase trials).
@@ -196,6 +224,9 @@ func (t *Trial) Observe(p PostMortemer) {
 	// per event, cheap enough to leave on for every trial.
 	if fe, ok := p.(flightEnabler); ok {
 		fe.EnableFlightRecorder(0)
+	}
+	if ss, ok := p.(spanSetter); ok {
+		ss.SetSpan(t.Span) // nil span = tracing off, still one branch on the core
 	}
 	t.mu.Lock()
 	t.pm = p
@@ -234,7 +265,10 @@ type Outcome struct {
 	// ResumeCycle is the machine cycle of the last snapshot resume
 	// point the cell registered (0 when it never did).
 	ResumeCycle uint64
-	Elapsed     time.Duration
+	// TraceID is the cell's distributed trace (empty when the runner
+	// had no tracer and the cell carried no remote context).
+	TraceID string
+	Elapsed time.Duration
 	// Metrics is the final attempt's telemetry snapshot (nil when the
 	// campaign runs without a Config.Metrics registry).
 	Metrics *telemetry.Snapshot
@@ -541,6 +575,23 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 	var lastSnap *telemetry.Snapshot
 	var resume *machine.Snapshot
 	var resumeCycle uint64
+
+	// The cell span roots (or, distributed, continues) the cell's
+	// trace; every attempt is a child. The trace ID outlives the spans:
+	// it is stamped on the outcome, the journal record and the
+	// per-trial registry's exemplars.
+	cellSpan := r.cfg.Tracer.StartSpan("harness/cell", c.Trace)
+	cellSpan.SetAttr("cell", id)
+	cellSpan.SetAttr("seed", fmt.Sprintf("%d", c.Seed))
+	traceID := ""
+	if ctx := cellSpan.Context(); ctx.Valid() {
+		traceID = ctx.Trace.String()
+	} else if c.Trace.Valid() {
+		// No local tracer but a propagated context: journal records and
+		// exemplars still link to the coordinator's trace.
+		traceID = c.Trace.Trace.String()
+	}
+	defer cellSpan.End()
 	defer func() {
 		if resume != nil {
 			resume.Release()
@@ -551,24 +602,40 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 		if attempt > 1 {
 			seed = PerturbSeed(c.Seed, attempt)
 		}
-		t := &Trial{Cell: id, Attempt: attempt, Seed: seed, inherited: resume}
+		span := cellSpan.StartChild("harness/attempt")
+		span.SetAttr("attempt", fmt.Sprintf("%d", attempt))
+		span.SetAttr("seed", fmt.Sprintf("%d", seed))
+		if attempt > 1 {
+			span.Eventf("retry-seed", "seed perturbed %d -> %d", c.Seed, seed)
+		}
+		if resume != nil {
+			span.Eventf("resume", "inheriting snapshot from cycle %d", resumeCycle)
+		}
+		t := &Trial{Cell: id, Attempt: attempt, Seed: seed, inherited: resume, Span: span}
 		if r.cfg.Metrics != nil {
 			t.Metrics = telemetry.NewRegistry()
+			if traceID != "" {
+				t.Metrics.SetTraceContext(traceID)
+			}
 		}
+		attemptStart := time.Now() //simlint:wallclock trial latency is genuine wall time
 		v, err := r.attempt(c, t, id)
+		attemptMS := float64(time.Since(attemptStart)) / float64(time.Millisecond) //simlint:wallclock trial latency is genuine wall time
 		if next, cyc := t.takeResumePoint(); next != nil {
 			if resume != nil {
 				resume.Release()
 			}
 			resume, resumeCycle = next, cyc
 		}
-		snap := r.rollupTrial(t, attempt)
+		snap := r.rollupTrial(t, attempt, attemptMS, traceID)
 		if err == nil {
 			raw, merr := json.Marshal(v)
 			if merr == nil {
+				span.End()
 				o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: attempt,
 					Class: ClassOK, Value: raw,
 					ResumeCycle: resumeCycle,
+					TraceID:     traceID,
 					Elapsed:     time.Since(start), //simlint:wallclock per-cell elapsed is genuine wall time
 					Metrics:     snap}
 				r.record(o)
@@ -578,15 +645,21 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 			err = fmt.Errorf("harness: marshaling cell value: %w", merr)
 		}
 		te = intoTrialError(err, t)
+		span.SetErrorString(fmt.Sprintf("%s: %s", te.Class, te.Msg))
+		span.End()
 		lastSnap = snap
 		if !te.Class.Retryable() || attempt == maxA {
 			break
 		}
-		time.Sleep(backoff(r.cfg, c.Seed, attempt))
+		d := backoff(r.cfg, c.Seed, attempt)
+		cellSpan.Eventf("backoff", "%v before attempt %d (%s)", d, attempt+1, te.Class)
+		time.Sleep(d)
 	}
+	cellSpan.SetErrorString(fmt.Sprintf("%s after %d attempts: %s", te.Class, te.Attempt, te.Msg))
 	o := Outcome{Index: index, Cell: id, Seed: c.Seed, Attempts: te.Attempt,
 		Class: te.Class, Err: te,
 		ResumeCycle: resumeCycle,
+		TraceID:     traceID,
 		Elapsed:     time.Since(start), //simlint:wallclock per-cell elapsed is genuine wall time
 		Metrics:     lastSnap}
 	r.record(o)
@@ -595,10 +668,12 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 }
 
 // rollupTrial snapshots a trial's registry, absorbs it into the
-// campaign registry, and stamps the harness's own trial counters. The
+// campaign registry, and stamps the harness's own trial counters plus
+// the trial-latency histogram (exemplar-linked to the cell's trace, so
+// the slowest bucket on /metrics names the trace to open). The
 // snapshot reflects the work the attempt actually did, even when the
 // attempt failed — partial work is exactly what a post-mortem wants.
-func (r *Runner) rollupTrial(t *Trial, attempt int) *telemetry.Snapshot {
+func (r *Runner) rollupTrial(t *Trial, attempt int, ms float64, traceID string) *telemetry.Snapshot {
 	reg := r.cfg.Metrics
 	if reg == nil {
 		return nil
@@ -607,6 +682,8 @@ func (r *Runner) rollupTrial(t *Trial, attempt int) *telemetry.Snapshot {
 	if attempt > 1 {
 		reg.Counter("harness_retries_total", "attempts beyond the first").Inc()
 	}
+	reg.Histogram("harness_trial_latency_ms", "wall-clock latency of one trial attempt",
+		telemetry.TrialLatencyBuckets()).ObserveExemplar(ms, traceID)
 	if t.Metrics == nil {
 		return nil
 	}

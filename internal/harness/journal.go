@@ -32,6 +32,10 @@ type Record struct {
 	Stack    string          `json:"stack,omitempty"`
 	Post     *cpu.PostMortem `json:"post,omitempty"`
 	Elapsed  int64           `json:"elapsed_ms"`
+	// TraceID is the distributed trace of the cell's final attempt
+	// (teletrace; empty when tracing was off), linking the journal
+	// record to its span tree on the coordinator's /traces explorer.
+	TraceID string `json:"trace_id,omitempty"`
 	// ResumeCycle is the machine cycle of the last snapshot resume
 	// point the cell registered (see Trial.SetResumePoint); 0 when the
 	// cell never checkpointed.
@@ -55,6 +59,7 @@ func RecordOf(o Outcome) Record {
 		Class:       o.Class,
 		Value:       o.Value,
 		Elapsed:     o.Elapsed.Milliseconds(),
+		TraceID:     o.TraceID,
 		ResumeCycle: o.ResumeCycle,
 		Metrics:     o.Metrics,
 	}
@@ -77,6 +82,7 @@ func (rec Record) Outcome(index int) Outcome {
 		Class:       rec.Class,
 		Value:       rec.Value,
 		Resumed:     true,
+		TraceID:     rec.TraceID,
 		ResumeCycle: rec.ResumeCycle,
 		Metrics:     rec.Metrics,
 	}
@@ -147,7 +153,10 @@ func ReadRecords(path string) (map[string]Record, []string, error) {
 	out := map[string]Record{}
 	var warns []string
 	lines := bytes.Split(data, []byte("\n"))
+	offset := 0 // byte offset of the current line's first byte
 	for i, line := range lines {
+		lineStart := offset
+		offset += len(line) + 1 // +1 for the split-away '\n'
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
@@ -156,12 +165,19 @@ func ReadRecords(path string) (map[string]Record, []string, error) {
 		torn := i == len(lines)-1
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
+			// The byte offset and (when salvageable) the cell key let an
+			// operator dd/grep straight to the damaged record instead of
+			// diffing the journal against the sweep by hand.
+			loc := fmt.Sprintf("byte offset %d", lineStart)
+			if cell := cellKeyOf(line); cell != "" {
+				loc += fmt.Sprintf(", cell %q", cell)
+			}
 			if torn {
 				warns = append(warns, fmt.Sprintf(
-					"journal %s: truncated trailing record skipped (crash mid-write): %v", path, err))
+					"journal %s: truncated trailing record at %s skipped (crash mid-write): %v", path, loc, err))
 			} else {
 				warns = append(warns, fmt.Sprintf(
-					"journal %s: corrupt line %d skipped: %v", path, i+1, err))
+					"journal %s: corrupt line %d at %s skipped: %v", path, i+1, loc, err))
 			}
 			continue
 		}
@@ -171,4 +187,24 @@ func ReadRecords(path string) (map[string]Record, []string, error) {
 		out[rec.Cell] = rec
 	}
 	return out, warns, nil
+}
+
+// cellKeyOf salvages the `"cell":"..."` key from a line that failed to
+// parse as JSON — truncation usually eats the record's tail, and the
+// cell key sits near the front. Returns "" when the key (or its
+// closing quote) is gone too.
+func cellKeyOf(line []byte) string {
+	const marker = `"cell":"`
+	i := bytes.Index(line, []byte(marker))
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(marker):]
+	// Cell names are sweep paths + content hashes: no escapes, so the
+	// next bare quote terminates the key.
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return string(rest[:j])
 }

@@ -61,6 +61,17 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, h.Count); err != nil {
 				return err
 			}
+			// Exemplars ride as comment lines (the 0.0.4 text format has
+			// no native exemplar syntax; scrapers skip comments, and
+			// scripts/telemetrycheck validates the shape). The trace ID
+			// links the bucket's worst observation to its span tree on
+			// the coordinator's /traces explorer.
+			if ex := h.Exemplar; ex != nil {
+				if _, err := fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%s value=%s\n",
+					name, ex.TraceID, formatFloat(ex.Value)); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

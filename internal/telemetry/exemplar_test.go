@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExemplarArmedObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("undo_rollback_stall_cycles", "stall", StallBuckets())
+	h.Observe(10) // before arming: no exemplar
+	if h.Exemplar() != nil {
+		t.Fatal("unarmed histogram must have no exemplar")
+	}
+	r.SetTraceContext("00000000000000aa")
+	h.Observe(65)
+	h.Observe(40) // smaller: must not replace the worst
+	ex := h.Exemplar()
+	if ex == nil || ex.Value != 65 || ex.TraceID != "00000000000000aa" {
+		t.Fatalf("exemplar = %+v, want value 65 trace aa", ex)
+	}
+	// A histogram registered AFTER arming inherits the context.
+	h2 := r.Histogram("attack_round_latency_cycles", "lat", LatencyBuckets())
+	h2.Observe(118)
+	if ex := h2.Exemplar(); ex == nil || ex.TraceID != "00000000000000aa" {
+		t.Fatalf("late-registered histogram not armed: %+v", ex)
+	}
+}
+
+func TestObserveExemplarExplicit(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("harness_trial_latency_ms", "lat", LatencyBuckets())
+	h.ObserveExemplar(100, "00000000000000bb")
+	h.ObserveExemplar(250, "00000000000000cc")
+	h.ObserveExemplar(50, "00000000000000dd")
+	ex := h.Exemplar()
+	if ex == nil || ex.Value != 250 || ex.TraceID != "00000000000000cc" {
+		t.Fatalf("exemplar = %+v, want the worst (250/cc)", ex)
+	}
+	if got := r.Snapshot().Histograms["harness_trial_latency_ms"].Count; got != 3 {
+		t.Fatalf("ObserveExemplar must still count observations: %d", got)
+	}
+	// Nil-safety.
+	var hn *Histogram
+	hn.ObserveExemplar(1, "x")
+	if hn.Exemplar() != nil {
+		t.Fatal("nil handle exemplar must be nil")
+	}
+	var rn *Registry
+	rn.SetTraceContext("x")
+}
+
+func TestExemplarSnapshotAbsorbAndDiff(t *testing.T) {
+	trial1 := NewRegistry()
+	trial1.SetTraceContext("0000000000000001")
+	trial1.Histogram("undo_rollback_stall_cycles", "stall", StallBuckets()).Observe(69)
+
+	trial2 := NewRegistry()
+	trial2.SetTraceContext("0000000000000002")
+	trial2.Histogram("undo_rollback_stall_cycles", "stall", StallBuckets()).Observe(83)
+
+	campaign := NewRegistry()
+	campaign.Absorb(trial1.Snapshot())
+	campaign.Absorb(trial2.Snapshot())
+	ex := campaign.Snapshot().Histograms["undo_rollback_stall_cycles"].Exemplar
+	if ex == nil || ex.Value != 83 || ex.TraceID != "0000000000000002" {
+		t.Fatalf("rollup exemplar = %+v, want worst trial (83/trace 2)", ex)
+	}
+	// Absorbing the smaller trial again must not displace the worst.
+	campaign.Absorb(trial1.Snapshot())
+	if ex := campaign.Snapshot().Histograms["undo_rollback_stall_cycles"].Exemplar; ex.Value != 83 {
+		t.Fatalf("re-absorb displaced the worst: %+v", ex)
+	}
+	// Diff carries the exemplar through (worst-so-far is a level).
+	d := campaign.Snapshot().Diff(trial1.Snapshot())
+	if ex := d.Histograms["undo_rollback_stall_cycles"].Exemplar; ex == nil || ex.Value != 83 {
+		t.Fatalf("diff exemplar = %+v", ex)
+	}
+}
+
+func TestExemplarPrometheusEncoding(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("harness_trial_latency_ms", "trial latency", []float64{10, 100, 1000}).
+		ObserveExemplar(250, "00000000000000cc")
+	r.Counter("harness_attempts_total", "attempts").Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "# EXEMPLAR harness_trial_latency_ms trace_id=00000000000000cc value=250\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing exemplar line %q in:\n%s", want, out)
+	}
+	// Counters never get exemplar lines.
+	if strings.Contains(out, "# EXEMPLAR harness_attempts_total") {
+		t.Fatalf("counter grew an exemplar:\n%s", out)
+	}
+}

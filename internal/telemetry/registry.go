@@ -98,6 +98,9 @@ type Histogram struct {
 	counts []atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// ex is the exemplar cell (see exemplar.go); nil until exemplars
+	// are armed, so an untraced Observe pays one pointer load.
+	ex atomic.Pointer[exemplarCell]
 }
 
 // Observe records one observation. The nil-check shell stays within
@@ -118,6 +121,9 @@ func (h *Histogram) observe(v float64) {
 	// is exactly the `le` bucket.
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	if e := h.ex.Load(); e != nil {
+		e.offer(v, "")
+	}
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -156,6 +162,9 @@ type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
 	order   []string // registration order for stable encoding
+	// armedTrace is the exemplar trace context (SetTraceContext);
+	// histograms registered after arming inherit it.
+	armedTrace string
 }
 
 // NewRegistry returns an empty registry.
@@ -219,6 +228,9 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 			}
 		}
 		h := &Histogram{bounds: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+		if r.armedTrace != "" { // lookup holds r.mu while mk runs
+			h.arm(r.armedTrace)
+		}
 		return &metric{h: h}
 	}).h
 }
@@ -242,6 +254,15 @@ func StallBuckets() []float64 {
 func LatencyBuckets() []float64 {
 	return []float64{1, 2, 3, 4, 6, 8, 12, 16, 18, 20, 24, 32, 48, 64, 80, 100,
 		110, 118, 126, 140, 160, 170, 178, 183, 190, 200, 220, 260, 320, 500}
+}
+
+// TrialLatencyBuckets is the shared ladder for wall-clock trial and
+// cell latency histograms, in milliseconds: fine through the
+// sub-second range where healthy trials live, coarse into the tens of
+// seconds where deadline-bound stragglers land.
+func TrialLatencyBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 25, 50, 100, 250, 500,
+		1000, 2500, 5000, 10000, 30000, 60000}
 }
 
 // OccupancyBuckets is the shared ladder for structure-occupancy

@@ -28,6 +28,9 @@ type HistogramSnapshot struct {
 	Counts []uint64  `json:"counts"`
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
+	// Exemplar links the worst observation to its trace (nil when the
+	// histogram never saw a traced observation).
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Mean returns the average observation (0 when empty).
@@ -106,6 +109,7 @@ func (r *Registry) Snapshot() Snapshot {
 				hs.Counts[i] = m.h.counts[i].Load()
 			}
 			hs.Sum = float64FromBits(m.h.sum.Load())
+			hs.Exemplar = m.h.Exemplar()
 			s.Histograms[name] = hs
 		}
 	}
@@ -146,6 +150,8 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 			Bounds: h.Bounds,
 			Counts: make([]uint64, len(h.Counts)),
 			Sum:    h.Sum - p.Sum,
+			// The exemplar is worst-so-far, a level: carry it through.
+			Exemplar: h.Exemplar,
 		}
 		if p.Count <= h.Count {
 			d.Count = h.Count - p.Count
@@ -189,6 +195,11 @@ func (r *Registry) Absorb(s Snapshot) {
 		h := r.Histogram(name, s.Help[name], hs.Bounds)
 		if h == nil {
 			continue
+		}
+		if ex := hs.Exemplar; ex != nil && ex.TraceID != "" {
+			// Max-keeping merge: the rollup's exemplar is the worst
+			// observation across every absorbed trial.
+			h.cell().offer(ex.Value, ex.TraceID)
 		}
 		if len(h.counts) == len(hs.Counts) {
 			for i, n := range hs.Counts {

@@ -1,0 +1,138 @@
+package teletrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event object. The span exporter uses
+// "M" (process metadata naming each service's lane group), "X"
+// (complete slices, one per span) and "i" (instant markers, one per
+// span event) — the same dialect internal/trace's pipeline exporter
+// speaks, so both open in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders spans as a Chrome trace-event JSON array with
+// one process lane per service (coordinator, each worker, the
+// single-process runner), spans lane-packed within their service so
+// concurrent cells stack instead of overlapping, and span events as
+// instant markers on their span's lane. Timestamps are rebased to the
+// earliest span so traces start at t=0.
+func WriteChrome(w io.Writer, spans []SpanData) error {
+	spans = append([]SpanData(nil), spans...)
+	sortSpans(spans)
+
+	// Stable pid per service, in first-seen order after the sort.
+	pids := map[string]int{}
+	var services []string
+	for _, d := range spans {
+		if _, ok := pids[d.Service]; !ok {
+			pids[d.Service] = len(services) + 1
+			services = append(services, d.Service)
+		}
+	}
+
+	var base int64
+	if len(spans) > 0 {
+		base = spans[0].StartNS
+	}
+	us := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	var events []chromeEvent
+	for _, svc := range services {
+		name := svc
+		if name == "" {
+			name = "(untraced service)"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pids[svc], TID: 0,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// Lane-pack per service: a span takes the first lane free at its
+	// start time.
+	laneEnds := map[string][]int64{}
+	for _, d := range spans {
+		pid := pids[d.Service]
+		ends := laneEnds[d.Service]
+		lane := -1
+		for i, end := range ends {
+			if end <= d.StartNS {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(ends)
+			ends = append(ends, 0)
+		}
+		end := d.EndNS
+		if end < d.StartNS {
+			end = d.StartNS
+		}
+		ends[lane] = end
+		laneEnds[d.Service] = ends
+		tid := lane + 1
+
+		args := map[string]any{
+			"trace_id": d.Trace.String(),
+			"span_id":  d.ID.String(),
+		}
+		if d.Parent != 0 {
+			args["parent_id"] = d.Parent.String()
+		}
+		if d.Error != "" {
+			args["error"] = d.Error
+		}
+		for _, k := range sortedAttrKeys(d.Attrs) {
+			args[k] = d.Attrs[k]
+		}
+		events = append(events, chromeEvent{
+			Name: d.Name, Cat: "span", Phase: "X",
+			TS: us(d.StartNS), Dur: float64(d.DurationNS()) / 1e3,
+			PID: pid, TID: tid, Args: args,
+		})
+		for _, ev := range d.Events {
+			args := map[string]any{"trace_id": d.Trace.String(), "span": d.Name}
+			if ev.Detail != "" {
+				args["detail"] = ev.Detail
+			}
+			events = append(events, chromeEvent{
+				Name: ev.Name, Cat: "event", Phase: "i",
+				TS: us(ev.AtNS), PID: pid, TID: tid, Scope: "t", Args: args,
+			})
+		}
+	}
+
+	buf, err := json.MarshalIndent(events, "", " ")
+	if err != nil {
+		return fmt.Errorf("teletrace: encoding chrome trace: %w", err)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("teletrace: writing chrome trace: %w", err)
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+func sortedAttrKeys(attrs map[string]string) []string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

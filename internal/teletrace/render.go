@@ -1,0 +1,142 @@
+package teletrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteTree renders one trace's spans as an indented text tree —
+// parent links become nesting, durations in milliseconds, span events
+// inline under their span. This is what cmd/trace -spans prints and
+// what a human walks when an exemplar points at a trace ID. Orphan
+// spans (parent not in the set, e.g. evicted from the store) render as
+// additional roots, so a partial trace still reads top-down.
+func WriteTree(w io.Writer, spans []SpanData) error {
+	spans = append([]SpanData(nil), spans...)
+	sortSpans(spans)
+	byID := map[SpanID]SpanData{}
+	children := map[SpanID][]SpanData{}
+	for _, d := range spans {
+		byID[d.ID] = d
+	}
+	var roots []SpanData
+	for _, d := range spans {
+		if _, ok := byID[d.Parent]; d.Parent != 0 && ok {
+			children[d.Parent] = append(children[d.Parent], d)
+		} else {
+			roots = append(roots, d)
+		}
+	}
+	var render func(d SpanData, depth int) error
+	render = func(d SpanData, depth int) error {
+		indent := strings.Repeat("  ", depth)
+		status := ""
+		if d.Error != "" {
+			status = "  ERROR " + d.Error
+		}
+		svc := d.Service
+		if svc == "" {
+			svc = "?"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s [%s] %.3fms  span=%s%s\n",
+			indent, d.Name, svc, float64(d.DurationNS())/1e6, d.ID, status); err != nil {
+			return err
+		}
+		for _, ev := range d.Events {
+			detail := ev.Detail
+			if detail != "" {
+				detail = ": " + detail
+			}
+			if _, err := fmt.Fprintf(w, "%s  · %s @%.3fms%s\n",
+				indent, ev.Name, float64(ev.AtNS-d.StartNS)/1e6, detail); err != nil {
+				return err
+			}
+		}
+		if d.DroppedEvents > 0 {
+			if _, err := fmt.Fprintf(w, "%s  · (%d events dropped)\n", indent, d.DroppedEvents); err != nil {
+				return err
+			}
+		}
+		for _, c := range children[d.ID] {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, root := range roots {
+		if i == 0 || root.Parent == 0 {
+			if _, err := fmt.Fprintf(w, "trace %s\n", root.Trace); err != nil {
+				return err
+			}
+		}
+		if err := render(root, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSpans decodes a JSON array of spans — the format /traces.json
+// serves per trace and cmd/trace -spans reads back from disk.
+func ReadSpans(r io.Reader) ([]SpanData, error) {
+	var spans []SpanData
+	if err := json.NewDecoder(r).Decode(&spans); err != nil {
+		return nil, fmt.Errorf("teletrace: decoding spans: %w", err)
+	}
+	return spans, nil
+}
+
+// RenderHTML renders trace summaries as the explorer's list page: a
+// minimal, dependency-free table sorted most-recent-first, with the
+// slowest and errored traces surfaced in their own sections and each
+// row linking to the per-trace JSON span tree.
+func RenderHTML(sums []Summary) []byte {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><title>traces</title><style>
+body{font-family:monospace;margin:1.5em}
+table{border-collapse:collapse}
+td,th{padding:2px 10px;text-align:left;border-bottom:1px solid #ddd}
+.err{color:#b00}
+h2{margin-top:1.2em}
+</style></head><body><h1>trace explorer</h1>
+`)
+	section := func(title string, rows []Summary) {
+		if len(rows) == 0 {
+			return
+		}
+		b.WriteString("<h2>" + html.EscapeString(title) + "</h2><table><tr><th>trace</th><th>root</th><th>service</th><th>duration</th><th>spans</th><th>events</th><th>error</th></tr>\n")
+		for _, s := range rows {
+			errCell := ""
+			if s.Error != "" {
+				errCell = `<span class="err">` + html.EscapeString(s.Error) + `</span>`
+			}
+			fmt.Fprintf(&b,
+				`<tr><td><a href="/traces.json?trace=%s">%s</a></td><td>%s</td><td>%s</td><td>%.3fms</td><td>%d</td><td>%d</td><td>%s</td></tr>`+"\n",
+				s.Trace, s.Trace, html.EscapeString(s.Root), html.EscapeString(s.Service),
+				float64(s.DurationNS)/1e6, s.Spans, s.Events, errCell)
+		}
+		b.WriteString("</table>\n")
+	}
+
+	var slow, errored []Summary
+	for _, s := range sums {
+		if s.Error != "" {
+			errored = append(errored, s)
+		}
+	}
+	slow = append(slow, sums...)
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].DurationNS > slow[j].DurationNS })
+	if len(slow) > 10 {
+		slow = slow[:10]
+	}
+	section("errored", errored)
+	section("slowest", slow)
+	section("recent", sums)
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/noise"
 	"repro/internal/stats"
+	"repro/internal/teletrace"
 	"repro/internal/undo"
 )
 
@@ -121,6 +122,7 @@ type Attack struct {
 	rounds      uint64
 	roundCycles uint64
 	met         attackMetrics
+	span        *teletrace.Span
 }
 
 // New builds the simulated machine, generates the programs, and

@@ -1,0 +1,15 @@
+package unxpec
+
+import "repro/internal/teletrace"
+
+// SetSpan binds a tracing span to the attack and its core: checkpoint
+// forks, restores and core-level escalations (watchdog, large
+// fast-forward jumps) become span events. A nil span detaches tracing;
+// every emit site guards on the field first, so the steady-state
+// measurement loop stays allocation-free when tracing is off. The
+// harness binds the per-attempt span through this method via its
+// spanSetter probe.
+func (a *Attack) SetSpan(s *teletrace.Span) {
+	a.span = s
+	a.core.SetSpan(s)
+}

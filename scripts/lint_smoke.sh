@@ -25,6 +25,7 @@ bad_pkgs=(
     fixtures/determinism/bad
     fixtures/exhaustive/bad
     fixtures/nilmetricsbad/telemetry
+    fixtures/nilmetricsbad/teletrace
     fixtures/typederr/bad
     fixtures/seedflow/bad
 )
@@ -67,6 +68,7 @@ echo "== clean fixtures: zero diagnostics =="
 "$bin" -C "$fixtures" \
     fixtures/determinism/clean fixtures/determinism/allow \
     fixtures/exhaustive/clean fixtures/nilmetricsgood/telemetry \
+    fixtures/nilmetricsgood/teletrace \
     fixtures/typederr/clean fixtures/seedflow/clean
 
 echo "== repository: zero diagnostics =="

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI guard: no compiled Go test binaries (or other native executables)
+# may be committed to the repository. A `go test -c` artefact once
+# landed in the tree as repro.test — 8 MB of ELF nobody can review —
+# and this script keeps that from recurring: it scans every tracked
+# file for the *.test naming convention and for native object magic
+# (ELF, Mach-O, PE). Exits non-zero listing the offenders.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+fail=0
+
+# 1) Naming convention: `go test -c` writes <pkg>.test.
+while IFS= read -r f; do
+    echo "no_test_binaries: tracked Go test binary: $f" >&2
+    fail=1
+done < <(git ls-files -- '*.test')
+
+# 2) Content: native executable magic in any tracked file. Reading
+#    4 bytes per file is cheap even across the whole tree.
+while IFS= read -r f; do
+    [ -f "$f" ] || continue # skip symlinks / removed-but-staged paths
+    magic=$(head -c 4 "$f" | od -An -tx1 | tr -d ' \n')
+    case "$magic" in
+    7f454c46) echo "no_test_binaries: tracked ELF binary: $f" >&2 && fail=1 ;;          # \x7fELF
+    feedface | feedfacf | cefaedfe | cffaedfe | cafebabe)
+        echo "no_test_binaries: tracked Mach-O binary: $f" >&2 && fail=1 ;;             # Mach-O / universal
+    4d5a????) echo "no_test_binaries: tracked PE binary: $f" >&2 && fail=1 ;;           # MZ
+    esac
+done < <(git ls-files)
+
+if [ "$fail" -ne 0 ]; then
+    echo "no_test_binaries: remove the files above (go test -c output does not belong in the tree)" >&2
+    exit 1
+fi
+echo "no_test_binaries: OK (no committed test or native binaries)"

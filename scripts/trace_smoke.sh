@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Distributed-tracing smoke test (docs/OBSERVABILITY.md, "Tracing"):
+# proves the whole causal chain is walkable from disk artefacts alone.
+#   1. Single-process: a figures sweep with -metrics and -trace-out
+#      yields a trial-latency exemplar whose trace ID resolves to a
+#      harness/cell → harness/attempt span tree in the span file —
+#      the CSV-outlier → exemplar → trace walk, no live service needed.
+#   2. Distributed: a 2-worker figure3 campaign where every completed
+#      cell's journal record carries a trace_id, the same IDs appear in
+#      the cells.csv metadata and the Perfetto (/traces.chrome.json)
+#      export, and one trace renders as a cross-process span tree
+#      (campaignd/cell → worker/claim → harness/attempt).
+# Used by `make trace-smoke` and CI. Optional $1 = scratch directory.
+set -euo pipefail
+
+out="${1:-$(mktemp -d)}"
+mkdir -p "$out"
+journal="$out/campaign.jsonl"
+
+cleanup() {
+    kill -9 "${coord:-}" "${w1:-}" "${w2:-}" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$out/figures" ./cmd/figures
+go build -o "$out/trace" ./cmd/trace
+go build -o "$out/campaignd" ./cmd/campaignd
+go build -o "$out/campaignw" ./cmd/campaignw
+go build -o "$out/telemetrycheck" ./scripts/telemetrycheck
+
+echo "== phase 1: single-process exemplar -> span tree walk =="
+"$out/figures" -fig 3 -out "$out/results" -seed 42 \
+    -metrics "$out/metrics.json" -trace-out "$out/spans.json" >/dev/null
+"$out/telemetrycheck" -json "$out/metrics.json"
+
+exemplar_tid=$(python3 -c "
+import json, sys
+s = json.load(open(sys.argv[1]))
+ex = s['histograms']['harness_trial_latency_ms'].get('exemplar')
+if not ex or len(ex.get('trace_id', '')) != 16:
+    sys.exit('no trial-latency exemplar with a trace ID in the rollup')
+print(ex['trace_id'])
+" "$out/metrics.json")
+echo "   worst-trial exemplar trace: $exemplar_tid"
+
+grep -q "$exemplar_tid" "$out/spans.json" || {
+    echo "FAIL: exemplar trace $exemplar_tid absent from -trace-out spans" >&2
+    exit 1
+}
+"$out/trace" -spans "$out/spans.json" -span-trace "$exemplar_tid" >"$out/tree.txt"
+for span in harness/cell harness/attempt; do
+    grep -q "$span" "$out/tree.txt" || {
+        echo "FAIL: span tree for $exemplar_tid lacks $span:" >&2
+        cat "$out/tree.txt" >&2
+        exit 1
+    }
+done
+echo "   exemplar trace renders: $(wc -l <"$out/tree.txt") tree line(s)"
+
+echo "== phase 2: 2-worker campaign, trace IDs in every artefact =="
+"$out/campaignd" serve -addr 127.0.0.1:0 -addr-file "$out/addr" \
+    -journal "$journal" -lease-ttl 2s -backoff-base 20ms -backoff-max 100ms \
+    >"$out/campaignd.log" 2>&1 &
+coord=$!
+for _ in $(seq 100); do [ -s "$out/addr" ] && break; sleep 0.1; done
+[ -s "$out/addr" ] || { echo "FAIL: coordinator never listened" >&2; exit 1; }
+base="http://$(cat "$out/addr")"
+
+cid=$("$out/campaignd" submit -connect "$base" -sweep figure3 -seed 42 | tail -n1)
+"$out/campaignw" -connect "$base" -name w1 -poll 50ms >"$out/w1.log" 2>&1 &
+w1=$!
+"$out/campaignw" -connect "$base" -name w2 -poll 50ms >"$out/w2.log" 2>&1 &
+w2=$!
+"$out/campaignd" await -connect "$base" -campaign "$cid" \
+    -csv-out "$out/figure3.csv" -timeout 180s -poll 250ms >/dev/null 2>&1
+
+echo "== every journal cell record carries a trace_id =="
+cells=$(grep -c '"kind":"cell"' "$journal")
+traced=$(grep '"kind":"cell"' "$journal" | grep -c '"trace_id":"[0-9a-f]\{16\}"' || true)
+if [ "$cells" -eq 0 ] || [ "$cells" -ne "$traced" ]; then
+    echo "FAIL: $traced of $cells journal cell records carry a trace_id" >&2
+    exit 1
+fi
+echo "   $traced/$cells journal records traced"
+
+echo "== cells.csv metadata carries the same trace IDs =="
+curl -fs "$base/v1/campaigns/$cid/cells.csv" >"$out/cells.csv"
+head -n1 "$out/cells.csv" | grep -q 'trace_id' || {
+    echo "FAIL: cells.csv has no trace_id column" >&2
+    exit 1
+}
+sample_tid=$(awk -F, 'NR>1 && length($NF) == 16 && $NF ~ /^[0-9a-f]+$/ { print $NF; exit }' "$out/cells.csv")
+[ -n "$sample_tid" ] || { echo "FAIL: no trace ID in cells.csv rows" >&2; exit 1; }
+grep -q "\"trace_id\":\"$sample_tid\"" "$journal" || {
+    echo "FAIL: cells.csv trace $sample_tid not in the journal" >&2
+    exit 1
+}
+
+echo "== Perfetto export holds the trace and validates =="
+curl -fs "$base/traces.chrome.json" >"$out/campaign.chrome.json"
+"$out/telemetrycheck" -spans "$out/campaign.chrome.json"
+grep -q "$sample_tid" "$out/campaign.chrome.json" || {
+    echo "FAIL: trace $sample_tid absent from the Perfetto export" >&2
+    exit 1
+}
+
+echo "== the trace renders as a cross-process span tree =="
+curl -fs "$base/traces.json?trace=$sample_tid" | python3 -c "
+import json, sys
+doc = json.load(sys.stdin)
+json.dump(doc['spans'], sys.stdout)
+" >"$out/campaign-spans.json"
+"$out/trace" -spans "$out/campaign-spans.json" -span-trace "$sample_tid" >"$out/campaign-tree.txt"
+for span in campaignd/cell worker/claim harness/cell harness/attempt; do
+    grep -q "$span" "$out/campaign-tree.txt" || {
+        echo "FAIL: campaign span tree for $sample_tid lacks $span:" >&2
+        cat "$out/campaign-tree.txt" >&2
+        exit 1
+    }
+done
+
+echo "trace smoke OK: exemplar->trace walk offline, campaign traces span coordinator, worker and harness"

@@ -1,6 +1,7 @@
-// Package nilmetrics enforces the internal/telemetry contract that a
-// nil handle (*Counter, *Gauge, *Histogram, *Registry, ...) is a valid,
-// free no-op: every exported pointer-receiver method must guard the
+// Package nilmetrics enforces the internal/telemetry and
+// internal/teletrace contract that a nil handle (*Counter, *Gauge,
+// *Histogram, *Registry, *Tracer, *Span, *Store, ...) is a valid, free
+// no-op: every exported pointer-receiver method must guard the
 // receiver against nil before touching its fields, so detached
 // instrumentation stays a one-branch cost instead of a panic in the
 // middle of a sweep. Unexported helpers (called only behind a guard)
@@ -40,12 +41,17 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// inScope limits the analyzer to the telemetry package (and fixture
-// packages laid out under a directory of the same name).
+// inScope limits the analyzer to the telemetry and teletrace packages
+// (and fixture packages laid out under directories of the same names).
 func inScope(pkgPath string) bool {
-	return pkgPath == "telemetry" ||
-		strings.HasSuffix(pkgPath, "/telemetry") ||
-		strings.Contains(pkgPath, "/telemetry/")
+	for _, seg := range []string{"telemetry", "teletrace"} {
+		if pkgPath == seg ||
+			strings.HasSuffix(pkgPath, "/"+seg) ||
+			strings.Contains(pkgPath, "/"+seg+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 func checkMethod(pass *analysis.Pass, fn *ast.FuncDecl) {

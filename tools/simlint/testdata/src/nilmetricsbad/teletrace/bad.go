@@ -1,0 +1,42 @@
+// Package teletrace (fixture) breaks the nil-safe handle contract:
+// exported pointer-receiver methods on tracing handles touch fields
+// before guarding the receiver, so an untraced run (nil *Tracer, nil
+// *Span everywhere) would panic instead of no-opping.
+package teletrace
+
+// Span is a handle type whose nil value must be a free no-op.
+type Span struct {
+	name   string
+	events int
+}
+
+// SetAttr forgets the nil guard entirely.
+func (s *Span) SetAttr(k, v string) { // want "without a nil-receiver guard"
+	s.name = k + "=" + v
+}
+
+// Eventf guards too late: the field access precedes the check.
+func (s *Span) Eventf(name string) { // want "without a nil-receiver guard"
+	s.events++
+	if s == nil {
+		return
+	}
+}
+
+// End is correct and must not be flagged.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.events = 0
+}
+
+// Tracer hands out spans; a nil tracer means tracing is off.
+type Tracer struct {
+	service string
+}
+
+// StartRoot dereferences the receiver before any guard.
+func (t *Tracer) StartRoot(name string) *Span { // want "without a nil-receiver guard"
+	return &Span{name: t.service + "/" + name}
+}
