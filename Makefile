@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest harness-smoke snapshot-smoke telemetry-smoke campaignd-smoke trace-smoke no-test-binaries regen-results clean
+.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest absint-smoke harness-smoke snapshot-smoke telemetry-smoke campaignd-smoke trace-smoke no-test-binaries regen-results clean
 
 all: test
 
@@ -67,6 +67,13 @@ fuzz:
 # exits non-zero (witnesses go to a scratch dir, not the corpus).
 fuzz-selftest:
 	! go run ./cmd/fuzz -n 30 -seed 0 -scheme cleanupspec -inject skip-rollback -corpus /tmp/fuzz-selftest-corpus
+
+# Static/dynamic leak-analysis cross-check (see docs/ABSINT.md): the
+# abstract speculative-taint interpreter over the full corpus and the
+# spectre gadget suite, plus a 500-program fuzz sweep where absint may
+# never certify NoLeak against a firing dynamic detector.
+absint-smoke:
+	./scripts/absint_smoke.sh
 
 # End-to-end resilience check (see docs/HARNESS.md): injected faults
 # become classified journaled gaps, an interrupted campaign exits 6,

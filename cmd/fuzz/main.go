@@ -11,6 +11,7 @@
 //	go run ./cmd/fuzz -n 500 -seed 1              # nightly-style sweep
 //	go run ./cmd/fuzz -n 50 -inject skip-rollback # prove the properties have teeth
 //	go run ./cmd/fuzz -n 50 -snapshot             # add fork/restore bit-identity to the matrix
+//	go run ./cmd/fuzz -n 500 -absint              # absint vs dynamic-detector soundness cross-check
 //	go run ./cmd/fuzz -containment                # leak-gadget verdict per scheme
 //
 // Exit status is 0 when every program passes and non-zero when any
@@ -43,6 +44,7 @@ func main() {
 		trials      = flag.Int("trials", 20, "trials per secret value for -containment")
 		snapshot    = flag.Bool("snapshot", false, "also check snapshot invariance: fork-then-run must be bit-identical to fresh-run at fuzzed fork cycles")
 		forks       = flag.Int("forks", 3, "fork cycles per scheme for -snapshot")
+		absint      = flag.Bool("absint", false, "also cross-check the abstract taint interpreter against the dynamic leak detector, with secret-gadget blocks mixed into generated programs")
 	)
 	flag.Parse()
 
@@ -64,7 +66,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	g := fuzz.MustNew(fuzz.DefaultConfig())
+	cfg := fuzz.DefaultConfig()
+	if *absint {
+		// Secret-gadget blocks give the static/dynamic cross-check real
+		// taint flows to disagree about; the default weight of zero
+		// keeps historical seeds reproducing their exact programs.
+		cfg.Weights.Secret = 3
+	}
+	g := fuzz.MustNew(cfg)
 	if *containment {
 		os.Exit(runContainment(g, schemes, *trials))
 	}
@@ -72,7 +81,7 @@ func main() {
 	if *snapshot {
 		snapForks = *forks
 	}
-	os.Exit(runSweep(g, schemes, *seed, *n, *corpus, *minimize, injection, snapForks))
+	os.Exit(runSweep(g, schemes, *seed, *n, *corpus, *minimize, injection, snapForks, *absint))
 }
 
 // saveTelemetry replays a failing witness on instrumented machines and
@@ -91,7 +100,7 @@ func saveTelemetry(g *fuzz.Generator, corpus string, w *fuzz.Witness, opts fuzz.
 // checkContained runs the property checks with panic containment, so
 // one crashing program is a reported witness instead of a dead sweep.
 // Snapshot invariance joins the matrix when opts.SnapshotForks > 0.
-func checkContained(g *fuzz.Generator, prog *isa.Program, opts fuzz.Options) (divs []fuzz.Divergence, perr error) {
+func checkContained(g *fuzz.Generator, prog *isa.Program, opts fuzz.Options, absint bool) (divs []fuzz.Divergence, perr error) {
 	defer func() {
 		if p := recover(); p != nil {
 			perr = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
@@ -102,11 +111,14 @@ func checkContained(g *fuzz.Generator, prog *isa.Program, opts fuzz.Options) (di
 	if opts.SnapshotForks > 0 {
 		divs = append(divs, g.CheckSnapshotInvariance(prog, opts)...)
 	}
+	if absint {
+		divs = append(divs, g.CheckAbsintSoundness(prog, opts)...)
+	}
 	return divs, nil
 }
 
 // runSweep checks n seeded random programs and returns the exit code.
-func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus string, minimize bool, injection fuzz.Injection, snapForks int) int {
+func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus string, minimize bool, injection fuzz.Injection, snapForks int, absint bool) int {
 	failures, panics := 0, 0
 	for i := 0; i < n; i++ {
 		s := seed + int64(i)
@@ -118,7 +130,7 @@ func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus str
 			SnapshotForks: snapForks,
 		}
 		prog := g.Program(s)
-		divs, perr := checkContained(g, prog, opts)
+		divs, perr := checkContained(g, prog, opts, absint)
 		if perr != nil {
 			panics++
 			fmt.Printf("seed %d: PANIC contained:\n%v\n", s, perr)
@@ -170,6 +182,9 @@ func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus str
 				}
 				if origProps["snapshot"] {
 					all = append(all, g.CheckSnapshotInvariance(p, opts)...)
+				}
+				if origProps["absint-soundness"] || origProps["absint-witness"] {
+					all = append(all, g.CheckAbsintSoundness(p, opts)...)
 				}
 				for _, d := range all {
 					if origProps[d.Property] {

@@ -1,0 +1,207 @@
+// Package absint is a static speculative-taint analysis over isa
+// programs: an abstract interpreter that executes a program's
+// speculative semantics symbolically — per-register and per-memory-word
+// taint over a {untainted, secret, spec-secret} lattice, a bounded
+// speculation-window model covering branch mispredicts and
+// exception-based transient windows (the divide-fault gate) — and
+// reports per program whether secret data can reach a timing-observable
+// sink: Leaks / NoLeak / Unknown, with a witness path naming the
+// transmitting instruction.
+//
+// The analysis is the static half of a differential oracle pair
+// (docs/ABSINT.md): the cycle-accurate simulator's leak detector
+// (fuzz.DynamicLeak) is the dynamic half, and the cross-check enforced
+// by fuzz.CheckAbsintSoundness is that absint is *sound* — it may cry
+// wolf (Leaks for a program the detector finds quiet), but it must
+// never say NoLeak for a program where the detector observes a
+// secret-dependent timing difference.
+//
+// The exploration is path-sensitive with no joins: every reachable
+// architectural path is enumerated (branches with statically unknown
+// conditions fork), and at every point where the core could
+// mis-speculate — a branch whose direction the predictor can get wrong,
+// a divide that faults — a bounded transient window is explored with
+// transient sink semantics. Budgets (steps, paths, per-instruction
+// visits) turn non-termination into an honest Unknown instead of a
+// wrong NoLeak.
+package absint
+
+import "repro/internal/isa"
+
+// Taint is the abstract secrecy level of a value. The lattice is a
+// chain: Untainted ⊑ SpecSecret ⊑ Secret; join is max.
+type Taint uint8
+
+const (
+	// Untainted values are provably identical across executions that
+	// differ only in secret memory.
+	Untainted Taint = iota
+	// SpecSecret marks secret-derived data obtained inside a transient
+	// window — data the architecture never commits but which transient
+	// loads can still encode into the cache.
+	SpecSecret
+	// Secret marks secret-derived data on the architectural path.
+	Secret
+)
+
+func (t Taint) String() string {
+	switch t {
+	case Untainted:
+		return "untainted"
+	case SpecSecret:
+		return "spec-secret"
+	case Secret:
+		return "secret"
+	default:
+		return "taint(?)"
+	}
+}
+
+// joinTaint is the lattice join (max over the chain).
+func joinTaint(a, b Taint) Taint {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Verdict is the analysis outcome for one program.
+type Verdict uint8
+
+const (
+	// NoLeak: every architectural path and every transient window was
+	// exhaustively explored and no tainted value reached a sink. Under
+	// the soundness claim, the dynamic leak detector stays silent.
+	NoLeak Verdict = iota
+	// Leaks: a path carries secret-derived data into a sink; the
+	// Finding names it and the witness shows the path.
+	Leaks
+	// Unknown: exploration hit a budget (steps, paths, loop visits)
+	// before finding a sink — no claim is made either way.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case NoLeak:
+		return "NoLeak"
+	case Leaks:
+		return "Leaks"
+	case Unknown:
+		return "Unknown"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// Options parameterizes Analyze. Zero values take defaults; the secret
+// region defaults to the fuzz generator's layout so corpus replays and
+// fuzz batches agree with the dynamic detector without plumbing.
+type Options struct {
+	// SecretBase/SecretWords describe the secret region: loads from
+	// [SecretBase, SecretBase+8*SecretWords) introduce Secret taint.
+	SecretBase  uint64
+	SecretWords int
+
+	// SpecWindow bounds how many instructions a transient window may
+	// execute (the ROB size in the simulated core).
+	SpecWindow int
+
+	// MaxSteps bounds total abstract instructions executed across all
+	// paths; MaxPaths bounds path forks; MaxVisits bounds how often one
+	// instruction may execute on a single path (loop guard). Exceeding
+	// any of them yields Unknown, never a silent NoLeak.
+	MaxSteps  int
+	MaxPaths  int
+	MaxVisits int
+
+	// MaxTrace bounds the per-path witness window (older steps are
+	// dropped and the witness marked truncated).
+	MaxTrace int
+}
+
+// Default analysis budgets; DefaultSecretBase/Words mirror
+// fuzz.DefaultConfig's secret region.
+const (
+	DefaultSecretBase  = 0x200000
+	DefaultSecretWords = 8
+	DefaultSpecWindow  = 192
+	DefaultMaxSteps    = 1 << 18
+	DefaultMaxPaths    = 4096
+	DefaultMaxVisits   = 4096
+	DefaultMaxTrace    = 1024
+)
+
+func (o Options) withDefaults() Options {
+	if o.SecretBase == 0 && o.SecretWords == 0 {
+		o.SecretBase, o.SecretWords = DefaultSecretBase, DefaultSecretWords
+	}
+	if o.SpecWindow == 0 {
+		o.SpecWindow = DefaultSpecWindow
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = DefaultMaxSteps
+	}
+	if o.MaxPaths == 0 {
+		o.MaxPaths = DefaultMaxPaths
+	}
+	if o.MaxVisits == 0 {
+		o.MaxVisits = DefaultMaxVisits
+	}
+	if o.MaxTrace == 0 {
+		o.MaxTrace = DefaultMaxTrace
+	}
+	return o
+}
+
+// PathStep is one executed instruction on a witness path.
+type PathStep struct {
+	Step      int // global abstract step index
+	PC        int
+	Inst      isa.Inst
+	Transient bool
+	// Note annotates taint-relevant steps ("introduces secret",
+	// "propagates secret to r5", ...); empty for neutral steps.
+	Note string
+}
+
+// Finding is one tainted-value-reaches-sink event.
+type Finding struct {
+	// Kind says which channel the sink is (address/branch/trap-gate);
+	// PC/Inst name the transmitting instruction.
+	Kind isa.SinkKind
+	PC   int
+	Inst isa.Inst
+	// Transient is true when the transmit happens inside a transient
+	// window (squashed architecturally, observable microarchitecturally).
+	Transient bool
+	// Taint is the level of the value reaching the sink.
+	Taint Taint
+	// SourcePC is the instruction index of the load that introduced the
+	// taint, or -1 when unknown.
+	SourcePC int
+	// Path is the witness: the instructions executed on this path, in
+	// order, ending at the transmitting instruction. PathTruncated is
+	// set when older steps were dropped to bound memory.
+	Path          []PathStep
+	PathTruncated bool
+}
+
+// Result is the analysis outcome.
+type Result struct {
+	Verdict  Verdict
+	Findings []Finding // non-empty iff Verdict == Leaks
+	// Steps/Paths are exploration counters; Truncated reports that some
+	// budget was hit (implies Verdict != NoLeak).
+	Steps     int
+	Paths     int
+	Truncated bool
+}
+
+// Analyze abstractly interprets prog and returns the verdict. The
+// program is not executed on the simulator; see
+// fuzz.CheckAbsintSoundness for the differential cross-check.
+func Analyze(prog *isa.Program, opts Options) Result {
+	e := newEngine(prog, opts.withDefaults())
+	return e.run()
+}

@@ -1,0 +1,466 @@
+package absint
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// pathState is one path's abstract machine state. Forks deep-copy it;
+// the domain is small (32 registers, a sparse memory map, a visit
+// vector) so copying stays cheap relative to the exploration itself.
+type pathState struct {
+	pc   int
+	regs [isa.NumRegs]aval
+
+	// mem tracks words written through statically known addresses.
+	// havocked is set once a store goes through an unknown address: all
+	// known cells are widened (any of them may have been overwritten)
+	// and havocTaint joins into every subsequent load.
+	mem        map[uint64]aval
+	havocked   bool
+	havocTaint Taint
+	havocSrc   int
+
+	// transient marks execution inside a speculation window (wrong path
+	// of a branch, fall-through of a faulting divide); transLeft counts
+	// the remaining window instructions before the squash.
+	transient bool
+	transLeft int
+
+	visits []int32
+
+	trace      []PathStep
+	traceTrunc bool
+}
+
+func (s *pathState) reg(r isa.Reg) aval {
+	if r == isa.Zero {
+		return knownVal(0)
+	}
+	return s.regs[r]
+}
+
+func (s *pathState) setReg(r isa.Reg, v aval) {
+	if r != isa.Zero {
+		s.regs[r] = v
+	}
+}
+
+type engine struct {
+	prog *isa.Program
+	opts Options
+
+	steps     int
+	paths     int
+	truncated bool
+	findings  []Finding
+	stack     []*pathState
+}
+
+func newEngine(prog *isa.Program, opts Options) *engine {
+	return &engine{prog: prog, opts: opts}
+}
+
+func (e *engine) run() Result {
+	s := &pathState{
+		pc:       0,
+		mem:      make(map[uint64]aval),
+		havocSrc: -1,
+		visits:   make([]int32, e.prog.Len()),
+	}
+	for i := range s.regs {
+		s.regs[i] = knownVal(0)
+	}
+	e.paths = 1
+	e.stack = append(e.stack, s)
+	for len(e.stack) > 0 && len(e.findings) == 0 {
+		n := len(e.stack) - 1
+		p := e.stack[n]
+		e.stack = e.stack[:n]
+		e.runPath(p)
+	}
+	res := Result{Findings: e.findings, Steps: e.steps, Paths: e.paths, Truncated: e.truncated}
+	switch {
+	case len(e.findings) > 0:
+		res.Verdict = Leaks
+	case e.truncated:
+		res.Verdict = Unknown
+	default:
+		res.Verdict = NoLeak
+	}
+	return res
+}
+
+// fork deep-copies s for a new path.
+func (e *engine) fork(s *pathState) *pathState {
+	n := &pathState{
+		pc:         s.pc,
+		regs:       s.regs,
+		mem:        make(map[uint64]aval, len(s.mem)),
+		havocked:   s.havocked,
+		havocTaint: s.havocTaint,
+		havocSrc:   s.havocSrc,
+		transient:  s.transient,
+		transLeft:  s.transLeft,
+		visits:     append([]int32(nil), s.visits...),
+		trace:      append([]PathStep(nil), s.trace...),
+		traceTrunc: s.traceTrunc,
+	}
+	for k, v := range s.mem {
+		n.mem[k] = v
+	}
+	return n
+}
+
+// push schedules a forked path, charging the path budget.
+func (e *engine) push(s *pathState) {
+	if e.paths >= e.opts.MaxPaths {
+		e.truncated = true
+		return
+	}
+	e.paths++
+	e.stack = append(e.stack, s)
+}
+
+// forkTransient spawns a transient window at pc (the wrong path of a
+// resolved-direction branch, or the fall-through of a faulting divide).
+func (e *engine) forkTransient(s *pathState, pc int) {
+	t := e.fork(s)
+	t.pc = pc
+	t.transient = true
+	t.transLeft = e.opts.SpecWindow
+	e.push(t)
+}
+
+// record registers a finding and ends the exploration (first witness
+// wins; Analyze is re-run per program, not incrementally).
+func (e *engine) record(s *pathState, inst isa.Inst, kind isa.SinkKind, worst Taint, srcPC int) {
+	e.findings = append(e.findings, Finding{
+		Kind:          kind,
+		PC:            s.pc,
+		Inst:          inst,
+		Transient:     s.transient,
+		Taint:         worst,
+		SourcePC:      srcPC,
+		Path:          append([]PathStep(nil), s.trace...),
+		PathTruncated: s.traceTrunc,
+	})
+}
+
+// appendTrace logs one executed step into the sliding witness window.
+func (s *pathState) appendTrace(opts Options, step int, inst isa.Inst) {
+	if len(s.trace) >= opts.MaxTrace {
+		half := len(s.trace) / 2
+		s.trace = append(s.trace[:0], s.trace[half:]...)
+		s.traceTrunc = true
+	}
+	s.trace = append(s.trace, PathStep{
+		Step: step, PC: s.pc, Inst: inst, Transient: s.transient,
+	})
+}
+
+// note annotates the most recent trace step.
+func (s *pathState) note(format string, args ...any) {
+	s.trace[len(s.trace)-1].Note = fmt.Sprintf(format, args...)
+}
+
+// runPath executes one path to its end (halt, squash, budget, or a
+// recorded finding), pushing forks for the paths it branches into.
+func (e *engine) runPath(s *pathState) {
+	for {
+		if s.pc < 0 || s.pc >= e.prog.Len() {
+			return // off the end: halt sentinel
+		}
+		e.steps++
+		if e.steps > e.opts.MaxSteps {
+			e.truncated = true
+			return
+		}
+		s.visits[s.pc]++
+		if int(s.visits[s.pc]) > e.opts.MaxVisits {
+			e.truncated = true
+			return
+		}
+		if s.transient {
+			if s.transLeft <= 0 {
+				return // window exhausted: the core would have squashed
+			}
+			s.transLeft--
+		}
+		inst := e.prog.Insts[s.pc]
+		s.appendTrace(e.opts, e.steps, inst)
+
+		// Sink check: does a tainted value reach a timing-observable
+		// channel here? On the architectural path every sink counts; in
+		// a transient window only a load's address does (transient
+		// stores and flushes never retire, transient branches never
+		// resolve, transient divides never trap).
+		if sinkRegs, kind := inst.SinkRegs(); kind != isa.SinkNone {
+			worst, src := Untainted, -1
+			for _, r := range sinkRegs {
+				if v := s.reg(r); v.taint > worst {
+					worst, src = v.taint, v.sourcePC
+				}
+			}
+			if worst != Untainted {
+				observable := !s.transient ||
+					(kind == isa.SinkAddress && inst.Op == isa.OpLoad)
+				if observable {
+					s.note("TRANSMIT: %s operand tainted (%s)", kind, worst)
+					e.record(s, inst, kind, worst, src)
+					return
+				}
+			}
+		}
+
+		switch inst.Op {
+		case isa.OpHalt:
+			return
+		case isa.OpNop, isa.OpFence:
+			s.pc++
+		case isa.OpRdTSC:
+			// Sound because a NoLeak verdict certifies no path reached
+			// any sink, so the two detector runs stay cycle-lockstep
+			// and rdtsc reads identically in both (docs/ABSINT.md).
+			s.setReg(inst.Rd, topUntainted())
+			s.pc++
+		case isa.OpJmp:
+			s.pc = inst.Target
+		case isa.OpBranchLT, isa.OpBranchGE, isa.OpBranchEQ, isa.OpBranchNE:
+			e.stepBranch(s, inst)
+			if s.pc < 0 {
+				return
+			}
+		case isa.OpLoad:
+			addr := addKnown(s.reg(inst.Rs), uint64(inst.Imm))
+			v := e.loadFrom(s, addr)
+			if v.taint != Untainted {
+				if addr.known() && e.inSecret(addr.val()) {
+					v.sourcePC = s.pc
+					s.note("reads secret region into %s (%s)", inst.Rd, v.taint)
+				} else {
+					s.note("loads tainted value into %s (%s)", inst.Rd, v.taint)
+				}
+			}
+			s.setReg(inst.Rd, v)
+			s.pc++
+		case isa.OpStore:
+			if !s.transient {
+				// Transient stores never retire: no memory effect.
+				addr := addKnown(s.reg(inst.Rs), uint64(inst.Imm))
+				v := s.reg(inst.Rt)
+				if addr.known() {
+					s.mem[addr.val()] = v
+				} else {
+					e.havoc(s, v)
+				}
+			}
+			s.pc++
+		case isa.OpFlush:
+			s.pc++ // no architectural memory effect
+		case isa.OpDiv:
+			e.stepDiv(s, inst)
+			if s.pc < 0 {
+				return
+			}
+		default:
+			// Remaining register-writing ALU ops.
+			out := evalALU(inst, s.reg(inst.Rs), s.reg(inst.Rt))
+			if out.taint != Untainted {
+				s.note("propagates taint to %s (%s)", inst.Rd, out.taint)
+			}
+			s.setReg(inst.Rd, out)
+			s.pc++
+		}
+	}
+}
+
+// stepBranch handles the four predicted branches. Sets s.pc = -1 when
+// the current path ends here.
+func (e *engine) stepBranch(s *pathState, inst isa.Inst) {
+	a, b := s.reg(inst.Rs), s.reg(inst.Rt)
+	if s.transient {
+		// Inside a window the branch never resolves; transient fetch
+		// follows whatever the predictor says, so both directions are
+		// reachable regardless of the (possibly known) condition.
+		t := e.fork(s)
+		t.pc = inst.Target
+		e.push(t)
+		s.pc++
+		return
+	}
+	switch condTri(inst.Op, a, b) {
+	case 1: // always taken: wrong path = fall-through
+		e.forkTransient(s, s.pc+1)
+		s.pc = inst.Target
+	case 0: // never taken: wrong path = target
+		e.forkTransient(s, inst.Target)
+		s.pc++
+	default:
+		// Direction statically unknown (but untainted — a tainted
+		// condition was a sink above): both directions are genuine
+		// architectural paths, and exploring them architecturally
+		// subsumes their transient prefixes.
+		t := e.fork(s)
+		t.pc = inst.Target
+		e.push(t)
+		s.pc++
+	}
+}
+
+// stepDiv handles the divide: the fall-through of a faulting divide is
+// an exception-based transient window. Sets s.pc = -1 when the path
+// ends (architectural fault).
+func (e *engine) stepDiv(s *pathState, inst isa.Inst) {
+	a, b := s.reg(inst.Rs), s.reg(inst.Rt)
+	if !s.transient && b.known() && b.val() == 0 {
+		// Certain fault: the architectural path stops at the divide,
+		// and the instructions it already fetched down the fall-through
+		// run transiently until the trap squashes them.
+		s.note("divide fault: opens transient window")
+		e.forkTransient(s, s.pc+1)
+		s.pc = -1
+		return
+	}
+	// Non-faulting, possibly-faulting-but-value-identical-across-runs
+	// (untainted unknown divisor), or transient (never traps): compute
+	// the quotient abstractly. The possibly-faulting case is subsumed:
+	// its transient fall-through executes the same instructions the
+	// non-faulting architectural continuation explores with a superset
+	// of sink checks.
+	out := evalALU(inst, a, b)
+	if out.taint != Untainted {
+		s.note("propagates taint to %s (%s)", inst.Rd, out.taint)
+	}
+	s.setReg(inst.Rd, out)
+	s.pc++
+}
+
+// inSecret reports whether addr falls in the secret region.
+func (e *engine) inSecret(addr uint64) bool {
+	base := e.opts.SecretBase
+	return e.opts.SecretWords > 0 &&
+		addr >= base && addr < base+8*uint64(e.opts.SecretWords)
+}
+
+// secretOverlaps reports whether [lo, hi] intersects the secret region.
+func (e *engine) secretOverlaps(lo, hi uint64) bool {
+	if e.opts.SecretWords == 0 {
+		return false
+	}
+	base := e.opts.SecretBase
+	end := base + 8*uint64(e.opts.SecretWords) - 1
+	return lo <= end && hi >= base
+}
+
+// loadFrom abstractly reads through addr. The address is untainted here
+// (a tainted address is a sink, caught before the load executes): both
+// detector runs read the same location, so the result's taint comes
+// from what may be stored there, never from the address itself.
+func (e *engine) loadFrom(s *pathState, addr aval) aval {
+	secretTaint := Secret
+	if s.transient {
+		secretTaint = SpecSecret
+	}
+	if addr.known() {
+		a := addr.val()
+		if e.inSecret(a) {
+			return topTainted(secretTaint, s.pc)
+		}
+		if cell, ok := s.mem[a]; ok {
+			return cell
+		}
+		if s.havocked {
+			return topTainted(s.havocTaint, s.havocSrc)
+		}
+		return topUntainted()
+	}
+	// Unknown untainted address: the value read may be anything the
+	// interval can reach — secret words, known cells, havoc residue.
+	t, src := Untainted, -1
+	if e.secretOverlaps(addr.lo, addr.hi) {
+		t, src = secretTaint, s.pc
+	}
+	for a, cell := range s.mem {
+		if a >= addr.lo && a <= addr.hi && cell.taint > t {
+			t, src = cell.taint, cell.sourcePC
+		}
+	}
+	if s.havocked && s.havocTaint > t {
+		t, src = s.havocTaint, s.havocSrc
+	}
+	return aval{taint: t, lo: 0, hi: allOnes, sourcePC: src}
+}
+
+// havoc models a store through an unknown address: any known cell may
+// have been overwritten.
+func (e *engine) havoc(s *pathState, v aval) {
+	s.havocked = true
+	if v.taint > s.havocTaint {
+		s.havocTaint = v.taint
+		s.havocSrc = v.sourcePC
+	}
+	for a, cell := range s.mem {
+		s.mem[a] = aval{
+			taint:    joinTaint(cell.taint, v.taint),
+			lo:       0,
+			hi:       allOnes,
+			sourcePC: pickSrc(cell, v),
+		}
+	}
+}
+
+func pickSrc(a, b aval) int {
+	if a.taint >= b.taint && a.taint != Untainted {
+		return a.sourcePC
+	}
+	if b.taint != Untainted {
+		return b.sourcePC
+	}
+	return -1
+}
+
+// condTri decides a branch condition on intervals: 1 always taken,
+// 0 never taken, -1 statically unknown.
+func condTri(op isa.Op, a, b aval) int {
+	switch op {
+	case isa.OpBranchLT:
+		if a.hi < b.lo {
+			return 1
+		}
+		if a.lo >= b.hi {
+			return 0
+		}
+	case isa.OpBranchGE:
+		if a.lo >= b.hi {
+			return 1
+		}
+		if a.hi < b.lo {
+			return 0
+		}
+	case isa.OpBranchEQ:
+		if a.known() && b.known() {
+			if a.val() == b.val() {
+				return 1
+			}
+			return 0
+		}
+		if a.hi < b.lo || b.hi < a.lo {
+			return 0
+		}
+	case isa.OpBranchNE:
+		if a.known() && b.known() {
+			if a.val() != b.val() {
+				return 1
+			}
+			return 0
+		}
+		if a.hi < b.lo || b.hi < a.lo {
+			return 1
+		}
+	default:
+		// Non-branch ops never reach condTri.
+	}
+	return -1
+}

@@ -1,0 +1,61 @@
+package absint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Headline names the transmitting instruction in one line, e.g.
+//
+//	transient address transmit at 12: load r5, [r3+0] (spec-secret, source load at 8)
+func (f Finding) Headline() string {
+	var b strings.Builder
+	if f.Transient {
+		b.WriteString("transient ")
+	}
+	fmt.Fprintf(&b, "%s transmit at %d: %s (%s", f.Kind, f.PC, f.Inst, f.Taint)
+	if f.SourcePC >= 0 && f.SourcePC != f.PC {
+		fmt.Fprintf(&b, ", source load at %d", f.SourcePC)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Render formats the witness path: one line per executed step, marking
+// transient steps with [T] and carrying the engine's taint notes. The
+// final line is always the transmitting instruction.
+func (f Finding) Render() string {
+	var b strings.Builder
+	b.WriteString(f.Headline())
+	b.WriteString("\n")
+	if f.PathTruncated {
+		b.WriteString("  ... (older steps truncated)\n")
+	}
+	for _, st := range f.Path {
+		mode := "   "
+		if st.Transient {
+			mode = "[T]"
+		}
+		fmt.Fprintf(&b, "  %s %4d: %s", mode, st.PC, st.Inst)
+		if st.Note != "" {
+			fmt.Fprintf(&b, "   ; %s", st.Note)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Summary is the one-line result digest speccheck prints per program.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (paths=%d steps=%d", r.Verdict, r.Paths, r.Steps)
+	if r.Truncated {
+		b.WriteString(", budget hit")
+	}
+	b.WriteString(")")
+	if len(r.Findings) > 0 {
+		b.WriteString(" — ")
+		b.WriteString(r.Findings[0].Headline())
+	}
+	return b.String()
+}

@@ -482,3 +482,45 @@ func (c *Cache) SetOccupancy(addr mem.Addr) int {
 
 // SetOf exposes the mapped set index of an address (eviction-set tools).
 func (c *Cache) SetOf(addr mem.Addr) uint64 { return c.setIndex(addr.Line()) }
+
+// StateFingerprint hashes the attacker-visible cache state: per
+// set/way, which line is present, its coherence state, dirtiness and
+// speculative mark. Invalid ways hash as zero — an invalid line keeps
+// its stale Tag, which no probe can observe, so it must not perturb
+// the fingerprint. Epoch and Owner are bookkeeping for rollback and
+// dummy-miss decisions, not probeable state, and are excluded too.
+// The differential leak detector compares fingerprints of two runs
+// that differ only in secret memory contents.
+func (c *Cache) StateFingerprint() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= fnvPrime
+			x >>= 8
+		}
+	}
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if !l.Valid() {
+				mix(0)
+				continue
+			}
+			mix(l.Tag)
+			v := uint64(l.State)
+			if l.Dirty {
+				v |= 1 << 8
+			}
+			if l.Speculative {
+				v |= 1 << 9
+			}
+			mix(v)
+		}
+	}
+	return h
+}

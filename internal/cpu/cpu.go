@@ -113,6 +113,10 @@ type entry struct {
 	commitPenalty int
 	shadowed      bool // invisible-scheme load: issued without install
 	squashed      bool
+
+	// faulting marks a divide whose divisor was zero at issue; the trap
+	// fires when it reaches the head of the ROB.
+	faulting bool
 }
 
 // Stats summarizes one Run.
@@ -179,6 +183,13 @@ type CPU struct {
 	stallUntil    uint64
 	retireBlocked uint64
 	halted        bool
+
+	// Divide-fault state: after a faulting div squashes its transient
+	// window, the core drains the rollback stall and halts at
+	// trapHaltAt (the fault is the end of the program; there is no
+	// handler to model).
+	trapPending bool
+	trapHaltAt  uint64
 
 	tracer Tracer
 	flight *FlightRecorder
@@ -300,6 +311,8 @@ func (c *CPU) BeginProgram(prog *isa.Program) {
 	c.fetchStopped = false
 	c.fetchReady = c.cycle
 	c.halted = false
+	c.trapPending = false
+	c.trapHaltAt = 0
 	// TimedOut describes one run, not the core's lifetime: clear it so
 	// a healthy run after a watchdog trip doesn't inherit the flag.
 	c.stats.TimedOut = false
@@ -398,6 +411,9 @@ func (c *CPU) nextWakeupFrom(from uint64) uint64 {
 	}
 	if !c.fetchStopped {
 		lower(c.fetchReady)
+	}
+	if c.trapPending {
+		lower(c.trapHaltAt)
 	}
 	lower(c.stallUntil)
 	lower(c.retireBlocked)
@@ -514,6 +530,8 @@ func (c *CPU) Reset() {
 	c.stallUntil = 0
 	c.retireBlocked = 0
 	c.halted = false
+	c.trapPending = false
+	c.trapHaltAt = 0
 	c.stats = Stats{}
 	c.runStartCycle = 0
 	c.runStartRetired = 0
@@ -536,6 +554,15 @@ func (c *CPU) stepNoise() {
 
 // retire commits completed head instructions in order.
 func (c *CPU) retire() {
+	if c.trapPending {
+		// The faulting divide already squashed everything; the core is
+		// draining the rollback stall and halts once it ends.
+		if c.cycle >= c.trapHaltAt {
+			c.halted = true
+			c.progressed = true
+		}
+		return
+	}
 	if c.cycle < c.retireBlocked {
 		return
 	}
@@ -545,6 +572,10 @@ func (c *CPU) retire() {
 			return
 		}
 		if e.inst.Op.IsBranch() && !e.resolved {
+			return
+		}
+		if e.inst.Op == isa.OpDiv && e.faulting {
+			c.trap(e)
 			return
 		}
 		c.progressed = true
@@ -679,12 +710,14 @@ func (c *CPU) allOlderDone(i int) bool {
 // invisible schemes.
 func (c *CPU) commitClearedLoads() {
 	// One pass in program order: shadowed latches once an unresolved
-	// branch is seen, replacing a per-load rescan of all older entries.
+	// branch (or a divide not yet proven non-faulting) is seen,
+	// replacing a per-load rescan of all older entries.
 	shadowed := false
 	for _, e := range c.rob {
-		isUnresolvedBranch := e.inst.Op.IsBranch() && !e.resolved
+		castsShadow := (e.inst.Op.IsBranch() && !e.resolved) ||
+			(e.inst.Op == isa.OpDiv && (!e.issued || e.faulting))
 		if e.inst.Op != isa.OpLoad || !e.issued || !e.specAtIssue || e.committedSpec {
-			if isUnresolvedBranch {
+			if castsShadow {
 				shadowed = true
 			}
 			continue
@@ -789,6 +822,76 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	c.commitClearedLoads()
 }
 
+// trap handles a faulting divide reaching the head of the ROB: the
+// instructions fetched down the fall-through path are transient and are
+// squashed exactly as after a branch mispredict — footprint handed to
+// the undo scheme, MSHR scrubbed, rollback stall applied — and then the
+// core halts at the faulting instruction (no handler is modelled). This
+// is the exception-based transient window the div-by-zero gadgets use:
+// the rollback residue is secret-dependent when the divisor is.
+func (c *CPU) trap(div *entry) {
+	c.stats.Squashes++
+	c.stats.LastBranchResolution = c.cycle - div.fetchedAt
+	c.met.squashes.Inc()
+	c.met.resolution.ObserveInt(c.stats.LastBranchResolution)
+	c.met.robOcc.Observe(float64(len(c.rob)))
+	c.emit(KindSquash, div, int64(len(c.rob)-1))
+
+	transients := c.transientsBuf[:0]
+	inflightCleaned := 0
+	for _, e := range c.rob[1:] {
+		e.squashed = true
+		c.stats.SquashedInst++
+		c.met.squashedInst.Inc()
+		if e.inst.Op != isa.OpLoad || !e.issued || e.shadowed {
+			continue
+		}
+		if !e.done || e.doneAt > c.cycle {
+			inflightCleaned++
+		}
+		if e.access.InstalledL1 || e.access.InstalledL2 {
+			transients = append(transients, undo.TransientLoad{
+				LineAddr:    e.addr.Line(),
+				InstalledL1: e.access.InstalledL1,
+				InstalledL2: e.access.InstalledL2,
+				HasVictim:   e.access.HasL1Victim && !e.access.L1VictimSpec,
+				VictimAddr:  e.access.L1VictimAddr,
+			})
+		}
+	}
+
+	c.hier.MSHR().CleanSpeculative(div.seq)
+	c.transientsBuf = transients
+	res := c.scheme.OnSquash(c.hier, undo.SquashContext{
+		Epoch:              div.seq,
+		Now:                c.cycle,
+		Transients:         transients,
+		InflightCleaned:    inflightCleaned,
+		OldestInflightDone: c.cycle,
+	})
+
+	c.stats.LastCleanupStall = uint64(res.StallCycles)
+	c.met.cleanups.Inc()
+	c.met.cleanupStall.ObserveInt(uint64(res.StallCycles))
+	c.emit(KindCleanup, div, int64(res.StallCycles))
+	stallEnd := c.cycle + uint64(res.StallCycles)
+	if stallEnd > c.stallUntil {
+		c.stats.CleanupStall += stallEnd - max64(c.stallUntil, c.cycle)
+		c.stallUntil = stallEnd
+	}
+
+	// The whole window dies with the fault; nothing retires after it.
+	for _, e := range c.rob {
+		c.recycle(e)
+	}
+	c.robHead = 0
+	c.rob = c.robBuf[:0]
+	c.fetchStopped = true
+	c.trapPending = true
+	c.trapHaltAt = stallEnd
+	c.progressed = true
+}
+
 // issue dispatches ready instructions out of order.
 func (c *CPU) issue() {
 	if c.cycle < c.stallUntil {
@@ -804,7 +907,8 @@ func (c *CPU) issue() {
 	// O(ROB), turning the issue stage from quadratic to linear in ROB
 	// occupancy.
 	fenceBlocked := false              // incomplete fence among older entries
-	ubSeq, ubFound := uint64(0), false // youngest unresolved older branch
+	ubSeq, ubFound := uint64(0), false // youngest older speculation source
+	divIssuedClean := false            // a div proved safe this cycle
 	var lastWriter [isa.NumRegs]*entry // youngest older producer per register
 	var prev *entry
 	for i := 0; i < len(c.rob); i++ {
@@ -820,6 +924,12 @@ func (c *CPU) issue() {
 				fenceBlocked = true
 			}
 			if prev.inst.Op.IsBranch() && !prev.resolved {
+				ubSeq, ubFound = prev.seq, true
+			}
+			// A divide is a speculation source until it proves its
+			// divisor non-zero at issue: younger loads run in the
+			// exception-transient window of a potential divide fault.
+			if prev.inst.Op == isa.OpDiv && (!prev.issued || prev.faulting) {
 				ubSeq, ubFound = prev.seq, true
 			}
 		}
@@ -913,8 +1023,15 @@ func (c *CPU) issue() {
 		default:
 			e.val = alu(e.inst, vals)
 			lat := c.cfg.ALULatency
-			if e.inst.Op == isa.OpMul {
+			if e.inst.Op == isa.OpMul || e.inst.Op == isa.OpDiv {
 				lat = c.cfg.MulLatency
+			}
+			if e.inst.Op == isa.OpDiv {
+				if vals[1] == 0 {
+					e.faulting = true
+				} else {
+					divIssuedClean = true
+				}
 			}
 			e.issued, e.done = true, true
 			e.doneAt = c.cycle + uint64(lat)
@@ -924,6 +1041,11 @@ func (c *CPU) issue() {
 	}
 	if issued > 0 {
 		c.progressed = true
+	}
+	if divIssuedClean {
+		// A divide that issued non-faulting may have been the only
+		// shadow over younger already-issued loads.
+		c.commitClearedLoads()
 	}
 	c.met.issued.Add(uint64(issued))
 }
@@ -1061,6 +1183,13 @@ func alu(inst isa.Inst, vals [2]uint64) uint64 {
 		return vals[0] - vals[1]
 	case isa.OpMul:
 		return vals[0] * vals[1]
+	case isa.OpDiv:
+		if vals[1] == 0 {
+			// The fault is raised at retire; transient consumers of a
+			// faulting divide observe zero.
+			return 0
+		}
+		return vals[0] / vals[1]
 	case isa.OpAnd:
 		return vals[0] & vals[1]
 	case isa.OpOr:

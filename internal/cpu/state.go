@@ -28,6 +28,8 @@ type State struct {
 	stallUntil    uint64
 	retireBlocked uint64
 	halted        bool
+	trapPending   bool
+	trapHaltAt    uint64
 	stats         Stats
 
 	runStartCycle   uint64
@@ -57,6 +59,8 @@ func (c *CPU) SaveState() *State {
 		stallUntil:      c.stallUntil,
 		retireBlocked:   c.retireBlocked,
 		halted:          c.halted,
+		trapPending:     c.trapPending,
+		trapHaltAt:      c.trapHaltAt,
 		stats:           c.stats,
 		runStartCycle:   c.runStartCycle,
 		runStartRetired: c.runStartRetired,
@@ -93,6 +97,8 @@ func (c *CPU) RestoreState(st *State) {
 	c.stallUntil = st.stallUntil
 	c.retireBlocked = st.retireBlocked
 	c.halted = st.halted
+	c.trapPending = st.trapPending
+	c.trapHaltAt = st.trapHaltAt
 	c.stats = st.stats
 	c.runStartCycle = st.runStartCycle
 	c.runStartRetired = st.runStartRetired

@@ -1,0 +1,61 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/absint"
+)
+
+// TestAbsintAgreesWithSimulatorOnCorpusEdgeCases pins the abstract
+// interpreter and the cycle-accurate simulator together on the three
+// hand-picked corpus programs. They stress squash recovery, not secret
+// flow — none reads the secret region — so the dynamic detector must
+// stay quiet under every scheme and the static verdict must never be
+// an unsound NoLeak against a firing detector. The agreement is
+// checked in both directions: detector quiet, and soundness
+// divergence-free.
+func TestAbsintAgreesWithSimulatorOnCorpusEdgeCases(t *testing.T) {
+	ws, err := LoadCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustNew(DefaultConfig())
+	for _, name := range []string{
+		"stlf-across-squash", "branch-under-miss", "back-to-back-squash",
+	} {
+		var found *Witness
+		for _, w := range ws {
+			if w.Name == name {
+				found = w
+				break
+			}
+		}
+		if found == nil {
+			t.Errorf("seeded edge case %q missing from corpus", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			o := Options{MemSeed: found.MemSeed, MachineSeed: found.MachineSeed}
+			res := g.Analyze(found.Prog)
+			t.Logf("absint: %s", res.Summary())
+			if res.Verdict == absint.Unknown {
+				t.Errorf("edge case should be analyzable exactly, got Unknown")
+			}
+			for _, spec := range o.schemes() {
+				leaked, detail, err := g.DynamicLeak(found.Prog, spec, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if leaked {
+					t.Errorf("%s: detector fired on a secret-free program: %s", spec, detail)
+				}
+				if leaked && res.Verdict == absint.NoLeak {
+					t.Errorf("%s: unsound NoLeak against firing detector", spec)
+				}
+			}
+			for _, d := range g.CheckAbsintSoundness(found.Prog, o) {
+				t.Errorf("%s", d.String())
+			}
+		})
+	}
+}

@@ -38,14 +38,23 @@ type Weights struct {
 	Loop int
 	// Timing emits architecturally inert clflush/fence pairs.
 	Timing int
+	// Secret emits leak-gadget shapes over the secret-tagged region:
+	// architectural and transient cache-address transmits, secret-
+	// conditioned branches, divide-fault trap gates, and benign secret
+	// reads. Default 0 — historical seeds keep their exact programs —
+	// and raised by absint-soundness sweeps so the static/dynamic
+	// cross-check sees real taint flows, not just random noise.
+	Secret int
 }
 
-// DefaultWeights weights every block kind equally.
+// DefaultWeights weights every block kind equally (no secret blocks).
 func DefaultWeights() Weights {
 	return Weights{ALU: 1, MemPair: 1, Branch: 1, Loop: 1, Timing: 1}
 }
 
-func (w Weights) total() int { return w.ALU + w.MemPair + w.Branch + w.Loop + w.Timing }
+func (w Weights) total() int {
+	return w.ALU + w.MemPair + w.Branch + w.Loop + w.Timing + w.Secret
+}
 
 // Config parameterizes the generator.
 type Config struct {
@@ -229,6 +238,50 @@ func (g *Generator) ProgramWithRNG(rng *rand.Rand, blocks int) *isa.Program {
 			if rng.Intn(2) == 0 {
 				b.Fence()
 			}
+		case blockSecret:
+			// Secret blocks read the secret-tagged region and either
+			// transmit it — through a cache-address, branch-direction
+			// or divide-trap channel, architecturally or transiently —
+			// or keep it benign data. CheckProgram replays never plant
+			// secrets (the region reads zero), so these blocks stay
+			// deterministic and arch-equivalent there; DynamicLeak and
+			// absint are what see the leak.
+			b.Const(12, int64(g.cfg.SecretBase))
+			b.Const(13, 7)
+			b.Const(14, int64(g.cfg.ProbeBase))
+			soff := int64(rng.Intn(g.cfg.SecretWords)) * 8
+			rd := scratch()
+			switch rng.Intn(5) {
+			case 0: // architectural cache-address transmit
+				b.Load(rd, 12, soff)
+				b.And(rd, rd, 13)
+				b.ShlI(rd, rd, 12)
+				b.Add(rd, 14, rd)
+				b.Load(scratch(), rd, 0)
+			case 1: // transient transmit: wrong path of an always-taken branch
+				skip := newLabel()
+				b.BranchEQ(0, 0, skip)
+				b.Load(rd, 12, soff)
+				b.And(rd, rd, 13)
+				b.ShlI(rd, rd, 12)
+				b.Add(rd, 14, rd)
+				b.Load(scratch(), rd, 0)
+				b.Label(skip)
+			case 2: // secret-conditioned branch direction
+				skip := newLabel()
+				b.Load(rd, 12, soff)
+				b.And(rd, rd, 13)
+				b.BranchNE(rd, 0, skip)
+				b.AddI(scratch(), scratch(), 1)
+				b.Label(skip)
+			case 3: // trap gate: a zero secret word faults the divide
+				b.Load(rd, 12, soff)
+				b.Div(scratch(), scratch(), rd)
+			case 4: // benign: the secret stays data, never timing
+				b.Load(rd, 12, soff)
+				b.Add(rd, rd, scratch())
+				b.Store(9, randOff(), rd)
+			}
 		}
 	}
 	b.Halt()
@@ -243,6 +296,7 @@ const (
 	blockBranch
 	blockLoop
 	blockTiming
+	blockSecret
 )
 
 // pickBlock draws a block kind from the weighted distribution. With
@@ -252,7 +306,7 @@ const (
 func (g *Generator) pickBlock(rng *rand.Rand) blockKind {
 	w := g.cfg.Weights
 	r := rng.Intn(w.total())
-	for i, wi := range []int{w.ALU, w.MemPair, w.Branch, w.Loop, w.Timing} {
+	for i, wi := range []int{w.ALU, w.MemPair, w.Branch, w.Loop, w.Timing, w.Secret} {
 		if r < wi {
 			return blockKind(i)
 		}

@@ -78,6 +78,11 @@ func (b *Builder) Mul(rd, rs, rt Reg) *Builder {
 	return b.emit(Inst{Op: OpMul, Rd: rd, Rs: rs, Rt: rt})
 }
 
+// Div emits rd = rs / rt; a zero rt raises a divide fault at retire.
+func (b *Builder) Div(rd, rs, rt Reg) *Builder {
+	return b.emit(Inst{Op: OpDiv, Rd: rd, Rs: rs, Rt: rt})
+}
+
 // And emits rd = rs & rt.
 func (b *Builder) And(rd, rs, rt Reg) *Builder {
 	return b.emit(Inst{Op: OpAnd, Rd: rd, Rs: rs, Rt: rt})
@@ -169,7 +174,11 @@ func (b *Builder) Build() (*Program, error) {
 		}
 		insts[f.inst].Target = target
 	}
-	return &Program{Insts: insts, CodeBase: 0x40_0000}, nil
+	p := &Program{Insts: insts, CodeBase: 0x40_0000}
+	if err := p.ValidateTargets(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // MustBuild is Build for statically correct generators.

@@ -65,6 +65,13 @@ func Interpret(prog *Program, memory InterpMemory, initRegs [NumRegs]uint64, max
 			w(inst.Rd, r(inst.Rs)-r(inst.Rt))
 		case OpMul:
 			w(inst.Rd, r(inst.Rs)*r(inst.Rt))
+		case OpDiv:
+			if r(inst.Rt) == 0 {
+				// Divide fault: execution stops at the faulting
+				// instruction, rd unwritten — matches the core's trap.
+				return res
+			}
+			w(inst.Rd, r(inst.Rs)/r(inst.Rt))
 		case OpAnd:
 			w(inst.Rd, r(inst.Rs)&r(inst.Rt))
 		case OpOr:

@@ -71,6 +71,13 @@ const (
 	OpJmp
 	// OpHalt stops the program.
 	OpHalt
+	// OpDiv: rd = rs / rt (MulLatency). A zero divisor raises a divide
+	// fault when the instruction reaches the head of the ROB: execution
+	// stops at the faulting instruction (rd is not written) after the
+	// core squashes the younger instructions it fetched down the fall-
+	// through path — an exception-based transient window (the
+	// div-by-zero assign gate, see docs/ABSINT.md).
+	OpDiv
 )
 
 var opNames = map[Op]string{
@@ -80,6 +87,7 @@ var opNames = map[Op]string{
 	OpStore: "store", OpFlush: "flush", OpFence: "fence",
 	OpRdTSC: "rdtsc", OpBranchLT: "blt", OpBranchGE: "bge",
 	OpBranchEQ: "beq", OpBranchNE: "bne", OpJmp: "jmp", OpHalt: "halt",
+	OpDiv: "div",
 }
 
 func (o Op) String() string {
@@ -124,7 +132,7 @@ func (i Inst) SrcRegs() []Reg {
 	switch i.Op {
 	case OpMov, OpAddI, OpShlI, OpShrI, OpLoad, OpFlush:
 		return []Reg{i.Rs}
-	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor,
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor,
 		OpBranchLT, OpBranchGE, OpBranchEQ, OpBranchNE:
 		return []Reg{i.Rs, i.Rt}
 	case OpStore:
@@ -138,7 +146,7 @@ func (i Inst) SrcRegs() []Reg {
 // DstReg returns the register the instruction writes, or (Zero, false).
 func (i Inst) DstReg() (Reg, bool) {
 	switch i.Op {
-	case OpConst, OpMov, OpAdd, OpAddI, OpSub, OpMul, OpAnd, OpOr,
+	case OpConst, OpMov, OpAdd, OpAddI, OpSub, OpMul, OpDiv, OpAnd, OpOr,
 		OpXor, OpShlI, OpShrI, OpLoad, OpRdTSC:
 		if i.Rd == Zero {
 			return Zero, false
@@ -163,7 +171,7 @@ func (i Inst) String() string {
 		return fmt.Sprintf("addi %s, %s, %d", i.Rd, i.Rs, i.Imm)
 	case OpShlI, OpShrI:
 		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs, i.Imm)
-	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor:
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor:
 		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs, i.Rt)
 	case OpLoad:
 		return fmt.Sprintf("load %s, [%s+%d]", i.Rd, i.Rs, i.Imm)
@@ -202,6 +210,23 @@ func (p *Program) At(idx int) Inst {
 		return Inst{Op: OpHalt}
 	}
 	return p.Insts[idx]
+}
+
+// ValidateTargets checks that every branch/jump target lies inside
+// [0, Len()]. Target == Len() is allowed: At reads one past the end as
+// Halt, and the shrinker's compaction emits exactly that sentinel for
+// branches whose taken path falls off the end of the program.
+func (p *Program) ValidateTargets() error {
+	for i, in := range p.Insts {
+		if !in.Op.IsBranch() && in.Op != OpJmp {
+			continue
+		}
+		if in.Target < 0 || in.Target > len(p.Insts) {
+			return fmt.Errorf("isa: instruction %d (%s): target %d outside [0,%d]",
+				i, in, in.Target, len(p.Insts))
+		}
+	}
+	return nil
 }
 
 // Disassemble renders the whole program.

@@ -81,7 +81,11 @@ func ParseProgram(src string) (*Program, error) {
 		}
 		insts[f.inst].Target = idx
 	}
-	return &Program{Insts: insts, CodeBase: 0x40_0000}, nil
+	p := &Program{Insts: insts, CodeBase: 0x40_0000}
+	if err := p.ValidateTargets(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // MustParseProgram is ParseProgram for statically correct listings.
@@ -163,7 +167,7 @@ func parseInst(line string) (Inst, string, error) {
 		}
 		op := map[string]Op{"addi": OpAddI, "shli": OpShlI, "shri": OpShrI}[mnemonic]
 		return Inst{Op: op, Rd: rd, Rs: rs, Imm: imm}, "", nil
-	case "add", "sub", "mul", "and", "or", "xor":
+	case "add", "sub", "mul", "div", "and", "or", "xor":
 		if err := need(3); err != nil {
 			return Inst{}, "", err
 		}
@@ -174,7 +178,7 @@ func parseInst(line string) (Inst, string, error) {
 			return Inst{}, "", fmt.Errorf("bad register in %q", line)
 		}
 		op := map[string]Op{
-			"add": OpAdd, "sub": OpSub, "mul": OpMul,
+			"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv,
 			"and": OpAnd, "or": OpOr, "xor": OpXor,
 		}[mnemonic]
 		return Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, "", nil

@@ -1,0 +1,105 @@
+package isa
+
+import "fmt"
+
+// This file is the ISA's semantic metadata for information-flow
+// analyses (package absint): which instructions introduce values from
+// memory, which operands form data addresses, and which operands —
+// when carrying secret-derived data — turn an instruction into a
+// timing-side-channel transmitter. The cycle-accurate core does not
+// consult these; they are a declarative mirror of its behavior that
+// the abstract interpreter and its differential cross-check rely on.
+
+// SinkKind classifies how an instruction can transmit a tainted value
+// into an attacker-observable channel on the simulated machine.
+type SinkKind uint8
+
+const (
+	// SinkNone: the instruction's timing and side effects are
+	// independent of its operand values.
+	SinkNone SinkKind = iota
+	// SinkAddress: the instruction touches the cache hierarchy at an
+	// operand-derived address (load at issue; store/flush at retire),
+	// so a tainted address operand selects attacker-distinguishable
+	// cache sets — the classic cache side channel.
+	SinkAddress
+	// SinkBranch: the operands decide a predicted branch direction, so
+	// a tainted condition steers fetch, mispredicts and squash stalls.
+	SinkBranch
+	// SinkTrapGate: a zero/non-zero divisor decides whether OpDiv
+	// raises a divide fault, whose squash-and-halt is orders of
+	// magnitude slower than the no-fault path.
+	SinkTrapGate
+)
+
+func (k SinkKind) String() string {
+	switch k {
+	case SinkNone:
+		return "none"
+	case SinkAddress:
+		return "address"
+	case SinkBranch:
+		return "branch"
+	case SinkTrapGate:
+		return "trap-gate"
+	default:
+		return fmt.Sprintf("sink(%d)", uint8(k))
+	}
+}
+
+// Sink returns the op's transmitter class.
+func (o Op) Sink() SinkKind {
+	switch o {
+	case OpLoad, OpStore, OpFlush:
+		return SinkAddress
+	case OpBranchLT, OpBranchGE, OpBranchEQ, OpBranchNE:
+		return SinkBranch
+	case OpDiv:
+		return SinkTrapGate
+	default:
+		return SinkNone
+	}
+}
+
+// FormsAddress reports whether the op computes a data-memory address
+// (Rs + Imm) when it executes.
+func (o Op) FormsAddress() bool {
+	switch o {
+	case OpLoad, OpStore, OpFlush:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsTaintSource reports whether the op can introduce secret data into
+// the register file: OpLoad is the only instruction that moves memory
+// contents into a register.
+func (o Op) IsTaintSource() bool { return o == OpLoad }
+
+// AddrReg returns the register whose value forms the instruction's
+// data address, or (Zero, false) for non-memory instructions.
+func (i Inst) AddrReg() (Reg, bool) {
+	if i.Op.FormsAddress() {
+		return i.Rs, true
+	}
+	return Zero, false
+}
+
+// SinkRegs returns the registers whose values, if secret-tainted, make
+// this instruction a transmitter, paired with the channel kind. Store
+// data (Rt) is deliberately absent: a stored value changes memory
+// contents, not which line the store touches, so it only becomes
+// observable if later loaded and used through one of these sinks.
+func (i Inst) SinkRegs() ([]Reg, SinkKind) {
+	switch k := i.Op.Sink(); k {
+	case SinkAddress:
+		return []Reg{i.Rs}, k
+	case SinkBranch:
+		return []Reg{i.Rs, i.Rt}, k
+	case SinkTrapGate:
+		return []Reg{i.Rt}, k
+	default:
+		return nil, SinkNone
+	}
+}

@@ -1,0 +1,107 @@
+package isa
+
+import "testing"
+
+func TestSinkClassification(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want SinkKind
+	}{
+		{OpLoad, SinkAddress},
+		{OpStore, SinkAddress},
+		{OpFlush, SinkAddress},
+		{OpBranchLT, SinkBranch},
+		{OpBranchGE, SinkBranch},
+		{OpBranchEQ, SinkBranch},
+		{OpBranchNE, SinkBranch},
+		{OpDiv, SinkTrapGate},
+		{OpAdd, SinkNone},
+		{OpMul, SinkNone},
+		{OpJmp, SinkNone},
+		{OpFence, SinkNone},
+		{OpRdTSC, SinkNone},
+		{OpHalt, SinkNone},
+	}
+	for _, c := range cases {
+		if got := c.op.Sink(); got != c.want {
+			t.Errorf("%s: sink %s, want %s", c.op, got, c.want)
+		}
+	}
+}
+
+func TestSinkRegs(t *testing.T) {
+	regs, kind := Inst{Op: OpLoad, Rd: 1, Rs: 2}.SinkRegs()
+	if kind != SinkAddress || len(regs) != 1 || regs[0] != 2 {
+		t.Fatalf("load sink regs %v kind %s", regs, kind)
+	}
+	// Store data (Rt) is not a sink register — only the address.
+	regs, kind = Inst{Op: OpStore, Rs: 3, Rt: 4}.SinkRegs()
+	if kind != SinkAddress || len(regs) != 1 || regs[0] != 3 {
+		t.Fatalf("store sink regs %v kind %s", regs, kind)
+	}
+	regs, kind = Inst{Op: OpBranchEQ, Rs: 5, Rt: 6}.SinkRegs()
+	if kind != SinkBranch || len(regs) != 2 {
+		t.Fatalf("branch sink regs %v kind %s", regs, kind)
+	}
+	// Only the divisor gates the trap; the dividend is timing-neutral.
+	regs, kind = Inst{Op: OpDiv, Rd: 1, Rs: 2, Rt: 3}.SinkRegs()
+	if kind != SinkTrapGate || len(regs) != 1 || regs[0] != 3 {
+		t.Fatalf("div sink regs %v kind %s", regs, kind)
+	}
+	regs, kind = Inst{Op: OpAdd, Rd: 1, Rs: 2, Rt: 3}.SinkRegs()
+	if kind != SinkNone || regs != nil {
+		t.Fatalf("add sink regs %v kind %s", regs, kind)
+	}
+}
+
+func TestAddrRegAndSources(t *testing.T) {
+	for _, op := range []Op{OpLoad, OpStore, OpFlush} {
+		if !op.FormsAddress() {
+			t.Errorf("%s should form an address", op)
+		}
+		if r, ok := (Inst{Op: op, Rs: 7}).AddrReg(); !ok || r != 7 {
+			t.Errorf("%s addr reg %v ok=%v", op, r, ok)
+		}
+	}
+	if OpAdd.FormsAddress() {
+		t.Error("add forms no address")
+	}
+	if _, ok := (Inst{Op: OpFence}).AddrReg(); ok {
+		t.Error("fence has no address register")
+	}
+	if !OpLoad.IsTaintSource() {
+		t.Error("load is the taint source")
+	}
+	for _, op := range []Op{OpStore, OpConst, OpRdTSC, OpDiv} {
+		if op.IsTaintSource() {
+			t.Errorf("%s must not be a taint source", op)
+		}
+	}
+}
+
+func TestSinkKindString(t *testing.T) {
+	for k, want := range map[SinkKind]string{
+		SinkNone: "none", SinkAddress: "address",
+		SinkBranch: "branch", SinkTrapGate: "trap-gate",
+	} {
+		if k.String() != want {
+			t.Errorf("SinkKind %d prints %q, want %q", k, k.String(), want)
+		}
+	}
+	if SinkKind(99).String() != "sink(99)" {
+		t.Errorf("unknown sink kind prints %q", SinkKind(99).String())
+	}
+}
+
+func TestDivMetadata(t *testing.T) {
+	in := Inst{Op: OpDiv, Rd: 1, Rs: 2, Rt: 3}
+	if got := len(in.SrcRegs()); got != 2 {
+		t.Fatalf("div reads %d regs, want 2", got)
+	}
+	if rd, ok := in.DstReg(); !ok || rd != 1 {
+		t.Fatalf("div dst %v ok=%v", rd, ok)
+	}
+	if in.String() != "div r1, r2, r3" {
+		t.Fatalf("div disassembly %q", in.String())
+	}
+}

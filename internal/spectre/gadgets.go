@@ -1,0 +1,232 @@
+package spectre
+
+import "repro/internal/isa"
+
+// Gadget is a named leak-gadget program over the fuzz memory layout
+// (public region at 0x100000, secret words at 0x200000, probe lines at
+// 0x300000 with a 0x1000 stride). The set covers the predictor-trained
+// attack shapes from the Spectre family plus the divide-fault transient
+// window, and each carries the verdict the abstract interpreter is
+// expected to reach — speccheck -gadgets and the differential suite
+// treat a mismatch as a bug.
+type Gadget struct {
+	Name string
+	// Desc is a one-line description of the attack shape.
+	Desc string
+	// Leaky is the expected ground truth: true means the gadget
+	// transmits secret data (absint must not answer NoLeak), false
+	// means it is benign (absint should prove NoLeak).
+	Leaky bool
+	Prog  *isa.Program
+}
+
+// Gadget memory layout, matching fuzz.DefaultConfig's regions.
+const (
+	gadgetRegionBase = 0x100000
+	gadgetSecretBase = 0x200000
+	gadgetProbeBase  = 0x300000
+	// gadgetProbeShift scales a 3-bit secret digit to the 0x1000 probe
+	// stride.
+	gadgetProbeShift = 12
+	gadgetMask       = 7
+)
+
+// Gadgets returns the full trained-gadget suite. Programs are
+// deterministic, rdtsc-free and architecturally equivalent to the
+// reference interpreter, so they double as corpus witnesses.
+func Gadgets() []Gadget {
+	return []Gadget{
+		{
+			Name:  "pht-bounds-bypass",
+			Desc:  "PHT training: four in-bounds passes, then an out-of-bounds index whose transmit runs only on the mispredicted path",
+			Leaky: true,
+			Prog:  phtBoundsBypass(),
+		},
+		{
+			Name:  "btb-stale-target",
+			Desc:  "stale dispatch: pointer steering through a trained selector branch, secret dereferenced only transiently",
+			Leaky: true,
+			Prog:  btbStaleTarget(),
+		},
+		{
+			Name:  "rsb-stale-return",
+			Desc:  "stale return: context pointer round-trips memory (software return stack), wrong-path return dereferences it",
+			Leaky: true,
+			Prog:  rsbStaleReturn(),
+		},
+		{
+			Name:  "div-exception-gate",
+			Desc:  "certain divide fault opens a transient window hiding a secret transmit",
+			Leaky: true,
+			Prog:  divExceptionGate(),
+		},
+		{
+			Name:  "div-secret-trap",
+			Desc:  "divide by a secret word: whether the machine traps is the channel",
+			Leaky: true,
+			Prog:  divSecretTrap(),
+		},
+		{
+			Name:  "benign-secret-read",
+			Desc:  "reads the secret but never lets it reach an address, branch or divisor",
+			Leaky: false,
+			Prog:  benignSecretRead(),
+		},
+	}
+}
+
+// transmit appends the classic cache transmitter: mask the value in
+// src to 3 bits, scale it to the probe stride, and load the selected
+// probe line. r13 must hold the mask and r14 the probe base.
+func transmit(b *isa.Builder, src, tmp isa.Reg) {
+	b.And(tmp, src, 13).
+		ShlI(tmp, tmp, gadgetProbeShift).
+		Add(tmp, 14, tmp).
+		Load(tmp, tmp, 0)
+}
+
+// phtBoundsBypass is Spectre v1 against the fuzz layout. A counted
+// loop runs the bounds-checked access five times: iterations 0–3 use
+// small in-bounds byte offsets (training the check's branch
+// not-taken), iteration 4 computes offset 0x100020 — region base plus
+// that is secret word 4. Architecturally the check rejects it; the
+// trained predictor falls through, so the secret load and its probe
+// transmit execute only in the mispredicted window.
+//
+// Two touches make the window real on the cycle-accurate machine, the
+// same ones Algorithm 1 uses: the bound lives in memory and its line
+// is flushed before every check, so the branch resolves only after a
+// full miss; and the secret line is warmed by an architectural read
+// (benign — the value never reaches a sink there), so the transient
+// dependent chain fits inside the window.
+func phtBoundsBypass() *isa.Program {
+	b := isa.NewBuilder()
+	b.Const(9, gadgetRegionBase).
+		Const(10, 0x200). // bound: region size in bytes...
+		Store(9, 0, 10).  // ...stored like a real length field
+		Const(11, gadgetSecretBase).
+		Load(8, 11, 32). // warm the secret line architecturally
+		Const(13, gadgetMask).
+		Const(14, gadgetProbeBase).
+		Const(1, 0). // i
+		Const(2, 5). // trips
+		Label("top").
+		ShrI(3, 1, 2).  // i>>2: 0 while training, 1 on the last trip
+		ShlI(3, 3, 20). // ... scaled to the region->secret distance
+		ShlI(4, 1, 3).  // i*8: the in-bounds part of the offset
+		Add(5, 3, 4).   // byte offset into A
+		Flush(9, 0).    // bound check resolves only after a full miss
+		Load(10, 9, 0).
+		BranchGE(5, 10, "skip").
+		Add(6, 9, 5).
+		Load(7, 6, 0) // A[offset]: secret word 4 when transient
+	transmit(b, 7, 8)
+	b.Label("skip").
+		AddI(1, 1, 1).
+		BranchLT(1, 2, "top").
+		Halt()
+	return b.MustBuild()
+}
+
+// btbStaleTarget models a stale indirect-dispatch target with the
+// direction predictor: the selector branch guards a handler that
+// dereferences a computed pointer. Four training calls dispatch with a
+// region pointer; the fifth flips the selector, the handler is skipped
+// architecturally, but the trained fall-through dereferences the now
+// secret-pointing register in the transient window.
+func btbStaleTarget() *isa.Program {
+	b := isa.NewBuilder()
+	b.Const(9, gadgetRegionBase).
+		Const(13, gadgetMask).
+		Const(14, gadgetProbeBase).
+		Const(1, 0).
+		Const(2, 5).
+		Label("top").
+		ShrI(3, 1, 2).  // selector: 0 trained, 1 on the final dispatch
+		ShlI(4, 3, 20). // selector steers the handler's pointer...
+		Add(5, 9, 4).   // ...from region base to secret base
+		BranchNE(3, 0, "skip").
+		Load(6, 5, 0) // handler: dereference the dispatch pointer
+	transmit(b, 6, 7)
+	b.Label("skip").
+		AddI(1, 1, 1).
+		BranchLT(1, 2, "top").
+		Halt()
+	return b.MustBuild()
+}
+
+// rsbStaleReturn models a stale return-stack entry: the "return
+// context" pointer round-trips through memory (a one-slot software
+// return stack at region word 0), so the wrong-path dereference rides
+// store-to-load forwarding. Training returns carry a region pointer;
+// the final return's context points at the secret, is skipped
+// architecturally, and is dereferenced only on the mispredicted
+// return path.
+func rsbStaleReturn() *isa.Program {
+	b := isa.NewBuilder()
+	b.Const(9, gadgetRegionBase).
+		Const(13, gadgetMask).
+		Const(14, gadgetProbeBase).
+		Const(1, 0).
+		Const(2, 5).
+		Label("top").
+		ShrI(3, 1, 2).
+		ShlI(4, 3, 20).
+		Add(5, 9, 4).   // return context: region while training, secret last
+		Store(9, 0, 5). // push onto the software return stack
+		Load(6, 9, 0).  // pop at "return"
+		BranchNE(3, 0, "skip").
+		Load(7, 6, 0) // continuation derefs the popped context
+	transmit(b, 7, 8)
+	b.Label("skip").
+		AddI(1, 1, 1).
+		BranchLT(1, 2, "top").
+		Halt()
+	return b.MustBuild()
+}
+
+// divExceptionGate opens the transient window with a certain divide
+// fault instead of a branch: everything after the div is dead
+// architecturally, and the secret transmit lives entirely inside the
+// squash shadow.
+func divExceptionGate() *isa.Program {
+	b := isa.NewBuilder()
+	b.Const(12, gadgetSecretBase).
+		Const(13, gadgetMask).
+		Const(14, gadgetProbeBase).
+		Const(1, 100).
+		Div(2, 1, 0).  // r0 divisor: always faults
+		Load(3, 12, 0) // transient secret read
+	transmit(b, 3, 4)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// divSecretTrap divides by a secret word: the machine traps iff the
+// word is zero, so squash count and cycle count are the channel — no
+// cache line ever encodes the secret.
+func divSecretTrap() *isa.Program {
+	return isa.NewBuilder().
+		Const(12, gadgetSecretBase).
+		Const(1, 100).
+		Load(2, 12, 0).
+		Div(3, 1, 2).
+		Halt().
+		MustBuild()
+}
+
+// benignSecretRead is the true-negative control: the secret value
+// flows through ALU ops and a data store, but never into an address,
+// a branch condition or a divisor. The abstract interpreter should
+// prove NoLeak and the dynamic detector must stay quiet.
+func benignSecretRead() *isa.Program {
+	return isa.NewBuilder().
+		Const(9, gadgetRegionBase).
+		Const(12, gadgetSecretBase).
+		Load(1, 12, 0).
+		Xor(2, 1, 1).
+		Add(3, 2, 1).
+		Store(9, 0, 1). // secret data at a public address: data, not timing
+		Halt().
+		MustBuild()
+}

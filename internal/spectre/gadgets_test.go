@@ -1,0 +1,90 @@
+package spectre
+
+import (
+	"testing"
+
+	"repro/internal/absint"
+	"repro/internal/isa"
+)
+
+// TestGadgetVerdictsMatchGroundTruth pins each gadget's absint verdict
+// to its declared ground truth: leaky gadgets must be flagged (NoLeak
+// would be unsound), the benign control must be *proved* clean (Leaks
+// or Unknown would be useless precision).
+func TestGadgetVerdictsMatchGroundTruth(t *testing.T) {
+	for _, gd := range Gadgets() {
+		gd := gd
+		t.Run(gd.Name, func(t *testing.T) {
+			res := absint.Analyze(gd.Prog, absint.Options{})
+			t.Logf("%s", res.Summary())
+			if gd.Leaky {
+				if res.Verdict != absint.Leaks {
+					t.Fatalf("verdict %s, want Leaks\n%s", res.Verdict, gd.Prog.Disassemble())
+				}
+				f := res.Findings[0]
+				if len(f.Path) == 0 {
+					t.Fatal("finding carries no witness path")
+				}
+				if last := f.Path[len(f.Path)-1]; last.PC != f.PC {
+					t.Fatalf("witness ends at pc %d, finding at pc %d", last.PC, f.PC)
+				}
+			} else if res.Verdict != absint.NoLeak {
+				t.Fatalf("benign gadget verdict %s, want NoLeak\n%s", res.Verdict, gd.Prog.Disassemble())
+			}
+		})
+	}
+}
+
+// TestTrainedGadgetsLeakOnlyTransiently checks the attack-shape
+// fine print: the predictor-trained and exception-gated gadgets leak
+// exclusively on the mispredicted/faulted path (transient, spec-secret
+// taint, cache-address sink), while the trap gadget's channel is the
+// architectural trap decision itself.
+func TestTrainedGadgetsLeakOnlyTransiently(t *testing.T) {
+	byName := map[string]Gadget{}
+	for _, gd := range Gadgets() {
+		byName[gd.Name] = gd
+	}
+	for _, name := range []string{
+		"pht-bounds-bypass", "btb-stale-target", "rsb-stale-return", "div-exception-gate",
+	} {
+		res := absint.Analyze(byName[name].Prog, absint.Options{})
+		if res.Verdict != absint.Leaks {
+			t.Fatalf("%s: verdict %s", name, res.Verdict)
+		}
+		f := res.Findings[0]
+		if !f.Transient {
+			t.Errorf("%s: leak should be transient-only, finding is architectural", name)
+		}
+		if f.Taint != absint.SpecSecret {
+			t.Errorf("%s: taint %s, want spec-secret", name, f.Taint)
+		}
+		if f.Kind != isa.SinkAddress || f.Inst.Op != isa.OpLoad {
+			t.Errorf("%s: sink %s on %s, want an address transmit by a load", name, f.Kind, f.Inst.Op)
+		}
+	}
+	res := absint.Analyze(byName["div-secret-trap"].Prog, absint.Options{})
+	f := res.Findings[0]
+	if f.Transient || f.Kind != isa.SinkTrapGate {
+		t.Errorf("div-secret-trap: want an architectural trap-gate sink, got transient=%v kind=%s",
+			f.Transient, f.Kind)
+	}
+}
+
+// TestGadgetProgramsAreWellFormed keeps the suite usable as corpus
+// material: deterministic, rdtsc-free, valid branch targets.
+func TestGadgetProgramsAreWellFormed(t *testing.T) {
+	for _, gd := range Gadgets() {
+		if err := gd.Prog.ValidateTargets(); err != nil {
+			t.Errorf("%s: %v", gd.Name, err)
+		}
+		for pc, inst := range gd.Prog.Insts {
+			if inst.Op == isa.OpRdTSC {
+				t.Errorf("%s: rdtsc at pc %d — gadgets must be timing-input-free", gd.Name, pc)
+			}
+		}
+		if gd.Desc == "" || gd.Name == "" {
+			t.Errorf("gadget %+v missing name or description", gd)
+		}
+	}
+}

@@ -45,3 +45,25 @@ func Retryable(c Class) bool {
 	}
 	return true
 }
+
+// Verdict mirrors the absint leak-analysis tri-state.
+type Verdict uint8
+
+// The verdicts.
+const (
+	NoLeak Verdict = iota
+	Leaks
+	Unknown
+)
+
+// Sound misses Unknown — exactly the arm whose omission would let a
+// budget-truncated analysis read as a clean NoLeak.
+func Sound(v Verdict) bool {
+	switch v { // want "missing Unknown"
+	case NoLeak:
+		return true
+	case Leaks:
+		return false
+	}
+	return false
+}

@@ -35,6 +35,29 @@ func Deliberate(s State) bool {
 	}
 }
 
+// Taint mirrors the absint taint lattice.
+type Taint uint8
+
+// The taint levels, ordered by the lattice chain.
+const (
+	Untainted Taint = iota
+	SpecSecret
+	Secret
+)
+
+// Label covers the whole lattice: exhaustive without a default.
+func Label(t Taint) string {
+	switch t {
+	case Untainted:
+		return "untainted"
+	case SpecSecret:
+		return "spec-secret"
+	case Secret:
+		return "secret"
+	}
+	return "?"
+}
+
 // NotEnum switches over a plain int; no constant set, no requirement.
 func NotEnum(n int) bool {
 	switch n {
