@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest absint-smoke harness-smoke snapshot-smoke telemetry-smoke campaignd-smoke trace-smoke no-test-binaries regen-results clean
+.PHONY: all test lint lint-smoke bench bench-snapshot bench-check figures report attack examples fuzz fuzz-selftest absint-smoke engine-smoke harness-smoke snapshot-smoke telemetry-smoke campaignd-smoke trace-smoke no-test-binaries regen-results clean
 
 all: test
 
@@ -37,7 +37,7 @@ bench-snapshot:
 
 bench-check:
 	./scripts/bench_snapshot.sh /tmp/bench-check.json
-	./scripts/bench_diff BENCH_8.json /tmp/bench-check.json
+	./scripts/bench_diff BENCH_10.json /tmp/bench-check.json
 
 figures:
 	go run ./cmd/figures -out results
@@ -74,6 +74,14 @@ fuzz-selftest:
 # never certify NoLeak against a firing dynamic detector.
 absint-smoke:
 	./scripts/absint_smoke.sh
+
+# Batched parallel trial engine check (docs/ENGINE.md): determinism
+# suite and harness under -race, CSV/stdout bit-identity of figures and
+# fuzz sweeps across -jobs widths, and the sim-cycles/s throughput gate
+# computed from benchjson JSON (min(10, 0.5 * cores) over the
+# sequential raw-speed bench).
+engine-smoke:
+	./scripts/engine_smoke.sh
 
 # End-to-end resilience check (see docs/HARNESS.md): injected faults
 # become classified journaled gaps, an interrupted campaign exits 6,
@@ -121,4 +129,4 @@ regen-results:
 # Scratch outputs only: results/*.csv are version-controlled goldens
 # regenerated via `make regen-results`, never deleted here.
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_5.txt BENCH_6.txt BENCH_8.txt
+	rm -f test_output.txt bench_output.txt BENCH_5.txt BENCH_6.txt BENCH_8.txt BENCH_10.txt

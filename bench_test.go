@@ -12,6 +12,7 @@ import (
 	"repro/internal/branch"
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/evict"
 	"repro/internal/experiments"
 	"repro/internal/mem"
@@ -267,14 +268,70 @@ func BenchmarkAblationFenceRemoval(b *testing.B) {
 }
 
 // BenchmarkSimulatorRawSpeed is an engineering bench: attack rounds
-// simulated per second.
+// simulated per second on one core. It reports sim-cycles/op so the
+// derived sim-cycles/s throughput is comparable against the batched
+// engine benches below, whose op covers a whole batch of trials.
 func BenchmarkSimulatorRawSpeed(b *testing.B) {
 	a := unxpec.MustNew(unxpec.Options{Seed: 1})
+	start := a.Core().Cycle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.MeasureOnce(i % 2)
 	}
+	b.ReportMetric(float64(a.Core().Cycle()-start)/float64(b.N), "sim-cycles/op")
 }
+
+// engineBatchTrials is the batch width of the engine benches: enough
+// trials per op to keep every worker busy on a many-core box.
+const engineBatchTrials = 64
+
+// benchmarkEngineBatch measures batched trial throughput at a fixed
+// worker count (0 = all cores). One op is a whole batch of trials,
+// each a warm restore plus trialRounds measurement rounds (the
+// BenchmarkForkTrial shape); the sim-cycles/op metric aggregates the
+// simulated cycles of every trial in it, so SimCyclesPerS in the JSON
+// snapshot is the engine's whole-machine throughput — the number the
+// ≥10x gate compares against BenchmarkSimulatorRawSpeed
+// (scripts/engine_smoke.sh).
+func benchmarkEngineBatch(b *testing.B, workers int) {
+	pool := engine.New(engine.Config{Workers: workers})
+	sess := engine.NewSession(pool, unxpec.Options{Seed: 1},
+		engine.SessionConfig{Rounds: trialRounds})
+	defer sess.Close()
+	secrets := make([]int, engineBatchTrials)
+	for i := range secrets {
+		secrets[i] = i & 1
+	}
+	out := make([]engine.TrialResult, len(secrets))
+	// Two untimed batches fork and warm (nearly always) every worker's
+	// replica, so the timed loop measures steady-state batches.
+	for w := 0; w < 2; w++ {
+		if err := sess.MeasureBatch(secrets, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sim uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.MeasureBatch(secrets, out); err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range out {
+			sim += r.SimCycles
+		}
+	}
+	b.ReportMetric(float64(sim)/float64(b.N), "sim-cycles/op")
+	b.ReportMetric(engineBatchTrials, "trials/op")
+}
+
+// BenchmarkEngineBatch saturates every core (the headline number).
+func BenchmarkEngineBatch(b *testing.B) { benchmarkEngineBatch(b, 0) }
+
+// BenchmarkEngineBatch1 pins one worker: the sequential reference the
+// parallel speedup is computed from, and the per-trial overhead of the
+// restore-measure loop relative to BenchmarkSimulatorRawSpeed.
+func BenchmarkEngineBatch1(b *testing.B) { benchmarkEngineBatch(b, 1) }
 
 // trialRounds is the fixed measurement batch of the fork-vs-fresh
 // setup-cost pair below; both benches run it so the only difference is

@@ -9,6 +9,7 @@
 // Typical runs:
 //
 //	go run ./cmd/fuzz -n 500 -seed 1              # nightly-style sweep
+//	go run ./cmd/fuzz -n 500 -jobs 0              # same sweep, all cores
 //	go run ./cmd/fuzz -n 50 -inject skip-rollback # prove the properties have teeth
 //	go run ./cmd/fuzz -n 50 -snapshot             # add fork/restore bit-identity to the matrix
 //	go run ./cmd/fuzz -n 500 -absint              # absint vs dynamic-detector soundness cross-check
@@ -20,12 +21,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/debug"
 	"strings"
+	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/fuzz"
 	"repro/internal/harness"
 	"repro/internal/isa"
@@ -45,6 +50,7 @@ func main() {
 		snapshot    = flag.Bool("snapshot", false, "also check snapshot invariance: fork-then-run must be bit-identical to fresh-run at fuzzed fork cycles")
 		forks       = flag.Int("forks", 3, "fork cycles per scheme for -snapshot")
 		absint      = flag.Bool("absint", false, "also cross-check the abstract taint interpreter against the dynamic leak detector, with secret-gadget blocks mixed into generated programs")
+		jobs        = flag.Int("jobs", 1, "parallel sweep workers (0 = GOMAXPROCS); output stays in seed order at any width")
 	)
 	flag.Parse()
 
@@ -73,28 +79,27 @@ func main() {
 		// keeps historical seeds reproducing their exact programs.
 		cfg.Weights.Secret = 3
 	}
-	g := fuzz.MustNew(cfg)
 	if *containment {
-		os.Exit(runContainment(g, schemes, *trials))
+		os.Exit(runContainment(fuzz.MustNew(cfg), schemes, *trials))
 	}
 	snapForks := 0
 	if *snapshot {
 		snapForks = *forks
 	}
-	os.Exit(runSweep(g, schemes, *seed, *n, *corpus, *minimize, injection, snapForks, *absint))
+	os.Exit(runSweep(cfg, schemes, *seed, *n, *corpus, *minimize, injection, snapForks, *absint, *jobs))
 }
 
 // saveTelemetry replays a failing witness on instrumented machines and
 // writes the per-scheme telemetry snapshot next to the .prog file. Best
 // effort: the profile is diagnostic garnish, so a failed replay warns
 // instead of changing the exit code.
-func saveTelemetry(g *fuzz.Generator, corpus string, w *fuzz.Witness, opts fuzz.Options) {
+func saveTelemetry(out io.Writer, g *fuzz.Generator, corpus string, w *fuzz.Witness, opts fuzz.Options) {
 	path, err := fuzz.ReplayTelemetry(g, corpus, w, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fuzz: witness telemetry:", err)
 		return
 	}
-	fmt.Printf("  telemetry saved to %s\n", path)
+	fmt.Fprintf(out, "  telemetry saved to %s\n", path)
 }
 
 // checkContained runs the property checks with panic containment, so
@@ -117,108 +122,83 @@ func checkContained(g *fuzz.Generator, prog *isa.Program, opts fuzz.Options, abs
 	return divs, nil
 }
 
-// runSweep checks n seeded random programs and returns the exit code.
-func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus string, minimize bool, injection fuzz.Injection, snapForks int, absint bool) int {
-	failures, panics := 0, 0
-	for i := 0; i < n; i++ {
-		s := seed + int64(i)
-		opts := fuzz.Options{
-			Schemes:       schemes,
-			MemSeed:       s + 1000,
-			MachineSeed:   s,
-			Wrap:          injection.Wrapper(),
-			SnapshotForks: snapForks,
-		}
-		prog := g.Program(s)
-		divs, perr := checkContained(g, prog, opts, absint)
-		if perr != nil {
-			panics++
-			fmt.Printf("seed %d: PANIC contained:\n%v\n", s, perr)
-			if corpus != "" {
-				w := &fuzz.Witness{
-					Name:        fmt.Sprintf("seed%d-panic", s),
-					Reason:      perr.Error(),
-					Seed:        s,
-					MemSeed:     opts.MemSeed,
-					MachineSeed: opts.MachineSeed,
-					Prog:        prog,
-				}
-				if path, err := fuzz.SaveWitness(corpus, w); err == nil {
-					fmt.Printf("  witness saved to %s\n", path)
-				} else {
-					fmt.Fprintln(os.Stderr, err)
-				}
-				saveTelemetry(g, corpus, w, opts)
-			}
-			continue
-		}
-		if len(divs) == 0 {
-			continue
-		}
-		failures++
-		fmt.Printf("seed %d: %d divergence(s)\n", s, len(divs))
-		for _, d := range divs {
-			fmt.Printf("  %s\n", d.String())
-		}
+// seedResult is one seed's buffered outcome. Stdout lines are staged
+// in out and flushed strictly in seed order, so the sweep's output is
+// byte-identical at every -jobs width.
+type seedResult struct {
+	out      bytes.Buffer
+	failed   bool
+	panicked bool
+	saveErr  error // witness persistence failure (exit 2)
+}
 
-		witness := prog
-		if minimize {
-			// Pin the shrink predicate to the properties the original
-			// program violated, so reduction can't wander into an
-			// unrelated failure (e.g. shrinking a rollback bug into an
-			// infinite loop that merely times out the reference).
-			origProps := make(map[string]bool, len(divs))
-			for _, d := range divs {
-				origProps[d.Property] = true
-			}
-			witness = fuzz.Shrink(prog, func(p *isa.Program) bool {
-				all := g.CheckProgram(p, opts)
-				// The determinism check runs the core twice per scheme,
-				// which is expensive on degenerate candidates (infinite
-				// loops run to the watchdog) — only pay for it when
-				// determinism is what originally broke.
-				if origProps["determinism"] {
-					all = append(all, g.CheckDeterminism(p, opts)...)
-				}
-				if origProps["snapshot"] {
-					all = append(all, g.CheckSnapshotInvariance(p, opts)...)
-				}
-				if origProps["absint-soundness"] || origProps["absint-witness"] {
-					all = append(all, g.CheckAbsintSoundness(p, opts)...)
-				}
-				for _, d := range all {
-					if origProps[d.Property] {
-						return true
-					}
-				}
-				return false
-			})
-			fmt.Printf("  minimized %d → %d instructions\n", prog.Len(), witness.Len())
+// sweepConfig is the per-sweep immutable parameter block every worker
+// reads.
+type sweepConfig struct {
+	schemes   []string
+	corpus    string
+	minimize  bool
+	injection fuzz.Injection
+	snapForks int
+	absint    bool
+}
+
+// runSweep checks n seeded random programs across the job pool and
+// returns the exit code. Program i is a pure function of seed+i — the
+// generator derives everything from the seed — so the sweep's findings
+// and its stdout are identical no matter how many workers claim seeds.
+func runSweep(cfg fuzz.Config, schemes []string, seed int64, n int, corpus string, minimize bool, injection fuzz.Injection, snapForks int, absint bool, jobs int) int {
+	sc := sweepConfig{
+		schemes: schemes, corpus: corpus, minimize: minimize,
+		injection: injection, snapForks: snapForks, absint: absint,
+	}
+	pool := engine.New(engine.Config{Workers: jobs})
+	// Each worker owns a Generator: Program(seed) is stateless per call,
+	// so per-worker generators produce the same programs a single shared
+	// one would, without cross-worker locking.
+	gens := make([]*fuzz.Generator, pool.Size())
+
+	results := make([]*seedResult, n)
+	var mu sync.Mutex
+	flushed := 0
+	pool.Run(n, func(w *engine.Worker, i int) {
+		g := gens[w.ID]
+		if g == nil {
+			g = fuzz.MustNew(cfg)
+			gens[w.ID] = g
 		}
-		if corpus != "" {
-			reasons := make([]string, 0, len(divs))
-			for _, d := range divs {
-				reasons = append(reasons, d.String())
-			}
-			w := &fuzz.Witness{
-				Name:        fmt.Sprintf("seed%d", s),
-				Reason:      strings.Join(reasons, "\n"),
-				Seed:        s,
-				MemSeed:     opts.MemSeed,
-				MachineSeed: opts.MachineSeed,
-				Prog:        witness,
-			}
-			path, err := fuzz.SaveWitness(corpus, w)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 2
-			}
-			fmt.Printf("  witness saved to %s\n", path)
-			saveTelemetry(g, corpus, w, opts)
+		r := checkSeed(g, seed+int64(i), sc)
+		mu.Lock()
+		results[i] = r
+		// Flush the contiguous completed prefix so output streams during
+		// long sweeps yet stays in seed order.
+		for flushed < n && results[flushed] != nil {
+			os.Stdout.Write(results[flushed].out.Bytes())
+			results[flushed].out = bytes.Buffer{}
+			flushed++
+		}
+		mu.Unlock()
+	})
+
+	failures, panics := 0, 0
+	exit := 0
+	for _, r := range results {
+		if r.failed {
+			failures++
+		}
+		if r.panicked {
+			panics++
+		}
+		if r.saveErr != nil && exit == 0 {
+			fmt.Fprintln(os.Stderr, r.saveErr)
+			exit = 2
 		}
 	}
 	fmt.Printf("checked %d programs across %d scheme(s): %d failing, %d panicking\n",
 		n, len(schemes), failures, panics)
+	if exit != 0 {
+		return exit
+	}
 	if panics > 0 {
 		return harness.ExitPanic
 	}
@@ -226,6 +206,106 @@ func runSweep(g *fuzz.Generator, schemes []string, seed int64, n int, corpus str
 		return 1
 	}
 	return 0
+}
+
+// checkSeed checks one seeded program, buffering its report lines.
+func checkSeed(g *fuzz.Generator, s int64, sc sweepConfig) *seedResult {
+	r := &seedResult{}
+	opts := fuzz.Options{
+		Schemes:       sc.schemes,
+		MemSeed:       s + 1000,
+		MachineSeed:   s,
+		Wrap:          sc.injection.Wrapper(),
+		SnapshotForks: sc.snapForks,
+	}
+	prog := g.Program(s)
+	divs, perr := checkContained(g, prog, opts, sc.absint)
+	if perr != nil {
+		r.panicked = true
+		fmt.Fprintf(&r.out, "seed %d: PANIC contained:\n%v\n", s, perr)
+		if sc.corpus != "" {
+			w := &fuzz.Witness{
+				Name:        fmt.Sprintf("seed%d-panic", s),
+				Reason:      perr.Error(),
+				Seed:        s,
+				MemSeed:     opts.MemSeed,
+				MachineSeed: opts.MachineSeed,
+				Prog:        prog,
+			}
+			if path, err := fuzz.SaveWitness(sc.corpus, w); err == nil {
+				fmt.Fprintf(&r.out, "  witness saved to %s\n", path)
+			} else {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			saveTelemetry(&r.out, g, sc.corpus, w, opts)
+		}
+		return r
+	}
+	if len(divs) == 0 {
+		return r
+	}
+	r.failed = true
+	fmt.Fprintf(&r.out, "seed %d: %d divergence(s)\n", s, len(divs))
+	for _, d := range divs {
+		fmt.Fprintf(&r.out, "  %s\n", d.String())
+	}
+
+	witness := prog
+	if sc.minimize {
+		// Pin the shrink predicate to the properties the original
+		// program violated, so reduction can't wander into an
+		// unrelated failure (e.g. shrinking a rollback bug into an
+		// infinite loop that merely times out the reference).
+		origProps := make(map[string]bool, len(divs))
+		for _, d := range divs {
+			origProps[d.Property] = true
+		}
+		witness = fuzz.Shrink(prog, func(p *isa.Program) bool {
+			all := g.CheckProgram(p, opts)
+			// The determinism check runs the core twice per scheme,
+			// which is expensive on degenerate candidates (infinite
+			// loops run to the watchdog) — only pay for it when
+			// determinism is what originally broke.
+			if origProps["determinism"] {
+				all = append(all, g.CheckDeterminism(p, opts)...)
+			}
+			if origProps["snapshot"] {
+				all = append(all, g.CheckSnapshotInvariance(p, opts)...)
+			}
+			if origProps["absint-soundness"] || origProps["absint-witness"] {
+				all = append(all, g.CheckAbsintSoundness(p, opts)...)
+			}
+			for _, d := range all {
+				if origProps[d.Property] {
+					return true
+				}
+			}
+			return false
+		})
+		fmt.Fprintf(&r.out, "  minimized %d → %d instructions\n", prog.Len(), witness.Len())
+	}
+	if sc.corpus != "" {
+		reasons := make([]string, 0, len(divs))
+		for _, d := range divs {
+			reasons = append(reasons, d.String())
+		}
+		w := &fuzz.Witness{
+			Name:        fmt.Sprintf("seed%d", s),
+			Reason:      strings.Join(reasons, "\n"),
+			Seed:        s,
+			MemSeed:     opts.MemSeed,
+			MachineSeed: opts.MachineSeed,
+			Prog:        witness,
+		}
+		path, err := fuzz.SaveWitness(sc.corpus, w)
+		if err != nil {
+			r.saveErr = err
+			return r
+		}
+		fmt.Fprintf(&r.out, "  witness saved to %s\n", path)
+		saveTelemetry(&r.out, g, sc.corpus, w, opts)
+	}
+	return r
 }
 
 // runContainment prints the leak-gadget verdict per scheme and returns

@@ -11,6 +11,11 @@
 // moment they issue; squash stalls the core for however long the scheme
 // says rollback takes. Fences and RDTSC have their serializing x86
 // semantics so the attack's measurement window is exact.
+//
+// ROB state lives struct-of-arrays in an Arena (arena.go): the live
+// window is the index range [robHead, robHead+robLen) across parallel
+// field slices, so the per-cycle scans touch dense narrow arrays and a
+// batch worker can share one arena across every trial it runs.
 package cpu
 
 import (
@@ -84,41 +89,6 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// entry is one ROB entry.
-type entry struct {
-	seq       uint64
-	idx       int // instruction index (simulated PC)
-	inst      isa.Inst
-	fetchedAt uint64
-
-	issued bool
-	done   bool
-	doneAt uint64
-	val    uint64
-
-	// srcVals are captured at issue for branch resolution and stores.
-	srcVals [2]uint64
-
-	// Branch state.
-	predTaken bool
-	resolved  bool
-
-	// Memory state.
-	addr          mem.Addr
-	addrResolved  bool
-	access        memsys.AccessResult
-	specAtIssue   bool
-	specEpoch     uint64
-	committedSpec bool
-	commitPenalty int
-	shadowed      bool // invisible-scheme load: issued without install
-	squashed      bool
-
-	// faulting marks a divide whose divisor was zero at issue; the trap
-	// fires when it reaches the head of the ROB.
-	faulting bool
-}
-
 // Stats summarizes one Run.
 type Stats struct {
 	Cycles       uint64
@@ -172,9 +142,12 @@ type CPU struct {
 
 	regs [isa.NumRegs]uint64
 
-	// Run state.
+	// Run state. The ROB is the contiguous index window
+	// [robHead, robHead+robLen) into the struct-of-arrays arena.
 	prog          *isa.Program
-	rob           []*entry
+	ar            *Arena
+	robHead       int
+	robLen        int
 	nextSeq       uint64
 	cycle         uint64
 	fetchPC       int
@@ -210,17 +183,20 @@ type CPU struct {
 	quiet      bool
 	progressed bool
 
-	// Allocation-free ROB machinery: rob is a live window into robBuf;
-	// entries are recycled through freeEntries from a fixed arena.
-	robBuf        []*entry
-	robHead       int
-	entryArena    []entry
-	freeEntries   []*entry
 	transientsBuf []undo.TransientLoad
 }
 
-// New builds a core. A nil noise model means noise.None.
+// New builds a core with its own private arena. A nil noise model means
+// noise.None.
 func New(cfg Config, hier *memsys.Hierarchy, pred branch.Direction, scheme undo.Scheme, nz noise.Model) (*CPU, error) {
+	return NewWithArena(cfg, hier, pred, scheme, nz, nil)
+}
+
+// NewWithArena builds a core backed by a caller-owned arena (nil
+// allocates a private one). Sharing an arena is how a batch worker runs
+// many sessions with zero steady-state allocation; the caller must
+// ensure only one core uses the arena at a time.
+func NewWithArena(cfg Config, hier *memsys.Hierarchy, pred branch.Direction, scheme undo.Scheme, nz noise.Model, ar *Arena) (*CPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,17 +207,16 @@ func New(cfg Config, hier *memsys.Hierarchy, pred branch.Direction, scheme undo.
 		nz = noise.None{}
 	}
 	c := &CPU{cfg: cfg, hier: hier, pred: pred, scheme: scheme, noise: nz}
-	// The ROB window lives in a buffer twice the architectural size so
-	// head pops are O(1) and compaction on push is amortized; entries
-	// come from a fixed arena recycled at retire/squash, so the steady-
-	// state run loop performs zero heap allocations.
-	c.robBuf = make([]*entry, 2*cfg.ROBSize)
-	c.rob = c.robBuf[:0]
-	c.entryArena = make([]entry, cfg.ROBSize)
-	c.freeEntries = make([]*entry, 0, cfg.ROBSize)
-	for i := range c.entryArena {
-		c.freeEntries = append(c.freeEntries, &c.entryArena[i])
+	// The ROB window lives in arena slices twice the architectural size
+	// so head pops are O(1) and compaction on push is amortized; slots
+	// are reused in place, so the steady-state run loop performs zero
+	// heap allocations.
+	if ar == nil {
+		ar = NewArena(cfg.ROBSize)
+	} else {
+		ar.Ensure(cfg.ROBSize)
 	}
+	c.ar = ar
 	// Idle-cycle skipping is exact only when the noise model is
 	// consulted a position-independent number of times, i.e. never
 	// injects anything. Models advertise that via the Silent marker.
@@ -250,6 +225,28 @@ func New(cfg Config, hier *memsys.Hierarchy, pred branch.Direction, scheme undo.
 		c.ff = true
 	}
 	return c, nil
+}
+
+// Arena returns the struct-of-arrays backing store for the core's ROB.
+// Batch workers read this off their first replica to share it with
+// later ones (AdoptArena).
+func (c *CPU) Arena() *Arena { return c.ar }
+
+// AdoptArena moves the core's ROB state into ar and uses it from then
+// on. The live window is copied to the front of the new arena; the old
+// arena is released. Must only be called between Steps (never from
+// inside a stage); the caller must ensure no other core is concurrently
+// using ar.
+func (c *CPU) AdoptArena(ar *Arena) {
+	if ar == c.ar {
+		return
+	}
+	ar.Ensure(c.cfg.ROBSize)
+	for i := 0; i < c.robLen; i++ {
+		ar.store(i, c.ar.load(c.robHead+i))
+	}
+	c.robHead = 0
+	c.ar = ar
 }
 
 // SetFastForward forces idle-cycle skipping on or off. The default is
@@ -302,11 +299,8 @@ func (c *CPU) Cycle() uint64 { return c.cycle }
 // from earlier runs, exactly as for Run.
 func (c *CPU) BeginProgram(prog *isa.Program) {
 	c.prog = prog
-	for _, e := range c.rob {
-		c.recycle(e)
-	}
 	c.robHead = 0
-	c.rob = c.robBuf[:0]
+	c.robLen = 0
 	c.fetchPC = 0
 	c.fetchStopped = false
 	c.fetchReady = c.cycle
@@ -348,7 +342,7 @@ func (c *CPU) Step() (done bool) {
 	// Explicit nil check: the argument conversion would otherwise be
 	// evaluated every cycle even with telemetry detached.
 	if c.met.robGauge != nil {
-		c.met.robGauge.Set(float64(len(c.rob)))
+		c.met.robGauge.Set(float64(c.robLen))
 	}
 	if c.ff && !c.progressed {
 		// Nothing changed this cycle, and every condition any stage
@@ -404,9 +398,10 @@ func (c *CPU) nextWakeupFrom(from uint64) uint64 {
 			w = t
 		}
 	}
-	for _, e := range c.rob {
-		if e.issued && e.doneAt >= from {
-			lower(e.doneAt)
+	// SoA win: this scan touches only the flags and doneAt arrays.
+	for p := c.robHead; p < c.robHead+c.robLen; p++ {
+		if c.ar.is(p, fIssued) && c.ar.doneAt[p] >= from {
+			lower(c.ar.doneAt[p])
 		}
 	}
 	if !c.fetchStopped {
@@ -510,16 +505,13 @@ func (c *CPU) Snapshot() Stats {
 
 // Reset returns the core to its just-constructed state: architectural
 // registers cleared, cycle zero, statistics and run bookkeeping zeroed,
-// all ROB entries recycled. The bound hierarchy, predictor, scheme and
+// the ROB window emptied. The bound hierarchy, predictor, scheme and
 // noise model are NOT reset — a caller owning the whole machine (e.g.
-// unxpec.Attack.Reset) resets each part. Pooled buffers are kept, so
+// unxpec.Attack.Reset) resets each part. The arena is kept, so
 // resetting allocates nothing.
 func (c *CPU) Reset() {
-	for _, e := range c.rob {
-		c.recycle(e)
-	}
 	c.robHead = 0
-	c.rob = c.robBuf[:0]
+	c.robLen = 0
 	c.regs = [isa.NumRegs]uint64{}
 	c.prog = nil
 	c.nextSeq = 0
@@ -566,40 +558,41 @@ func (c *CPU) retire() {
 	if c.cycle < c.retireBlocked {
 		return
 	}
-	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
-		e := c.rob[0]
-		if !e.done || e.doneAt > c.cycle {
+	for n := 0; n < c.cfg.RetireWidth && c.robLen > 0; n++ {
+		p := c.robHead
+		if !c.ar.is(p, fDone) || c.ar.doneAt[p] > c.cycle {
 			return
 		}
-		if e.inst.Op.IsBranch() && !e.resolved {
+		op := c.ar.inst[p].Op
+		if op.IsBranch() && !c.ar.is(p, fResolved) {
 			return
 		}
-		if e.inst.Op == isa.OpDiv && e.faulting {
-			c.trap(e)
+		if op == isa.OpDiv && c.ar.is(p, fFaulting) {
+			c.trap()
 			return
 		}
 		c.progressed = true
 		// Apply architectural effects.
-		switch e.inst.Op {
+		switch op {
 		case isa.OpStore:
-			c.hier.Write(e.addr, e.srcVals[1], c.cycle)
+			c.hier.Write(c.ar.addr[p], c.ar.srcB[p], c.cycle)
 		case isa.OpFlush:
-			c.hier.Flush(e.addr)
+			c.hier.Flush(c.ar.addr[p])
 		case isa.OpHalt:
-			c.emit(KindRetire, e, 0)
+			c.emit(KindRetire, p, 0)
 			c.halted = true
 			c.popROB()
 			c.stats.Retired++
 			c.met.retired.Inc()
 			return
 		default:
-			if rd, ok := e.inst.DstReg(); ok {
-				c.regs[rd] = e.val
+			if rd, ok := c.ar.inst[p].DstReg(); ok {
+				c.regs[rd] = c.ar.val[p]
 			}
 		}
-		c.emit(KindRetire, e, 0)
-		if e.commitPenalty > 0 {
-			c.retireBlocked = c.cycle + uint64(e.commitPenalty)
+		c.emit(KindRetire, p, 0)
+		if c.ar.commitPenalty[p] > 0 {
+			c.retireBlocked = c.cycle + uint64(c.ar.commitPenalty[p])
 			c.popROB()
 			c.stats.Retired++
 			c.met.retired.Inc()
@@ -611,73 +604,52 @@ func (c *CPU) retire() {
 	}
 }
 
-// popROB retires the head entry from the live window and recycles it.
+// popROB retires the head entry from the live window.
 func (c *CPU) popROB() {
-	e := c.rob[0]
 	c.robHead++
-	c.rob = c.rob[1:]
-	c.recycle(e)
+	c.robLen--
 }
 
-// recycle returns an entry to the free pool.
-func (c *CPU) recycle(e *entry) {
-	c.freeEntries = append(c.freeEntries, e)
-}
-
-// allocEntry takes an entry from the pool. fetch only allocates while
-// len(rob) < ROBSize, so the pool (sized ROBSize) never runs dry; the
-// heap fallback guards against invariant regressions rather than
-// serving any expected path.
-func (c *CPU) allocEntry() *entry {
-	n := len(c.freeEntries) - 1
-	if n < 0 {
-		return new(entry)
-	}
-	e := c.freeEntries[n]
-	c.freeEntries = c.freeEntries[:n]
-	return e
-}
-
-// pushROB appends e to the live window, compacting the window to the
-// front of the backing buffer when it reaches the end. The buffer is
-// 2×ROBSize, so each entry is copied at most once per window traversal
-// — amortized O(1).
-func (c *CPU) pushROB(e *entry) {
-	end := c.robHead + len(c.rob)
-	if end == len(c.robBuf) {
-		copy(c.robBuf, c.rob)
+// pushSlot claims the slot after the live window and returns its index,
+// compacting the window to the front of the arena when it reaches the
+// end. fetch only pushes while robLen < ROBSize, so the 2×ROBSize
+// arena never overflows.
+func (c *CPU) pushSlot() int {
+	end := c.robHead + c.robLen
+	if end == len(c.ar.seq) {
+		c.ar.compact(c.robHead, c.robLen)
 		c.robHead = 0
-		end = len(c.rob)
+		end = c.robLen
 	}
-	c.robBuf[end] = e
-	c.rob = c.robBuf[c.robHead : end+1]
+	c.robLen++
+	return end
 }
 
 // complete marks finished executions and resolves branches (possibly
 // squashing).
 func (c *CPU) complete() {
 	// Fences complete when everything older is done.
-	for i, e := range c.rob {
-		if e.inst.Op == isa.OpFence && !e.done && c.allOlderDone(i) {
-			e.done = true
-			e.doneAt = c.cycle
+	for i := 0; i < c.robLen; i++ {
+		p := c.robHead + i
+		if c.ar.inst[p].Op == isa.OpFence && !c.ar.is(p, fDone) && c.allOlderDone(i) {
+			c.ar.set(p, fDone)
+			c.ar.doneAt[p] = c.cycle
 			c.progressed = true
 		}
 	}
 	// Resolve branches whose execution finished this cycle. Resolve
 	// the oldest first: an older mispredict supersedes younger ones.
-	for i := 0; i < len(c.rob); i++ {
-		e := c.rob[i]
-		if !e.inst.Op.IsBranch() || !e.issued || e.resolved || e.doneAt > c.cycle {
+	for i := 0; i < c.robLen; i++ {
+		p := c.robHead + i
+		if !c.ar.inst[p].Op.IsBranch() || !c.ar.is(p, fIssued) || c.ar.is(p, fResolved) || c.ar.doneAt[p] > c.cycle {
 			continue
 		}
-		e.done = true
-		e.resolved = true
+		c.ar.set(p, fDone|fResolved)
 		c.progressed = true
-		actual := branchTaken(e.inst.Op, e.srcVals[0], e.srcVals[1])
-		mispred := actual != e.predTaken
-		c.emit(KindResolve, e, boolToDetail(mispred))
-		c.pred.Update(e.idx, actual, e.inst.Target, mispred)
+		actual := branchTaken(c.ar.inst[p].Op, c.ar.srcA[p], c.ar.srcB[p])
+		mispred := actual != c.ar.is(p, fPredTaken)
+		c.emit(KindResolve, p, boolToDetail(mispred))
+		c.pred.Update(c.ar.idx[p], actual, c.ar.inst[p].Target, mispred)
 		if mispred {
 			c.squash(i, actual)
 			// Everything younger is gone; resolution pass is over.
@@ -687,23 +659,22 @@ func (c *CPU) complete() {
 	}
 }
 
-// completedNow reports whether e's execution has truly finished by the
-// current cycle (issue marks done with a future doneAt).
-func (c *CPU) completedNow(e *entry) bool {
-	return e.done && e.doneAt <= c.cycle
+// completedNow reports whether entry p's execution has truly finished by
+// the current cycle (issue marks done with a future doneAt).
+func (c *CPU) completedNow(p int) bool {
+	return c.ar.is(p, fDone) && c.ar.doneAt[p] <= c.cycle
 }
 
 // allOlderDone reports whether every ROB entry older than position i is
 // complete.
 func (c *CPU) allOlderDone(i int) bool {
 	for j := 0; j < i; j++ {
-		if !c.completedNow(c.rob[j]) {
+		if !c.completedNow(c.robHead + j) {
 			return false
 		}
 	}
 	return true
 }
-
 
 // commitClearedLoads clears speculative marks for issued loads no longer
 // shadowed by any unresolved branch, and performs deferred installs for
@@ -713,10 +684,12 @@ func (c *CPU) commitClearedLoads() {
 	// branch (or a divide not yet proven non-faulting) is seen,
 	// replacing a per-load rescan of all older entries.
 	shadowed := false
-	for _, e := range c.rob {
-		castsShadow := (e.inst.Op.IsBranch() && !e.resolved) ||
-			(e.inst.Op == isa.OpDiv && (!e.issued || e.faulting))
-		if e.inst.Op != isa.OpLoad || !e.issued || !e.specAtIssue || e.committedSpec {
+	for i := 0; i < c.robLen; i++ {
+		p := c.robHead + i
+		op := c.ar.inst[p].Op
+		castsShadow := (op.IsBranch() && !c.ar.is(p, fResolved)) ||
+			(op == isa.OpDiv && (!c.ar.is(p, fIssued) || c.ar.is(p, fFaulting)))
+		if op != isa.OpLoad || !c.ar.is(p, fIssued) || !c.ar.is(p, fSpecAtIssue) || c.ar.is(p, fCommittedSpec) {
 			if castsShadow {
 				shadowed = true
 			}
@@ -725,14 +698,14 @@ func (c *CPU) commitClearedLoads() {
 		if shadowed {
 			continue
 		}
-		e.committedSpec = true
+		c.ar.set(p, fCommittedSpec)
 		c.progressed = true
-		if e.shadowed {
+		if c.ar.is(p, fShadowed) {
 			// Invisible scheme: install now that the load is safe.
-			c.hier.Read(e.addr, false, 0, c.cycle)
-			e.commitPenalty = c.scheme.CommitLoadPenalty()
+			c.hier.Read(c.ar.addr[p], false, 0, c.cycle)
+			c.ar.commitPenalty[p] = c.scheme.CommitLoadPenalty()
 		} else {
-			c.hier.CommitLine(e.addr)
+			c.hier.CommitLine(c.ar.addr[p])
 		}
 	}
 }
@@ -741,36 +714,37 @@ func (c *CPU) commitClearedLoads() {
 // younger entries, hand the transient footprint to the undo scheme, and
 // stall/redirect per the paper's T3–T6.
 func (c *CPU) squash(i int, actualTaken bool) {
-	br := c.rob[i]
+	bp := c.robHead + i
 	c.stats.Squashes++
-	c.stats.LastBranchResolution = c.cycle - br.fetchedAt
+	c.stats.LastBranchResolution = c.cycle - c.ar.fetchedAt[bp]
 	c.met.squashes.Inc()
 	c.met.resolution.ObserveInt(c.stats.LastBranchResolution)
-	c.met.robOcc.Observe(float64(len(c.rob)))
-	c.emit(KindSquash, br, int64(len(c.rob)-i-1))
+	c.met.robOcc.Observe(float64(c.robLen))
+	c.emit(KindSquash, bp, int64(c.robLen-i-1))
 
 	// The transient-load list is rebuilt into a reused buffer: no
 	// scheme retains it past OnSquash (the slice contents are copied
 	// into whatever bookkeeping the scheme keeps).
 	transients := c.transientsBuf[:0]
 	inflightCleaned := 0
-	for _, e := range c.rob[i+1:] {
-		e.squashed = true
+	for j := i + 1; j < c.robLen; j++ {
+		p := c.robHead + j
+		c.ar.set(p, fSquashed)
 		c.stats.SquashedInst++
 		c.met.squashedInst.Inc()
-		if e.inst.Op != isa.OpLoad || !e.issued || e.shadowed {
+		if c.ar.inst[p].Op != isa.OpLoad || !c.ar.is(p, fIssued) || c.ar.is(p, fShadowed) {
 			continue
 		}
-		if !e.done || e.doneAt > c.cycle {
+		if !c.ar.is(p, fDone) || c.ar.doneAt[p] > c.cycle {
 			inflightCleaned++
 		}
-		if e.access.InstalledL1 || e.access.InstalledL2 {
+		if c.ar.access[p].InstalledL1 || c.ar.access[p].InstalledL2 {
 			transients = append(transients, undo.TransientLoad{
-				LineAddr:    e.addr.Line(),
-				InstalledL1: e.access.InstalledL1,
-				InstalledL2: e.access.InstalledL2,
-				HasVictim:   e.access.HasL1Victim && !e.access.L1VictimSpec,
-				VictimAddr:  e.access.L1VictimAddr,
+				LineAddr:    c.ar.addr[p].Line(),
+				InstalledL1: c.ar.access[p].InstalledL1,
+				InstalledL2: c.ar.access[p].InstalledL2,
+				HasVictim:   c.ar.access[p].HasL1Victim && !c.ar.access[p].L1VictimSpec,
+				VictimAddr:  c.ar.access[p].L1VictimAddr,
 			})
 		}
 	}
@@ -778,16 +752,16 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	// T4: wait for older in-flight correct-path loads to drain.
 	cleanupStart := c.cycle
 	for j := 0; j <= i; j++ {
-		e := c.rob[j]
-		if e.issued && !e.done && e.inst.Op == isa.OpLoad && e.doneAt > cleanupStart {
-			cleanupStart = e.doneAt
+		p := c.robHead + j
+		if c.ar.is(p, fIssued) && !c.ar.is(p, fDone) && c.ar.inst[p].Op == isa.OpLoad && c.ar.doneAt[p] > cleanupStart {
+			cleanupStart = c.ar.doneAt[p]
 		}
 	}
 
-	c.hier.MSHR().CleanSpeculative(br.seq)
+	c.hier.MSHR().CleanSpeculative(c.ar.seq[bp])
 	c.transientsBuf = transients
 	res := c.scheme.OnSquash(c.hier, undo.SquashContext{
-		Epoch:              br.seq,
+		Epoch:              c.ar.seq[bp],
 		Now:                c.cycle,
 		Transients:         transients,
 		InflightCleaned:    inflightCleaned,
@@ -797,7 +771,7 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	c.stats.LastCleanupStall = uint64(res.StallCycles)
 	c.met.cleanups.Inc()
 	c.met.cleanupStall.ObserveInt(uint64(res.StallCycles))
-	c.emit(KindCleanup, br, int64(res.StallCycles))
+	c.emit(KindCleanup, bp, int64(res.StallCycles))
 	stallEnd := cleanupStart + uint64(res.StallCycles)
 	if stallEnd > c.stallUntil {
 		c.stats.CleanupStall += stallEnd - max64(c.stallUntil, c.cycle)
@@ -805,14 +779,11 @@ func (c *CPU) squash(i int, actualTaken bool) {
 	}
 
 	// Discard the wrong path and redirect fetch.
-	for _, e := range c.rob[i+1:] {
-		c.recycle(e)
-	}
-	c.rob = c.rob[:i+1]
+	c.robLen = i + 1
 	if actualTaken {
-		c.fetchPC = br.inst.Target
+		c.fetchPC = c.ar.inst[bp].Target
 	} else {
-		c.fetchPC = br.idx + 1
+		c.fetchPC = c.ar.idx[bp] + 1
 	}
 	c.fetchStopped = false
 	c.fetchReady = stallEnd + uint64(c.cfg.SquashPenalty)
@@ -829,41 +800,43 @@ func (c *CPU) squash(i int, actualTaken bool) {
 // core halts at the faulting instruction (no handler is modelled). This
 // is the exception-based transient window the div-by-zero gadgets use:
 // the rollback residue is secret-dependent when the divisor is.
-func (c *CPU) trap(div *entry) {
+func (c *CPU) trap() {
+	dp := c.robHead
 	c.stats.Squashes++
-	c.stats.LastBranchResolution = c.cycle - div.fetchedAt
+	c.stats.LastBranchResolution = c.cycle - c.ar.fetchedAt[dp]
 	c.met.squashes.Inc()
 	c.met.resolution.ObserveInt(c.stats.LastBranchResolution)
-	c.met.robOcc.Observe(float64(len(c.rob)))
-	c.emit(KindSquash, div, int64(len(c.rob)-1))
+	c.met.robOcc.Observe(float64(c.robLen))
+	c.emit(KindSquash, dp, int64(c.robLen-1))
 
 	transients := c.transientsBuf[:0]
 	inflightCleaned := 0
-	for _, e := range c.rob[1:] {
-		e.squashed = true
+	for j := 1; j < c.robLen; j++ {
+		p := c.robHead + j
+		c.ar.set(p, fSquashed)
 		c.stats.SquashedInst++
 		c.met.squashedInst.Inc()
-		if e.inst.Op != isa.OpLoad || !e.issued || e.shadowed {
+		if c.ar.inst[p].Op != isa.OpLoad || !c.ar.is(p, fIssued) || c.ar.is(p, fShadowed) {
 			continue
 		}
-		if !e.done || e.doneAt > c.cycle {
+		if !c.ar.is(p, fDone) || c.ar.doneAt[p] > c.cycle {
 			inflightCleaned++
 		}
-		if e.access.InstalledL1 || e.access.InstalledL2 {
+		if c.ar.access[p].InstalledL1 || c.ar.access[p].InstalledL2 {
 			transients = append(transients, undo.TransientLoad{
-				LineAddr:    e.addr.Line(),
-				InstalledL1: e.access.InstalledL1,
-				InstalledL2: e.access.InstalledL2,
-				HasVictim:   e.access.HasL1Victim && !e.access.L1VictimSpec,
-				VictimAddr:  e.access.L1VictimAddr,
+				LineAddr:    c.ar.addr[p].Line(),
+				InstalledL1: c.ar.access[p].InstalledL1,
+				InstalledL2: c.ar.access[p].InstalledL2,
+				HasVictim:   c.ar.access[p].HasL1Victim && !c.ar.access[p].L1VictimSpec,
+				VictimAddr:  c.ar.access[p].L1VictimAddr,
 			})
 		}
 	}
 
-	c.hier.MSHR().CleanSpeculative(div.seq)
+	c.hier.MSHR().CleanSpeculative(c.ar.seq[dp])
 	c.transientsBuf = transients
 	res := c.scheme.OnSquash(c.hier, undo.SquashContext{
-		Epoch:              div.seq,
+		Epoch:              c.ar.seq[dp],
 		Now:                c.cycle,
 		Transients:         transients,
 		InflightCleaned:    inflightCleaned,
@@ -873,7 +846,7 @@ func (c *CPU) trap(div *entry) {
 	c.stats.LastCleanupStall = uint64(res.StallCycles)
 	c.met.cleanups.Inc()
 	c.met.cleanupStall.ObserveInt(uint64(res.StallCycles))
-	c.emit(KindCleanup, div, int64(res.StallCycles))
+	c.emit(KindCleanup, dp, int64(res.StallCycles))
 	stallEnd := c.cycle + uint64(res.StallCycles)
 	if stallEnd > c.stallUntil {
 		c.stats.CleanupStall += stallEnd - max64(c.stallUntil, c.cycle)
@@ -881,11 +854,8 @@ func (c *CPU) trap(div *entry) {
 	}
 
 	// The whole window dies with the fault; nothing retires after it.
-	for _, e := range c.rob {
-		c.recycle(e)
-	}
 	c.robHead = 0
-	c.rob = c.robBuf[:0]
+	c.robLen = 0
 	c.fetchStopped = true
 	c.trapPending = true
 	c.trapHaltAt = stallEnd
@@ -909,32 +879,35 @@ func (c *CPU) issue() {
 	fenceBlocked := false              // incomplete fence among older entries
 	ubSeq, ubFound := uint64(0), false // youngest older speculation source
 	divIssuedClean := false            // a div proved safe this cycle
-	var lastWriter [isa.NumRegs]*entry // youngest older producer per register
-	var prev *entry
-	for i := 0; i < len(c.rob); i++ {
+	// lastWriter holds, per register, 1 + the arena position of its
+	// youngest older producer (0 = none in the window). Positions are
+	// stable within one issue pass: nothing pushes or pops mid-scan.
+	var lastWriter [isa.NumRegs]int32
+	for i := 0; i < c.robLen; i++ {
 		if issued >= c.cfg.IssueWidth {
 			break
 		}
-		e := c.rob[i]
-		if prev != nil {
-			if rd, ok := prev.inst.DstReg(); ok {
-				lastWriter[rd] = prev
+		p := c.robHead + i
+		if i > 0 {
+			q := p - 1
+			qOp := c.ar.inst[q].Op
+			if rd, ok := c.ar.inst[q].DstReg(); ok {
+				lastWriter[rd] = int32(q) + 1
 			}
-			if prev.inst.Op == isa.OpFence && !c.completedNow(prev) {
+			if qOp == isa.OpFence && !c.completedNow(q) {
 				fenceBlocked = true
 			}
-			if prev.inst.Op.IsBranch() && !prev.resolved {
-				ubSeq, ubFound = prev.seq, true
+			if qOp.IsBranch() && !c.ar.is(q, fResolved) {
+				ubSeq, ubFound = c.ar.seq[q], true
 			}
 			// A divide is a speculation source until it proves its
 			// divisor non-zero at issue: younger loads run in the
 			// exception-transient window of a potential divide fault.
-			if prev.inst.Op == isa.OpDiv && (!prev.issued || prev.faulting) {
-				ubSeq, ubFound = prev.seq, true
+			if qOp == isa.OpDiv && (!c.ar.is(q, fIssued) || c.ar.is(q, fFaulting)) {
+				ubSeq, ubFound = c.ar.seq[q], true
 			}
 		}
-		prev = e
-		if e.issued {
+		if c.ar.is(p, fIssued) {
 			continue
 		}
 		scanned++
@@ -944,98 +917,101 @@ func (c *CPU) issue() {
 		if fenceBlocked {
 			continue
 		}
-		switch e.inst.Op {
+		op := c.ar.inst[p].Op
+		switch op {
 		case isa.OpFence:
 			// Completes via complete(); takes no issue slot.
-			e.issued = true
+			c.ar.set(p, fIssued)
 			c.progressed = true
 			continue
 		case isa.OpHalt, isa.OpNop, isa.OpJmp:
-			e.issued, e.done, e.doneAt = true, true, c.cycle
+			c.ar.set(p, fIssued|fDone)
+			c.ar.doneAt[p] = c.cycle
 			c.progressed = true
 			continue
 		case isa.OpRdTSC:
 			if !c.allOlderDone(i) {
 				continue
 			}
-			e.issued, e.done = true, true
-			e.doneAt = c.cycle + 1
-			e.val = c.cycle
+			c.ar.set(p, fIssued|fDone)
+			c.ar.doneAt[p] = c.cycle + 1
+			c.ar.val[p] = c.cycle
 			issued++
 			continue
 		default:
 			// Loads, stores, flushes, branches and ALU ops issue through
 			// the operand path below.
 		}
-		vals, ready := c.operandsVia(&lastWriter, e)
+		vals, ready := c.operandsVia(&lastWriter, p)
 		if !ready {
 			continue
 		}
-		e.srcVals = vals
-		switch e.inst.Op {
+		c.ar.srcA[p], c.ar.srcB[p] = vals[0], vals[1]
+		switch op {
 		case isa.OpLoad:
 			if loads >= c.cfg.LoadPorts {
 				continue
 			}
-			e.addr = mem.Addr(vals[0] + uint64(e.inst.Imm))
-			e.addrResolved = true
-			if c.blockedByOlderStore(i, e.addr) {
+			addr := mem.Addr(vals[0] + uint64(c.ar.inst[p].Imm))
+			c.ar.addr[p] = addr
+			c.ar.set(p, fAddrResolved)
+			if c.blockedByOlderStore(i, addr) {
 				continue
 			}
 			epoch, spec := ubSeq, ubFound
-			e.specAtIssue = spec
-			e.specEpoch = epoch
+			if spec {
+				c.ar.set(p, fSpecAtIssue)
+			}
+			c.ar.specEpoch[p] = epoch
 			var lat int
 			if spec && !c.scheme.VisibleSpeculation() {
-				e.shadowed = true
-				e.access = c.hier.ReadShadow(e.addr, epoch, c.cycle)
-				lat = e.access.Latency
+				c.ar.set(p, fShadowed)
+				c.ar.access[p] = c.hier.ReadShadow(addr, epoch, c.cycle)
+				lat = c.ar.access[p].Latency
 			} else {
-				e.access = c.hier.Read(e.addr, spec, epoch, c.cycle)
-				lat = e.access.Latency
+				c.ar.access[p] = c.hier.Read(addr, spec, epoch, c.cycle)
+				lat = c.ar.access[p].Latency
 			}
-			if e.access.MemAccess {
+			if c.ar.access[p].MemAccess {
 				lat += c.noise.LoadJitter()
 				if lat < 1 {
 					lat = 1
 				}
 			}
-			e.val = e.access.Value
-			e.issued = true
-			e.done = true
-			e.doneAt = c.cycle + uint64(lat)
+			c.ar.val[p] = c.ar.access[p].Value
+			c.ar.set(p, fIssued|fDone)
+			c.ar.doneAt[p] = c.cycle + uint64(lat)
 			c.met.loadLatency.Observe(float64(lat))
-			c.emit(KindIssue, e, int64(lat))
+			c.emit(KindIssue, p, int64(lat))
 			issued++
 			loads++
 		case isa.OpStore, isa.OpFlush:
-			e.addr = mem.Addr(vals[0] + uint64(e.inst.Imm))
-			e.addrResolved = true
-			e.issued, e.done = true, true
-			e.doneAt = c.cycle + 1
-			c.emit(KindIssue, e, 1)
+			c.ar.addr[p] = mem.Addr(vals[0] + uint64(c.ar.inst[p].Imm))
+			c.ar.set(p, fAddrResolved|fIssued|fDone)
+			c.ar.doneAt[p] = c.cycle + 1
+			c.emit(KindIssue, p, 1)
 			issued++
 		case isa.OpBranchLT, isa.OpBranchGE, isa.OpBranchEQ, isa.OpBranchNE:
-			e.issued = true
-			e.doneAt = c.cycle + uint64(c.cfg.BranchLatency)
-			c.emit(KindIssue, e, int64(c.cfg.BranchLatency))
+			c.ar.set(p, fIssued)
+			c.ar.doneAt[p] = c.cycle + uint64(c.cfg.BranchLatency)
+			c.emit(KindIssue, p, int64(c.cfg.BranchLatency))
 			issued++
 		default:
-			e.val = alu(e.inst, vals)
+			c.ar.val[p] = alu(c.ar.inst[p], vals)
 			lat := c.cfg.ALULatency
-			if e.inst.Op == isa.OpMul || e.inst.Op == isa.OpDiv {
+			if op == isa.OpMul || op == isa.OpDiv {
 				lat = c.cfg.MulLatency
 			}
-			if e.inst.Op == isa.OpDiv {
+			if op == isa.OpDiv {
 				if vals[1] == 0 {
-					e.faulting = true
+					c.ar.set(p, fFaulting)
 				} else {
 					divIssuedClean = true
 				}
 			}
-			e.issued, e.done = true, true
-			e.doneAt = c.cycle + uint64(lat)
-			c.emit(KindIssue, e, int64(lat))
+			c.ar.set(p, fIssued|fDone)
+			c.ar.doneAt[p] = c.cycle + uint64(lat)
+			c.emit(KindIssue, p, int64(lat))
 			issued++
 		}
 	}
@@ -1050,20 +1026,19 @@ func (c *CPU) issue() {
 	c.met.issued.Add(uint64(issued))
 }
 
-
 // blockedByOlderStore enforces memory ordering: a load waits for older
 // stores/flushes with unresolved addresses, for older stores to the
 // same word, and for older flushes to the same line.
 func (c *CPU) blockedByOlderStore(i int, addr mem.Addr) bool {
 	for j := 0; j < i; j++ {
-		e := c.rob[j]
-		switch e.inst.Op {
+		p := c.robHead + j
+		switch c.ar.inst[p].Op {
 		case isa.OpStore:
-			if !e.addrResolved || e.addr.WordAlign() == addr.WordAlign() {
+			if !c.ar.is(p, fAddrResolved) || c.ar.addr[p].WordAlign() == addr.WordAlign() {
 				return true
 			}
 		case isa.OpFlush:
-			if !e.addrResolved || e.addr.SameLine(addr) {
+			if !c.ar.is(p, fAddrResolved) || c.ar.addr[p].SameLine(addr) {
 				return true
 			}
 		default:
@@ -1073,22 +1048,22 @@ func (c *CPU) blockedByOlderStore(i int, addr mem.Addr) bool {
 	return false
 }
 
-
-// operandsVia is operands for the issue scan: lastWriter already holds
-// each register's youngest older producer, so readiness costs O(1)
-// instead of a backward ROB walk. Readiness of the producer is judged
-// at call time (done && doneAt ≤ now), exactly as readReg does.
-func (c *CPU) operandsVia(lastWriter *[isa.NumRegs]*entry, e *entry) ([2]uint64, bool) {
+// operandsVia is operand lookup for the issue scan: lastWriter already
+// holds each register's youngest older producer position, so readiness
+// costs O(1) instead of a backward ROB walk. Readiness of the producer
+// is judged at call time (done && doneAt ≤ now).
+func (c *CPU) operandsVia(lastWriter *[isa.NumRegs]int32, p int) ([2]uint64, bool) {
 	var vals [2]uint64
-	for k, r := range e.inst.SrcRegs() {
+	for k, r := range c.ar.inst[p].SrcRegs() {
 		if r == isa.Zero {
 			continue
 		}
-		if p := lastWriter[r]; p != nil {
-			if !p.done || p.doneAt > c.cycle {
+		if lw := lastWriter[r]; lw != 0 {
+			q := int(lw) - 1
+			if !c.ar.is(q, fDone) || c.ar.doneAt[q] > c.cycle {
 				return vals, false
 			}
-			vals[k] = p.val
+			vals[k] = c.ar.val[q]
 			continue
 		}
 		vals[k] = c.regs[r]
@@ -1096,14 +1071,13 @@ func (c *CPU) operandsVia(lastWriter *[isa.NumRegs]*entry, e *entry) ([2]uint64,
 	return vals, true
 }
 
-
 // fetch pulls instructions along the predicted path.
 func (c *CPU) fetch() {
 	if c.fetchStopped || c.cycle < c.fetchReady || c.cycle < c.stallUntil {
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.robLen >= c.cfg.ROBSize {
 			return
 		}
 		idx := c.fetchPC
@@ -1119,14 +1093,17 @@ func (c *CPU) fetch() {
 				}
 			}
 		}
-		e := c.allocEntry()
-		*e = entry{seq: c.nextSeq, idx: idx, inst: inst, fetchedAt: c.cycle}
+		p := c.pushSlot()
+		c.ar.reset(p)
+		c.ar.seq[p] = c.nextSeq
+		c.ar.idx[p] = idx
+		c.ar.inst[p] = inst
+		c.ar.fetchedAt[p] = c.cycle
 		c.nextSeq++
 		c.stats.Fetched++
 		c.met.fetched.Inc()
-		c.pushROB(e)
 		c.progressed = true
-		c.emit(KindFetch, e, 0)
+		c.emit(KindFetch, p, 0)
 
 		switch {
 		case inst.Op == isa.OpHalt:
@@ -1136,8 +1113,8 @@ func (c *CPU) fetch() {
 			c.fetchPC = inst.Target
 		case inst.Op.IsBranch():
 			pred := c.pred.Predict(idx)
-			e.predTaken = pred.Taken
 			if pred.Taken {
+				c.ar.set(p, fPredTaken)
 				c.fetchPC = inst.Target
 			} else {
 				c.fetchPC = idx + 1

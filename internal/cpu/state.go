@@ -2,6 +2,8 @@ package cpu
 
 import (
 	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memsys"
 	"repro/internal/noise"
 )
 
@@ -13,12 +15,50 @@ import (
 // by reference and deliberately not captured. Note the pre-existing
 // Snapshot() method returns cumulative Stats and is unrelated.
 
+// entry is the value-record form of one ROB entry. The live pipeline
+// keeps this state struct-of-arrays in the Arena (arena.go); the record
+// form exists only for State capture, where a stable per-entry value is
+// what Snapshot/Fork equality is defined over.
+type entry struct {
+	seq       uint64
+	idx       int // instruction index (simulated PC)
+	inst      isa.Inst
+	fetchedAt uint64
+
+	issued bool
+	done   bool
+	doneAt uint64
+	val    uint64
+
+	// srcVals are captured at issue for branch resolution and stores.
+	srcVals [2]uint64
+
+	// Branch state.
+	predTaken bool
+	resolved  bool
+
+	// Memory state.
+	addr          mem.Addr
+	addrResolved  bool
+	access        memsys.AccessResult
+	specAtIssue   bool
+	specEpoch     uint64
+	committedSpec bool
+	commitPenalty int
+	shadowed      bool // invisible-scheme load: issued without install
+	squashed      bool
+
+	// faulting marks a divide whose divisor was zero at issue; the trap
+	// fires when it reaches the head of the ROB.
+	faulting bool
+}
+
 // State is a frozen copy of the core's run state at one cycle.
 type State struct {
 	regs [isa.NumRegs]uint64
 	prog *isa.Program
 	// rob holds entry values in window order; restore re-materialises
-	// them from the arena.
+	// them into the arena.
 	rob           []entry
 	nextSeq       uint64
 	cycle         uint64
@@ -50,7 +90,7 @@ func (c *CPU) SaveState() *State {
 	st := &State{
 		regs:            c.regs,
 		prog:            c.prog,
-		rob:             make([]entry, len(c.rob)),
+		rob:             make([]entry, c.robLen),
 		nextSeq:         c.nextSeq,
 		cycle:           c.cycle,
 		fetchPC:         c.fetchPC,
@@ -65,27 +105,22 @@ func (c *CPU) SaveState() *State {
 		runStartCycle:   c.runStartCycle,
 		runStartRetired: c.runStartRetired,
 	}
-	for i, e := range c.rob {
-		st.rob[i] = *e
+	for i := range st.rob {
+		st.rob[i] = c.ar.load(c.robHead + i)
 	}
 	return st
 }
 
 // RestoreState rewinds the core to a state saved from the same core.
-// ROB entries are re-materialised from the recycled arena, so a warm
-// restore does not allocate. Observers are untouched: the tracer and
-// flight recorder keep recording across the rewind (fork-safety rules
-// in docs/SNAPSHOTS.md).
+// ROB entries are re-materialised into the front of the arena, so a
+// warm restore does not allocate. Observers are untouched: the tracer
+// and flight recorder keep recording across the rewind (fork-safety
+// rules in docs/SNAPSHOTS.md).
 func (c *CPU) RestoreState(st *State) {
-	for _, e := range c.rob {
-		c.recycle(e)
-	}
 	c.robHead = 0
-	c.rob = c.robBuf[:0]
+	c.robLen = len(st.rob)
 	for i := range st.rob {
-		e := c.allocEntry()
-		*e = st.rob[i]
-		c.pushROB(e)
+		c.ar.store(i, st.rob[i])
 	}
 	c.regs = st.regs
 	c.prog = st.prog

@@ -174,7 +174,9 @@ func (c *CPU) EnableFlightRecorder(n int) *FlightRecorder {
 // FlightRecorder returns the attached ring, or nil.
 func (c *CPU) FlightRecorder() *FlightRecorder { return c.flight }
 
-func (c *CPU) emit(kind Kind, e *entry, detail int64) {
+// emit records one pipeline event for arena entry p (p < 0 means no
+// instruction is associated with the event).
+func (c *CPU) emit(kind Kind, p int, detail int64) {
 	if c.tracer == nil {
 		if c.flight == nil {
 			return
@@ -184,18 +186,18 @@ func (c *CPU) emit(kind Kind, e *entry, detail int64) {
 		// copying it in.
 		s := c.flight.slot()
 		s.Cycle, s.Kind, s.Detail = c.cycle, kind, detail
-		if e != nil {
-			s.Seq, s.PC, s.Inst = e.seq, e.idx, e.inst
+		if p >= 0 {
+			s.Seq, s.PC, s.Inst = c.ar.seq[p], c.ar.idx[p], c.ar.inst[p]
 		} else {
 			s.Seq, s.PC, s.Inst = 0, 0, isa.Inst{}
 		}
 		return
 	}
 	ev := TraceEvent{Cycle: c.cycle, Kind: kind, Detail: detail}
-	if e != nil {
-		ev.Seq = e.seq
-		ev.PC = e.idx
-		ev.Inst = e.inst
+	if p >= 0 {
+		ev.Seq = c.ar.seq[p]
+		ev.PC = c.ar.idx[p]
+		ev.Inst = c.ar.inst[p]
 	}
 	if c.flight != nil {
 		c.flight.Record(ev)

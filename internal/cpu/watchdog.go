@@ -68,7 +68,7 @@ func (c *CPU) PostMortem() PostMortem {
 		Cycle:        c.cycle,
 		RunCycles:    c.cycle - c.runStartCycle,
 		Retired:      c.stats.Retired - c.runStartRetired,
-		ROBOccupancy: len(c.rob),
+		ROBOccupancy: c.robLen,
 		FetchPC:      c.fetchPC,
 		FetchStopped: c.fetchStopped,
 		Halted:       c.halted,
@@ -78,8 +78,8 @@ func (c *CPU) PostMortem() PostMortem {
 		LastBranchResolution: c.stats.LastBranchResolution,
 		LastCleanupStall:     c.stats.LastCleanupStall,
 	}
-	for _, e := range c.rob {
-		if e.inst.Op == isa.OpLoad && e.issued && !(e.done && e.doneAt <= c.cycle) {
+	for p := c.robHead; p < c.robHead+c.robLen; p++ {
+		if c.ar.inst[p].Op == isa.OpLoad && c.ar.is(p, fIssued) && !c.completedNow(p) {
 			pm.InflightLoads++
 		}
 	}

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/unxpec"
+)
+
+// workerCounts are the pool sizes every determinism test sweeps:
+// the sequential reference, a small parallel pool, and whatever this
+// box actually has.
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if gp := runtime.GOMAXPROCS(0); gp > 2 {
+		counts = append(counts, gp)
+	}
+	return counts
+}
+
+func testOptions() unxpec.Options {
+	return unxpec.Options{Seed: 1}
+}
+
+// secretsFor builds a deterministic secret schedule of length n.
+func secretsFor(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = (i ^ (i >> 2)) & 1
+	}
+	return s
+}
+
+// runBatch executes one session over a fresh pool and returns the
+// per-trial results plus the drained telemetry rollup.
+func runBatch(t *testing.T, workers, n int) ([]TrialResult, telemetry.Snapshot) {
+	t.Helper()
+	pool := New(Config{Workers: workers})
+	sess := NewSession(pool, testOptions(), SessionConfig{})
+	defer sess.Close()
+	secrets := secretsFor(n)
+	out := make([]TrialResult, n)
+	if err := sess.MeasureBatch(secrets, out); err != nil {
+		t.Fatalf("MeasureBatch(workers=%d, n=%d): %v", workers, n, err)
+	}
+	rollup := telemetry.NewRegistry()
+	pool.Drain(rollup)
+	return out, rollup.Snapshot()
+}
+
+// TestBatchBitIdentity is the engine's core contract: the per-trial
+// results of a batch are bit-identical to the sequential reference for
+// every worker count and batch size — parallelism changes wall-clock
+// only, never output.
+func TestBatchBitIdentity(t *testing.T) {
+	for _, n := range []int{1, 5, 17} {
+		ref, _ := runBatch(t, 1, n)
+		for _, w := range workerCounts()[1:] {
+			got, _ := runBatch(t, w, n)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Errorf("n=%d workers=%d trial %d: got %+v, want %+v", n, w, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSplitIdentity checks that slicing one workload into several
+// MeasureBatch calls yields the same results as one big batch: the
+// checkpoint restore at the head of every trial makes batch boundaries
+// invisible.
+func TestBatchSplitIdentity(t *testing.T) {
+	const n = 12
+	ref, _ := runBatch(t, 2, n)
+
+	pool := New(Config{Workers: 2})
+	sess := NewSession(pool, testOptions(), SessionConfig{})
+	defer sess.Close()
+	secrets := secretsFor(n)
+	got := make([]TrialResult, n)
+	for _, split := range [][2]int{{0, 3}, {3, 7}, {7, n}} {
+		if err := sess.MeasureBatch(secrets[split[0]:split[1]], got[split[0]:split[1]]); err != nil {
+			t.Fatalf("MeasureBatch slice %v: %v", split, err)
+		}
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Errorf("split trial %d: got %+v, want %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestRollupDeterminism checks the drained telemetry rollup: counters
+// and histograms are flows whose totals depend only on the multiset of
+// executed trials, so they must match the sequential reference exactly
+// at every worker count. Gauges are levels sampled wherever each
+// worker happened to stop and are deliberately excluded (documented in
+// Pool.Drain).
+func TestRollupDeterminism(t *testing.T) {
+	const n = 17
+	_, ref := runBatch(t, 1, n)
+	if len(ref.Counters) == 0 || len(ref.Histograms) == 0 {
+		t.Fatalf("reference rollup is empty: counters=%d histograms=%d", len(ref.Counters), len(ref.Histograms))
+	}
+	if got := ref.Counters["attack_rounds_total"]; got != n {
+		t.Fatalf("attack_rounds_total = %d, want %d (one round per trial)", got, n)
+	}
+	for _, w := range workerCounts()[1:] {
+		_, got := runBatch(t, w, n)
+		if len(got.Counters) != len(ref.Counters) {
+			t.Errorf("workers=%d: %d counters, want %d", w, len(got.Counters), len(ref.Counters))
+		}
+		for name, want := range ref.Counters {
+			if got.Counters[name] != want {
+				t.Errorf("workers=%d counter %s = %d, want %d", w, name, got.Counters[name], want)
+			}
+		}
+		for name, wantH := range ref.Histograms {
+			gotH, ok := got.Histograms[name]
+			if !ok {
+				t.Errorf("workers=%d: histogram %s missing", w, name)
+				continue
+			}
+			if gotH.Count != wantH.Count || math.Float64bits(gotH.Sum) != math.Float64bits(wantH.Sum) {
+				t.Errorf("workers=%d histogram %s: count=%d sum=%v, want count=%d sum=%v",
+					w, name, gotH.Count, gotH.Sum, wantH.Count, wantH.Sum)
+			}
+			for i := range wantH.Counts {
+				if gotH.Counts[i] != wantH.Counts[i] {
+					t.Errorf("workers=%d histogram %s bucket %d: %d, want %d",
+						w, name, i, gotH.Counts[i], wantH.Counts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundsBitIdentity covers multi-round trials: with Rounds > 1
+// the per-trial restore still isolates trials, so results stay
+// bit-identical across worker counts.
+func TestRoundsBitIdentity(t *testing.T) {
+	const n = 6
+	run := func(workers int) []TrialResult {
+		pool := New(Config{Workers: workers})
+		sess := NewSession(pool, testOptions(), SessionConfig{Rounds: 3})
+		defer sess.Close()
+		out := make([]TrialResult, n)
+		if err := sess.MeasureBatch(secretsFor(n), out); err != nil {
+			t.Fatalf("MeasureBatch(workers=%d): %v", workers, err)
+		}
+		return out
+	}
+	ref := run(1)
+	for _, w := range workerCounts()[1:] {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("rounds=3 workers=%d trial %d: got %+v, want %+v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestWarmBatchAllocs pins the zero-allocation steady state: once a
+// worker's replica exists, measuring batches allocates nothing. The
+// single-worker pool runs on the calling goroutine, so the whole
+// MeasureBatch call — restore, simulate, classify — must be
+// allocation-free.
+func TestWarmBatchAllocs(t *testing.T) {
+	pool := New(Config{Workers: 1})
+	sess := NewSession(pool, testOptions(), SessionConfig{})
+	defer sess.Close()
+	secrets := secretsFor(4)
+	out := make([]TrialResult, len(secrets))
+	if err := sess.MeasureBatch(secrets, out); err != nil { // fork + warm the replica
+		t.Fatalf("warmup batch: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := sess.MeasureBatch(secrets, out); err != nil {
+			t.Fatalf("warm batch: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm MeasureBatch allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestPoolRunCoverage checks the work cursor: every index in 0..n-1
+// runs exactly once, for pools bigger and smaller than the batch.
+func TestPoolRunCoverage(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 7}, {4, 7}, {16, 3}, {3, 0},
+	} {
+		pool := New(Config{Workers: tc.workers})
+		hits := make([]atomic.Int32, tc.n)
+		pool.Run(tc.n, func(w *Worker, i int) {
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d n=%d: index %d ran %d times", tc.workers, tc.n, i, got)
+			}
+		}
+	}
+}
+
+// TestDrainWatermark checks that draining twice never double-counts:
+// metric mass recorded before the first drain is absorbed exactly
+// once, and mass recorded between drains is picked up by the second.
+func TestDrainWatermark(t *testing.T) {
+	pool := New(Config{Workers: 2})
+	c0 := pool.workers[0].Metrics.Counter("trials_total", "test")
+	c1 := pool.workers[1].Metrics.Counter("trials_total", "test")
+	c0.Add(3)
+	c1.Add(4)
+
+	dst := telemetry.NewRegistry()
+	pool.Drain(dst)
+	if got := dst.Snapshot().Counters["trials_total"]; got != 7 {
+		t.Fatalf("first drain: trials_total = %d, want 7", got)
+	}
+	pool.Drain(dst)
+	if got := dst.Snapshot().Counters["trials_total"]; got != 7 {
+		t.Errorf("re-drain double-counted: trials_total = %d, want 7", got)
+	}
+	c0.Add(2)
+	pool.Drain(dst)
+	if got := dst.Snapshot().Counters["trials_total"]; got != 9 {
+		t.Errorf("incremental drain: trials_total = %d, want 9", got)
+	}
+}
+
+// TestTrialStatusString pins the log rendering, including the
+// out-of-range fallback.
+func TestTrialStatusString(t *testing.T) {
+	cases := map[TrialStatus]string{
+		TrialOK:        "ok",
+		TrialWatchdog:  "watchdog",
+		TrialError:     "error",
+		TrialStatus(9): "TrialStatus(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("TrialStatus(%d).String() = %q, want %q", uint8(s), got, want)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/unxpec"
+)
+
+// TrialStatus classifies one batched measurement trial.
+type TrialStatus uint8
+
+const (
+	// TrialOK is a completed measurement.
+	TrialOK TrialStatus = iota
+	// TrialWatchdog is a trial whose simulation exhausted its cycle
+	// budget; the latency is garbage and must not enter statistics.
+	TrialWatchdog
+	// TrialError is any other failure (replica construction, restore).
+	TrialError
+)
+
+// String renders the status for logs and errors.
+func (s TrialStatus) String() string {
+	switch s {
+	case TrialOK:
+		return "ok"
+	case TrialWatchdog:
+		return "watchdog"
+	case TrialError:
+		return "error"
+	default:
+		return fmt.Sprintf("TrialStatus(%d)", uint8(s))
+	}
+}
+
+// TrialResult is the outcome of one independent measurement trial.
+type TrialResult struct {
+	// Latency is the receiver-observed timing (T2−T1), valid when
+	// Status is TrialOK.
+	Latency uint64
+	// SimCycles is how many cycles the trial simulated (including
+	// fast-forwarded idle cycles) — the numerator of the engine's
+	// aggregate sim-cycles/s throughput.
+	SimCycles uint64
+	Status    TrialStatus
+	Err       error
+}
+
+// Session runs batches of independent unXpec measurement trials over a
+// pool. Each worker lazily forks its own replica of one calibrated
+// machine: an attack built from the session options, warmed with the
+// same rounds, checkpointed once (unxpec.Attack.Checkpoint — the PR 6
+// whole-machine COW snapshot). Every trial restores the checkpoint and
+// measures one secret, so trial i's result is a pure function of
+// secrets[i]: bit-identical for every worker count, batch size and
+// claiming order. The replicas are bit-identical across workers by
+// construction — machine building, warmup and measurement draw all
+// randomness from the seeded options and never from the wall clock or
+// global RNG state (enforced by simlint's forkpurity analyzer).
+//
+// One session's trials may interleave with another session's on the
+// same pool: the worker arena is pure scratch between trials (every
+// trial starts with a whole-machine restore), so the only isolation
+// needed is one-trial-per-worker-at-a-time, which Pool.Run guarantees.
+type Session struct {
+	pool   *Pool
+	opts   unxpec.Options
+	warmup int
+	rounds int
+	reps   []*replica // indexed by worker ID; touched only by that worker
+
+	// Current batch, published before runJobs and cleared after. Held
+	// as fields (with the Session implementing runner itself) so a warm
+	// MeasureBatch call allocates nothing — not even a closure.
+	batchSecrets []int
+	batchOut     []TrialResult
+}
+
+// replica is one worker's copy of the calibrated machine.
+type replica struct {
+	attack *unxpec.Attack
+	cp     *unxpec.Checkpoint
+	err    error
+}
+
+// DefaultWarmupRounds is how many measurement rounds a replica runs
+// before its checkpoint: enough for initial training plus the first
+// prime, so forked trials start from the attack's warm steady state.
+const DefaultWarmupRounds = 8
+
+// SessionConfig tunes a Session. The zero value is usable.
+type SessionConfig struct {
+	// Warmup is how many measurement rounds each replica runs before
+	// its checkpoint. <= 0 selects DefaultWarmupRounds.
+	Warmup int
+	// Rounds is how many measurement rounds one trial runs after its
+	// restore (<= 0 means 1). More rounds amortize the restore over
+	// more simulation; sweep-style trials use several rounds per
+	// machine for exactly this reason.
+	Rounds int
+}
+
+// NewSession prepares a batched-trial session. Replicas are forked
+// lazily, per worker, on first use.
+func NewSession(pool *Pool, opts unxpec.Options, cfg SessionConfig) *Session {
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = DefaultWarmupRounds
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	return &Session{
+		pool:   pool,
+		opts:   opts,
+		warmup: cfg.Warmup,
+		rounds: cfg.Rounds,
+		reps:   make([]*replica, pool.Size()),
+	}
+}
+
+// ForkReplica builds worker w's replica of the calibrated machine:
+// construct the attack from the session options, adopt the worker's
+// struct-of-arrays arena, run the warmup rounds with telemetry
+// detached (warmup work is per-replica plumbing, not trial signal),
+// and checkpoint. Attacks built from identical options run
+// bit-identically, so the checkpoints on every worker freeze the same
+// machine state — the "shared calibrated snapshot" realized without
+// sharing memory across goroutines.
+func (s *Session) ForkReplica(w *Worker) (*unxpec.Attack, *unxpec.Checkpoint, error) {
+	a, err := unxpec.New(s.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	a.Core().AdoptArena(w.arena)
+	for r := 0; r < s.warmup; r++ {
+		if _, err := a.MeasureOnceChecked(r & 1); err != nil {
+			return nil, nil, fmt.Errorf("engine: replica warmup round %d: %w", r, err)
+		}
+	}
+	cp, err := a.Checkpoint()
+	if err != nil {
+		return nil, nil, err
+	}
+	a.SetMetrics(w.Metrics)
+	return a, cp, nil
+}
+
+// MeasureBatch runs one independent trial per secret, writing trial
+// i's result to out[i]. Returns the lowest-indexed trial error (nil
+// when every trial completed), after the whole batch has run. out must
+// be at least as long as secrets; the warm loop allocates nothing.
+func (s *Session) MeasureBatch(secrets []int, out []TrialResult) error {
+	if len(out) < len(secrets) {
+		return fmt.Errorf("engine: result buffer %d shorter than batch %d", len(out), len(secrets))
+	}
+	s.batchSecrets, s.batchOut = secrets, out
+	s.pool.runJobs(len(secrets), s)
+	s.batchSecrets, s.batchOut = nil, nil
+	for i := range secrets {
+		if out[i].Err != nil {
+			return fmt.Errorf("engine: trial %d: %w", i, out[i].Err)
+		}
+	}
+	return nil
+}
+
+// runTrial implements runner over the published batch fields.
+func (s *Session) runTrial(w *Worker, i int) {
+	s.batchOut[i] = s.measureOn(w, s.batchSecrets[i])
+}
+
+// measureOn executes one trial on worker w: restore the worker's
+// checkpoint, then run the configured measurement rounds against the
+// secret. Latency is the final round's timing (the steady-state
+// observation); SimCycles covers every round.
+func (s *Session) measureOn(w *Worker, secret int) TrialResult {
+	rep := s.reps[w.ID]
+	if rep == nil {
+		a, cp, err := s.ForkReplica(w)
+		rep = &replica{attack: a, cp: cp, err: err}
+		s.reps[w.ID] = rep
+	}
+	if rep.err != nil {
+		return TrialResult{Status: TrialError, Err: rep.err}
+	}
+	if err := rep.attack.Restore(rep.cp); err != nil {
+		return TrialResult{Status: TrialError, Err: err}
+	}
+	start := rep.attack.Core().Cycle()
+	var lat uint64
+	var err error
+	for r := 0; r < s.rounds; r++ {
+		if lat, err = rep.attack.MeasureOnceChecked(secret); err != nil {
+			break
+		}
+	}
+	cycles := rep.attack.Core().Cycle() - start
+	switch {
+	case err == nil:
+		return TrialResult{Latency: lat, SimCycles: cycles, Status: TrialOK}
+	case errors.Is(err, cpu.ErrWatchdog):
+		return TrialResult{SimCycles: cycles, Status: TrialWatchdog, Err: err}
+	default:
+		return TrialResult{SimCycles: cycles, Status: TrialError, Err: err}
+	}
+}
+
+// Close releases every replica's checkpoint. The session must not be
+// used afterwards.
+func (s *Session) Close() {
+	for i, rep := range s.reps {
+		if rep != nil && rep.cp != nil {
+			rep.cp.Release()
+		}
+		s.reps[i] = nil
+	}
+}

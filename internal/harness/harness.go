@@ -5,12 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/telemetry"
 	"repro/internal/teletrace"
@@ -59,13 +59,6 @@ type Config struct {
 	// registry armed so histogram exemplars carry the trace ID. Nil
 	// disables tracing at a one-branch cost per emit site.
 	Tracer *teletrace.Tracer
-}
-
-func (c Config) workers() int {
-	if c.Workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return c.Workers
 }
 
 func (c Config) maxAttempts() int {
@@ -122,6 +115,13 @@ type Trial struct {
 	// without telemetry). Cells bind their machines to it; the harness
 	// snapshots it into the outcome and the campaign rollup.
 	Metrics *telemetry.Registry
+
+	// Arena is the executing engine worker's struct-of-arrays ROB
+	// arena. Observe hands it to any observed core (via AdoptArena), so
+	// every trial a worker runs reuses one hot-state footprint instead
+	// of allocating a fresh ROB per machine. Nil for trials run outside
+	// an engine pool.
+	Arena *cpu.Arena
 
 	// Span is the attempt's span (nil when the runner has no tracer).
 	// Cells may add events and child spans; Observe binds it onto the
@@ -214,6 +214,13 @@ type spanSetter interface {
 	SetSpan(s *teletrace.Span)
 }
 
+// arenaAdopter is the optional interface Observe uses to move an
+// observed core's ROB hot state into the engine worker's shared arena.
+// *cpu.CPU implements it.
+type arenaAdopter interface {
+	AdoptArena(ar *cpu.Arena)
+}
+
 // Observe registers the core under test so that a contained panic can
 // capture its post-mortem snapshot. Re-observing replaces the previous
 // subject (observe the active core of multi-phase trials).
@@ -227,6 +234,9 @@ func (t *Trial) Observe(p PostMortemer) {
 	}
 	if ss, ok := p.(spanSetter); ok {
 		ss.SetSpan(t.Span) // nil span = tracing off, still one branch on the core
+	}
+	if aa, ok := p.(arenaAdopter); ok && t.Arena != nil {
+		aa.AdoptArena(t.Arena)
 	}
 	t.mu.Lock()
 	t.pm = p
@@ -392,6 +402,14 @@ type Runner struct {
 	mu       sync.Mutex
 	executed int // newly executed cells, for StopAfter
 
+	// pool is the batched trial engine every Sweep executes on. Workers
+	// persist across sweeps, so their ROB arenas and telemetry
+	// registries are warm for the whole campaign. Sweeps on one Runner
+	// must not run concurrently with each other (worker arenas are
+	// exclusive to one trial at a time).
+	poolOnce sync.Once
+	pool     *engine.Pool
+
 	loadOnce  sync.Once
 	loadErr   error
 	journal   *Journal
@@ -399,6 +417,14 @@ type Runner struct {
 	loadWarns []string
 
 	prog progressState
+}
+
+// enginePool lazily builds the runner's trial engine.
+func (r *Runner) enginePool() *engine.Pool {
+	r.poolOnce.Do(func() {
+		r.pool = engine.New(engine.Config{Workers: r.cfg.Workers})
+	})
+	return r.pool
 }
 
 // New validates cfg and builds a Runner.
@@ -530,31 +556,19 @@ func (r *Runner) Sweep(name string, cells []Cell) (*Report, error) {
 	}
 	r.prog.addSweep(len(jobs), resumedN)
 
-	workers := r.cfg.workers()
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				if r.stopRequested() {
-					continue // leave the Skipped marker in place
-				}
-				o := r.runCell(full(j.c), j.i, j.c)
-				rep.Outcomes[j.i] = o // distinct index per goroutine
-				r.noteExecuted()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
+	pool := r.enginePool()
+	pool.Run(len(jobs), func(w *engine.Worker, k int) {
+		if r.stopRequested() {
+			return // leave the Skipped marker in place
+		}
+		j := jobs[k]
+		o := r.runCell(w, full(j.c), j.i, j.c)
+		rep.Outcomes[j.i] = o // distinct index per worker claim
+		r.noteExecuted()
+	})
+	// Per-worker telemetry was recorded synchronization-free during the
+	// sweep; fold it into the campaign registry exactly once.
+	pool.Drain(r.cfg.Metrics)
 
 	for _, o := range rep.Outcomes {
 		if o.Skipped {
@@ -565,10 +579,10 @@ func (r *Runner) Sweep(name string, cells []Cell) (*Report, error) {
 	return rep, nil
 }
 
-// runCell drives one cell through its attempt budget. A resume point
-// registered by one attempt is handed to the next and released when
-// the cell reaches a terminal outcome.
-func (r *Runner) runCell(id string, index int, c Cell) Outcome {
+// runCell drives one cell through its attempt budget on engine worker
+// w. A resume point registered by one attempt is handed to the next
+// and released when the cell reaches a terminal outcome.
+func (r *Runner) runCell(w *engine.Worker, id string, index int, c Cell) Outcome {
 	start := time.Now() //simlint:wallclock per-cell elapsed is genuine wall time
 	maxA := r.cfg.maxAttempts()
 	var te *TrialError
@@ -611,7 +625,8 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 		if resume != nil {
 			span.Eventf("resume", "inheriting snapshot from cycle %d", resumeCycle)
 		}
-		t := &Trial{Cell: id, Attempt: attempt, Seed: seed, inherited: resume, Span: span}
+		t := &Trial{Cell: id, Attempt: attempt, Seed: seed, inherited: resume, Span: span,
+			Arena: w.Arena()}
 		if r.cfg.Metrics != nil {
 			t.Metrics = telemetry.NewRegistry()
 			if traceID != "" {
@@ -627,7 +642,7 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 			}
 			resume, resumeCycle = next, cyc
 		}
-		snap := r.rollupTrial(t, attempt, attemptMS, traceID)
+		snap := r.rollupTrial(w, t, attempt, attemptMS, traceID)
 		if err == nil {
 			raw, merr := json.Marshal(v)
 			if merr == nil {
@@ -668,16 +683,19 @@ func (r *Runner) runCell(id string, index int, c Cell) Outcome {
 }
 
 // rollupTrial snapshots a trial's registry, absorbs it into the
-// campaign registry, and stamps the harness's own trial counters plus
-// the trial-latency histogram (exemplar-linked to the cell's trace, so
-// the slowest bucket on /metrics names the trace to open). The
-// snapshot reflects the work the attempt actually did, even when the
-// attempt failed — partial work is exactly what a post-mortem wants.
-func (r *Runner) rollupTrial(t *Trial, attempt int, ms float64, traceID string) *telemetry.Snapshot {
-	reg := r.cfg.Metrics
-	if reg == nil {
+// executing worker's registry, and stamps the harness's own trial
+// counters plus the trial-latency histogram (exemplar-linked to the
+// cell's trace, so the slowest bucket on /metrics names the trace to
+// open). The worker registry is private to the trial, so all of this
+// is synchronization-free; Sweep drains the workers into the campaign
+// registry once at the end of the batch. The snapshot reflects the
+// work the attempt actually did, even when the attempt failed —
+// partial work is exactly what a post-mortem wants.
+func (r *Runner) rollupTrial(w *engine.Worker, t *Trial, attempt int, ms float64, traceID string) *telemetry.Snapshot {
+	if r.cfg.Metrics == nil {
 		return nil
 	}
+	reg := w.Metrics
 	reg.Counter("harness_attempts_total", "trial attempts executed").Inc()
 	if attempt > 1 {
 		reg.Counter("harness_retries_total", "attempts beyond the first").Inc()

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Engine smoke test: proves the batched parallel trial engine is both
+# bit-identical to sequential execution and actually fast
+# (docs/ENGINE.md):
+#   1. the engine determinism suite under the race detector — batch
+#      results, split batches, multi-round trials and telemetry rollups
+#      equal at every worker count, plus the zero-allocation warm loop
+#      and pool coverage/drain invariants;
+#   2. the harness suite under -race, since every Sweep now executes on
+#      the engine pool;
+#   3. CSV bit-identity through the CLI: cmd/figures at -jobs 1 vs
+#      -jobs 4 must emit byte-identical series;
+#   4. stdout bit-identity for cmd/fuzz at -jobs 1 vs -jobs 4;
+#   5. the throughput gate, computed from benchjson JSON: aggregate
+#      sim-cycles/s of BenchmarkEngineBatch over
+#      BenchmarkSimulatorRawSpeed must reach min(10, 0.5 * cores) —
+#      full 10x is demanded on many-core boxes, scaled-down
+#      proportionally where the hardware cannot express it.
+# Used by `make engine-smoke` and CI.
+set -euo pipefail
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== engine determinism suite (-race) =="
+go test -race -count=1 ./internal/engine/
+
+echo "== harness on the engine pool (-race) =="
+go test -race -count=1 ./internal/harness/
+
+echo "== cmd/figures CSV bit-identity (-jobs 1 vs -jobs 4) =="
+go run ./cmd/figures -fig 2 -out "$tmp/fig_j1" -jobs 1 -seed 7 >/dev/null
+go run ./cmd/figures -fig 2 -out "$tmp/fig_j4" -jobs 4 -seed 7 >/dev/null
+cmp "$tmp/fig_j1/figure2.csv" "$tmp/fig_j4/figure2.csv"
+
+echo "== cmd/fuzz output bit-identity (-jobs 1 vs -jobs 4) =="
+go run ./cmd/fuzz -n 8 -seed 1 -corpus "" -jobs 1 > "$tmp/fuzz_j1.txt"
+go run ./cmd/fuzz -n 8 -seed 1 -corpus "" -jobs 4 > "$tmp/fuzz_j4.txt"
+cmp "$tmp/fuzz_j1.txt" "$tmp/fuzz_j4.txt"
+
+echo "== batched throughput gate (sim-cycles/s from benchjson) =="
+go test -run '^$' -bench 'EngineBatch$|SimulatorRawSpeed$' -benchmem \
+    -benchtime "${BENCHTIME:-0.5s}" -count 1 . > "$tmp/bench.txt"
+go run ./tools/benchjson "$tmp/bench.txt" > "$tmp/bench.json"
+req="$(awk -v c="$(nproc)" 'BEGIN { r = 0.5 * c; if (r > 10) r = 10; printf "%.2f", r }')"
+go run ./tools/benchjson \
+    -ratio BenchmarkEngineBatch:BenchmarkSimulatorRawSpeed -min "$req" \
+    "$tmp/bench.json"
+
+echo "engine smoke: OK"

@@ -27,6 +27,20 @@
 // -tolerance (default 0.10). Wall-clock-only metrics such as diff-cycles
 // or accuracy are informational: they are captured in the snapshot but
 // never gated, because they measure the channel, not the simulator.
+//
+// Ratio mode:
+//
+//	go run ./tools/benchjson -ratio BenchmarkEngineBatch:BenchmarkSimulatorRawSpeed -min 10 NEW.json
+//
+// divides the derived sim-cycles/s of two benchmarks and exits 1 when
+// the quotient is below -min. Because sim-cycles/s normalizes each
+// bench by its own ns/op, the two benches may define "op" however they
+// like (one attack round vs a 64-trial batch) and the ratio still
+// compares aggregate simulated cycles per wall-clock second — this is
+// how the batched engine's ≥10x speedup gate is computed from
+// committed JSON instead of re-parsed bench output. With a second file
+// the denominator bench is read from it (gate new engine throughput
+// against an older baseline snapshot).
 package main
 
 import (
@@ -79,8 +93,34 @@ func main() {
 		gate      = flag.String("gate", "BenchmarkSimulatorRawSpeed", "comma-separated benches whose raw ops/s is also gated by -diff")
 		benchtime = flag.String("benchtime", "", "benchtime the run used; recorded in the snapshot")
 		prior     = flag.String("prior", "", "previous snapshot to embed as pre_change")
+		ratio     = flag.String("ratio", "", "compare two benches' sim-cycles/s: benchjson -ratio NUM:DEN [-min F] NEW.json [DEN.json]")
+		minRatio  = flag.Float64("min", 0, "minimum NUM/DEN sim-cycles/s quotient required by -ratio (0 = report only)")
 	)
 	flag.Parse()
+
+	if *ratio != "" {
+		if flag.NArg() < 1 || flag.NArg() > 2 {
+			fatalf("usage: benchjson -ratio NUM:DEN [-min F] NEW.json [DEN.json]")
+		}
+		numName, denName, ok := strings.Cut(*ratio, ":")
+		if !ok || numName == "" || denName == "" {
+			fatalf("-ratio wants NUM:DEN, got %q", *ratio)
+		}
+		numSnap, err := load(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		denSnap := numSnap
+		if flag.NArg() == 2 {
+			if denSnap, err = load(flag.Arg(1)); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		if !ratioGate(numSnap, denSnap, numName, denName, *minRatio, os.Stdout) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {
@@ -241,6 +281,51 @@ func parse(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("no benchmark lines found in input")
 	}
 	return snap, nil
+}
+
+// simCyclesPerS resolves a bench's derived sim-cycles/s throughput,
+// re-deriving it from the metrics when the snapshot predates the
+// derived field.
+func simCyclesPerS(s *Snapshot, name string) (float64, error) {
+	b, ok := s.Benchmarks[name]
+	if !ok {
+		return 0, fmt.Errorf("benchmark %s not in snapshot", name)
+	}
+	if b.SimCyclesPerS > 0 {
+		return b.SimCyclesPerS, nil
+	}
+	if c, ok := b.Metrics["sim-cycles/op"]; ok && b.NsPerOp > 0 {
+		return c / b.NsPerOp * 1e9, nil
+	}
+	return 0, fmt.Errorf("benchmark %s has no sim-cycles/op metric", name)
+}
+
+// ratioGate prints the NUM/DEN aggregate-throughput quotient and
+// reports whether it clears min. The per-op normalization inside
+// sim-cycles/s is what makes benches with different op granularities
+// (single round vs whole batch) comparable.
+func ratioGate(numSnap, denSnap *Snapshot, numName, denName string, min float64, w io.Writer) bool {
+	nv, err := simCyclesPerS(numSnap, numName)
+	if err != nil {
+		fatalf("-ratio numerator: %v", err)
+	}
+	dv, err := simCyclesPerS(denSnap, denName)
+	if err != nil {
+		fatalf("-ratio denominator: %v", err)
+	}
+	q := nv / dv
+	verdict := "ok  "
+	ok := true
+	if min > 0 && q < min {
+		verdict = "FAIL"
+		ok = false
+	}
+	fmt.Fprintf(w, "%s %s / %s sim-cycles/s: %.4g / %.4g = %.2fx", verdict, numName, denName, nv, dv, q)
+	if min > 0 {
+		fmt.Fprintf(w, " (min %.2fx)", min)
+	}
+	fmt.Fprintln(w)
+	return ok
 }
 
 // throughputs returns the gated higher-is-better metrics of one bench.

@@ -53,6 +53,44 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// engineSample has two benches with different op granularities: the
+// batch op covers 64 trials of 8 rounds, the raw-speed op one round.
+// The derived sim-cycles/s makes them directly comparable.
+const engineSample = `goos: linux
+BenchmarkSimulatorRawSpeed-8    	  100000	      6700 ns/op	       168.0 sim-cycles/op	       0 B/op	       0 allocs/op
+BenchmarkEngineBatch-8          	    2000	    672000 ns/op	     86016 sim-cycles/op	        64.00 trials/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestRatioGate(t *testing.T) {
+	snap := parseSample(t, engineSample)
+	// 86016/672000 vs 168/6700: exactly 5.105x.
+	var out strings.Builder
+	if !ratioGate(snap, snap, "BenchmarkEngineBatch", "BenchmarkSimulatorRawSpeed", 5.0, &out) {
+		t.Errorf("5.1x ratio failed a 5x gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "5.10x") {
+		t.Errorf("ratio not reported: %s", out.String())
+	}
+	out.Reset()
+	if ratioGate(snap, snap, "BenchmarkEngineBatch", "BenchmarkSimulatorRawSpeed", 10, &out) {
+		t.Errorf("5.1x ratio passed a 10x gate:\n%s", out.String())
+	}
+	// min=0 reports without gating.
+	out.Reset()
+	if !ratioGate(snap, snap, "BenchmarkSimulatorRawSpeed", "BenchmarkEngineBatch", 0, &out) {
+		t.Errorf("report-only ratio failed:\n%s", out.String())
+	}
+	// Denominator resolved from a different (older) snapshot that has no
+	// derived field — it must be re-derived from raw metrics.
+	oldSnap := parseSample(t, engineSample)
+	oldSnap.Benchmarks["BenchmarkSimulatorRawSpeed"].SimCyclesPerS = 0
+	out.Reset()
+	if !ratioGate(snap, oldSnap, "BenchmarkEngineBatch", "BenchmarkSimulatorRawSpeed", 5.0, &out) {
+		t.Errorf("cross-snapshot ratio with re-derived denominator failed:\n%s", out.String())
+	}
+}
+
 func TestCompareDetectsRegression(t *testing.T) {
 	gated := map[string]bool{"BenchmarkSimulatorRawSpeed": true}
 	old := parseSample(t, sample)

@@ -25,3 +25,12 @@ func (m *machine) Fork() *machine {
 	out := *m
 	return &out
 }
+
+// ForkReplica builds a worker's replica purely from captured state —
+// every worker forks the identical machine, so batch results are a
+// pure function of the trial index.
+func (m *machine) ForkReplica() *machine {
+	out := *m
+	out.draws = 0
+	return &out
+}

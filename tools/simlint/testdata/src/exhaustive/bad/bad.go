@@ -67,3 +67,25 @@ func Sound(v Verdict) bool {
 	}
 	return false
 }
+
+// Status mirrors the engine's batched-trial outcome enum.
+type Status uint8
+
+// The trial outcomes.
+const (
+	StatusOK Status = iota
+	StatusWatchdog
+	StatusError
+)
+
+// Usable misses StatusWatchdog — exactly the arm whose omission would
+// fold a garbage timed-out latency into batch statistics.
+func Usable(s Status) bool {
+	switch s { // want "missing StatusWatchdog"
+	case StatusOK:
+		return true
+	case StatusError:
+		return false
+	}
+	return false
+}

@@ -76,3 +76,28 @@ func Dynamic(s, other State) bool {
 	}
 	return false
 }
+
+// TrialStatus mirrors the engine's batched-trial outcome enum.
+type TrialStatus uint8
+
+// The trial outcomes.
+const (
+	TrialOK TrialStatus = iota
+	TrialWatchdog
+	TrialError
+)
+
+// Render covers every trial outcome plus a default fallback for
+// out-of-range values — the engine's String shape.
+func Render(s TrialStatus) string {
+	switch s {
+	case TrialOK:
+		return "ok"
+	case TrialWatchdog:
+		return "watchdog"
+	case TrialError:
+		return "error"
+	default:
+		return "?"
+	}
+}
